@@ -1,0 +1,46 @@
+// Shared support for the table/figure reproduction binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation and prints the measured values next to the paper's reference
+// values. The corpus scale defaults to 1/10 of the paper's dataset and can
+// be overridden with the LONGTAIL_SCALE environment variable (e.g.
+// LONGTAIL_SCALE=0.25 ./table16_rules).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/longtail.hpp"
+#include "util/table.hpp"
+
+namespace longtail::bench {
+
+inline double bench_scale(double fallback = 0.10) {
+  if (const char* env = std::getenv("LONGTAIL_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+inline core::LongtailPipeline make_pipeline(double default_scale = 0.10) {
+  const double scale = bench_scale(default_scale);
+  std::printf("[longtail] generating corpus at scale %.2f of the paper's "
+              "dataset (LONGTAIL_SCALE to override)\n\n",
+              scale);
+  return core::LongtailPipeline::generate(scale);
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::fputs(util::banner(title).c_str(), stdout);
+  if (!note.empty()) std::printf("%s\n\n", note.c_str());
+}
+
+// "measured (paper: reference)" cell helper.
+inline std::string vs_paper(const std::string& measured,
+                            const std::string& paper) {
+  return measured + " (paper " + paper + ")";
+}
+
+}  // namespace longtail::bench

@@ -1,0 +1,31 @@
+// Reproduces Fig. 1: distribution of malware families (top 25) among
+// malicious downloaded files, derived with the AVclass-style family
+// extractor, plus the paper's headline that AVclass recovers no family
+// for 58% of samples (363 distinct families overall).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Fig. 1: distribution of malware families (top 25, AVclass)",
+      "Paper: 363 distinct families; no family derivable for 58% of "
+      "malicious samples.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto families = analysis::family_distribution(pipeline.annotated());
+
+  util::TextTable table({"#", "Family", "Samples", "% of malicious"});
+  std::size_t rank = 1;
+  for (const auto& [family, count] : families.top) {
+    table.add_row({std::to_string(rank++), family, util::with_commas(count),
+                   util::pct(util::percent(count, families.total_malicious))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nDistinct families: %s (paper: 363 at full scale)\n"
+      "Family unresolved: %s of malicious samples (paper: 58%%)\n",
+      util::with_commas(families.distinct_families).c_str(),
+      util::pct(100.0 * families.unresolved_fraction()).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension experiment: label maturation — why the paper re-queried
+// VirusTotal almost two years after collection (§II-B).
+//
+// For every file whose *final* verdict is malicious, measure when the
+// evidence would have sufficed: the delay from first observation until
+// the first trusted-engine signature exists, and the fraction of the
+// final labeled set a query at +Delta days would already produce.
+#include "bench_common.hpp"
+
+#include "groundtruth/labeler.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Extension: ground-truth maturation after first observation",
+      "A collection-time-only VT query would miss most of the eventual "
+      "ground truth.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto& ds = pipeline.dataset();
+  const auto& a = pipeline.annotated();
+  const groundtruth::Labeler labeler;
+
+  std::uint64_t final_malicious = 0, final_benign = 0;
+  util::TextTable table({"Query at first-seen +", "labeled malicious",
+                         "labeled benign", "still unknown"});
+  for (const std::int64_t delta_days : {0L, 7L, 30L, 90L, 180L, 365L, 730L}) {
+    std::uint64_t mal = 0, ben = 0, unknown = 0;
+    final_malicious = final_benign = 0;
+    for (const auto file : a.index.observed_files()) {
+      const auto final_verdict = a.verdict(file);
+      if (final_verdict != model::Verdict::kMalicious &&
+          final_verdict != model::Verdict::kBenign)
+        continue;
+      ++(final_verdict == model::Verdict::kMalicious ? final_malicious
+                                                     : final_benign);
+      const auto when =
+          a.index.first_seen(file) + delta_days * model::kSecondsPerDay;
+      switch (labeler.verdict_as_of(ds.whitelist.contains(file),
+                                    ds.vt.query(file), when)) {
+        case model::Verdict::kMalicious: ++mal; break;
+        case model::Verdict::kBenign: ++ben; break;
+        default: ++unknown; break;
+      }
+    }
+    table.add_row(
+        {std::to_string(delta_days) + " days",
+         util::pct(util::percent(mal, final_malicious)),
+         util::pct(util::percent(ben, final_benign)),
+         util::with_commas(unknown)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nFiles eventually labeled: %s malicious, %s benign. Signatures "
+      "trickle in over months;\nwhitelist hits are immediate, VT-clean "
+      "benign labels need a 14-day scan span, and most\nmalicious labels "
+      "need weeks of signature development — hence the paper's two-year "
+      "re-query.\n",
+      util::with_commas(final_malicious).c_str(),
+      util::with_commas(final_benign).c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks for the data pipeline: corpus
+// generation, collection-server filtering, index construction, and
+// labeling/annotation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/longtail.hpp"
+
+namespace {
+
+using namespace longtail;
+
+void BM_GenerateDataset(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto ds = synth::generate_dataset(scale);
+    events = ds.corpus.events.size();
+    benchmark::DoNotOptimize(ds);
+  }
+  state.counters["events"] = static_cast<double>(events);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_GenerateDataset)->Arg(2)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_CollectionFilter(benchmark::State& state) {
+  const auto ds = synth::generate_dataset(0.05);
+  for (auto _ : state) {
+    telemetry::CollectionServer server(
+        telemetry::CollectionPolicy{.sigma = 20, .whitelisted_domains = {}});
+    auto accepted = server.filter(ds.corpus.events, ds.corpus.urls);
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(ds.corpus.events.size()) * state.iterations());
+}
+BENCHMARK(BM_CollectionFilter)->Unit(benchmark::kMillisecond);
+
+void BM_BuildIndex(benchmark::State& state) {
+  const auto ds = synth::generate_dataset(0.05);
+  for (auto _ : state) {
+    telemetry::CorpusIndex index(ds.corpus);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(ds.corpus.events.size()) * state.iterations());
+}
+BENCHMARK(BM_BuildIndex)->Unit(benchmark::kMillisecond);
+
+void BM_Annotate(benchmark::State& state) {
+  const auto ds = synth::generate_dataset(0.05);
+  for (auto _ : state) {
+    auto annotated = analysis::annotate(ds.corpus, ds.whitelist, ds.vt);
+    benchmark::DoNotOptimize(annotated);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(ds.corpus.files.size()) * state.iterations());
+}
+BENCHMARK(BM_Annotate)->Unit(benchmark::kMillisecond);
+
+void BM_MonthlySummary(benchmark::State& state) {
+  const auto ds = synth::generate_dataset(0.05);
+  const auto annotated = analysis::annotate(ds.corpus, ds.whitelist, ds.vt);
+  for (auto _ : state) {
+    auto summary = analysis::monthly_summary(annotated);
+    benchmark::DoNotOptimize(summary);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(ds.corpus.events.size()) * state.iterations());
+}
+BENCHMARK(BM_MonthlySummary)->Unit(benchmark::kMillisecond);
+
+void BM_TransitionAnalysis(benchmark::State& state) {
+  const auto ds = synth::generate_dataset(0.05);
+  const auto annotated = analysis::annotate(ds.corpus, ds.whitelist, ds.vt);
+  for (auto _ : state) {
+    auto curves = analysis::transition_analysis(annotated);
+    benchmark::DoNotOptimize(curves);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(ds.corpus.events.size()) * state.iterations());
+}
+BENCHMARK(BM_TransitionAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Reproduces Table IV: number of unique files served per domain (top 10
+// for benign and malicious). The paper notes a "notable overlap" between
+// the two columns — softonic.com and mediafire.com host the most of both.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Table IV: number of files served per domain (top 10)",
+      "Paper: malicious column led by softonic.com (21,355 files), "
+      "nzs.com.br, mediafire.com, baixaki.com.br, ...");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto counts = analysis::files_per_domain(pipeline.annotated());
+
+  util::TextTable table(
+      {"#", "Benign domain", "# files", "Malicious domain", "# files"});
+  const std::size_t rows =
+      std::max(counts.benign.size(), counts.malicious.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto cell = [&](const std::vector<analysis::DomainCount>& v,
+                    std::size_t k) -> std::pair<std::string, std::string> {
+      if (k >= v.size()) return {"-", "-"};
+      return {std::string(v[k].first), util::with_commas(v[k].second)};
+    };
+    const auto [bd, bc] = cell(counts.benign, i);
+    const auto [md, mc] = cell(counts.malicious, i);
+    table.add_row({std::to_string(i + 1), bd, bc, md, mc});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nDomains in both top-10 columns: %zu (the paper's overlap "
+              "observation)\n",
+              counts.overlap_in_top);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table XI: download behaviour of benign browser processes.
+// Paper infection rates: Chrome 31.92% (highest), Opera 27.83%, Firefox
+// 26.00%, Safari 18.56%, IE 18.09% (lowest) — "IE could be considered the
+// safest browser" by this metric.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header("Table XI: download behaviour per browser",
+                      "Paper infected %: FF 26.00, Chrome 31.92, Opera "
+                      "27.83, Safari 18.56, IE 18.09.");
+
+  constexpr double kPaperInfected[] = {26.00, 31.92, 27.83, 18.56, 18.09};
+
+  const auto pipeline = bench::make_pipeline();
+  const auto rows = analysis::browser_behavior(pipeline.annotated());
+
+  util::TextTable table({"Browser", "Processes", "Machines", "Unknown",
+                         "Benign", "Malicious", "Infected", "Paper infected"});
+  for (std::size_t b = 0; b < model::kNumBrowserKinds; ++b) {
+    const auto& r = rows[b];
+    table.add_row({std::string(to_string(static_cast<model::BrowserKind>(b))),
+                   util::with_commas(r.processes),
+                   util::with_commas(r.machines),
+                   util::with_commas(r.unknown_files),
+                   util::with_commas(r.benign_files),
+                   util::with_commas(r.malicious_files),
+                   util::pct(r.infected_machines_pct),
+                   util::pct(kPaperInfected[b])});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

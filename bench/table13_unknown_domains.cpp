@@ -1,0 +1,21 @@
+// Reproduces Table XIII: top 10 domains serving unknown files, by number
+// of downloads. Paper: inbox.com (75,946), humipapp.com,
+// bestdownload-manager.com, freepdf-converter.com, coolrom.com, ...
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header("Table XIII: top 10 download domains (unknown files)",
+                      "By number of unknown-file downloads.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto top = analysis::top_unknown_domains(pipeline.annotated());
+
+  util::TextTable table({"#", "Domain", "# downloads"});
+  std::size_t rank = 1;
+  for (const auto& [domain, count] : top)
+    table.add_row({std::to_string(rank++), std::string(domain),
+                   util::with_commas(count)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

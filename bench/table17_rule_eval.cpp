@@ -1,0 +1,46 @@
+// Reproduces Table XVII: evaluation of the rule-based classifier per
+// (T_tr, T_ts) month pair and tau setting — TP/FP over matched test
+// samples, the number of FP-producing rules, and the classification of
+// truly unknown files. Paper (tau=0.1%): TP > 95%, FP < 0.32% in every
+// month; 22-38% of unknowns matched, most labeled malicious.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Table XVII: rule-classifier evaluation and unknown-file labeling",
+      "Conflicting matches are rejected, as in the paper.");
+
+  const auto pipeline = bench::make_pipeline();
+
+  util::TextTable table({"T_tr-T_ts", "tau", "# mal", "TP", "# ben", "FP",
+                         "# FP rules", "# unknowns", "matched", "-> mal",
+                         "-> ben"});
+  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
+    const auto train = static_cast<model::Month>(m);
+    const auto test = static_cast<model::Month>(m + 1);
+    const auto exp = pipeline.run_rule_experiment(train, test);
+    for (const double tau : {0.0, 0.001}) {
+      const auto eval = core::LongtailPipeline::evaluate_tau(exp, tau);
+      table.add_row({std::string(model::month_abbrev(train)) + "-" +
+                         std::string(model::month_abbrev(test)),
+                     util::pct(100 * tau, 1),
+                     util::with_commas(eval.eval.matched_malicious),
+                     util::pct(eval.eval.tp_rate(), 2),
+                     util::with_commas(eval.eval.matched_benign),
+                     util::pct(eval.eval.fp_rate(), 2),
+                     std::to_string(eval.eval.fp_rules.size()),
+                     util::with_commas(eval.expansion.total_unknowns),
+                     util::pct(eval.expansion.matched_pct(), 2),
+                     util::with_commas(eval.expansion.labeled_malicious),
+                     util::with_commas(eval.expansion.labeled_benign)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nPaper reference (tau=0.1%%): TP 95.3-99.6%%, FP 0.00-0.32%%, 0-8 FP "
+      "rules;\nunknowns matched 24.1-38.0%%, e.g. Jan-Feb 68,368 -> "
+      "malicious / 2,312 -> benign.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces the §VIII related-work comparison: how reputation-based
+// baselines fare on the long tail versus the paper's rule-based system.
+//
+// The paper's claims: Polonium reports 48% detection at prevalence 2-3 and
+// cannot score prevalence-1 files at all (94% of its dataset); systems
+// keyed to download-URL reputation (CAMP, Amico) are confused by hosting
+// domains that serve both classes (§IV-B). Both baselines are trained
+// through April and evaluated on May, next to the PART rule classifier
+// trained on April.
+#include "bench_common.hpp"
+
+#include "baselines/reputation.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Section VIII: baselines vs. the rule-based system on the long tail",
+      "All three train on data before May and are evaluated on labeled May "
+      "files.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto& a = pipeline.annotated();
+  const auto train_end = model::month_begin(model::Month::kMay);
+  const auto eval_end = model::month_end(model::Month::kMay);
+
+  // Count the evaluation universe.
+  std::uint64_t labeled = 0;
+  for (const auto file : a.index.observed_files()) {
+    const auto first = a.index.first_seen(file);
+    if (first < train_end || first >= eval_end) continue;
+    const auto v = a.verdict(file);
+    labeled += v == model::Verdict::kBenign ||
+               v == model::Verdict::kMalicious;
+  }
+
+  util::TextTable table({"System", "Coverage of labeled May files",
+                         "Detection (of decided malicious)",
+                         "FP (of decided benign)", "Abstained"});
+
+  const baselines::PrevalenceReputation polonium(a, train_end);
+  const auto pe = baselines::evaluate_baseline(polonium, a, train_end,
+                                               eval_end);
+  table.add_row({"Polonium-style (machine reputation)",
+                 util::pct(pe.coverage(labeled)),
+                 util::pct(pe.detection_rate()), util::pct(pe.fp_rate(), 2),
+                 util::with_commas(pe.abstained)});
+
+  const baselines::UrlReputation camp(a, train_end);
+  const auto ce =
+      baselines::evaluate_baseline(camp, a, train_end, eval_end);
+  table.add_row({"CAMP/Amico-style (URL reputation)",
+                 util::pct(ce.coverage(labeled)),
+                 util::pct(ce.detection_rate()), util::pct(ce.fp_rate(), 2),
+                 util::with_commas(ce.abstained)});
+
+  const auto exp = pipeline.run_rule_experiment(model::Month::kApril,
+                                                model::Month::kMay);
+  const auto eval = core::LongtailPipeline::evaluate_tau(exp, 0.001);
+  const auto decided =
+      eval.eval.matched_malicious + eval.eval.matched_benign;
+  table.add_row(
+      {"Rule-based (this paper)",
+       util::pct(util::percent(decided, exp.data.test.size())),
+       util::pct(eval.eval.tp_rate()), util::pct(eval.eval.fp_rate(), 2),
+       util::with_commas(eval.eval.rejected + eval.eval.unmatched)});
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nThe rule system scores signed prevalence-1 files that machine "
+      "reputation must abstain on,\nand does not inherit the mixed "
+      "reputation of file-hosting domains.\n");
+  return 0;
+}

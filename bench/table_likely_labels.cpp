@@ -1,0 +1,43 @@
+// Extension experiment: the cost of training on "likely" labels.
+//
+// The paper deliberately excludes likely-benign / likely-malicious files
+// from its study "due to our lack of confidence ... and the possibility
+// that they introduce noise" (§III). This ablation trains the rule
+// learner both ways and measures what the noise costs on the strict
+// ground-truth test set.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Extension: training with vs. without likely-* labels",
+      "Test set stays strict ground truth in both settings.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto& a = pipeline.annotated();
+
+  util::TextTable table({"Training labels", "# train", "Rules", "Selected",
+                         "TP", "FP", "Unknowns matched"});
+  for (const bool include_likely : {false, true}) {
+    features::FeatureSpace space;
+    features::WindowOptions options;
+    options.include_likely_as_labels = include_likely;
+    const auto data = features::build_window_dataset(
+        a, space, model::Month::kMarch, model::Month::kApril, options);
+    const rules::PartLearner learner;
+    const auto all_rules = learner.learn(data.train);
+    auto selected = rules::select_rules(all_rules, 0.001);
+    const auto n_selected = selected.size();
+    const rules::RuleClassifier classifier(std::move(selected));
+    const auto eval = rules::evaluate(classifier, data.test);
+    const auto expansion = rules::expand_unknowns(classifier, data.unknowns);
+    table.add_row({include_likely ? "GT + likely-*" : "strict GT (paper)",
+                   util::with_commas(data.train.size()),
+                   util::with_commas(all_rules.size()),
+                   util::with_commas(n_selected),
+                   util::pct(eval.tp_rate(), 2), util::pct(eval.fp_rate(), 2),
+                   util::pct(expansion.matched_pct())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

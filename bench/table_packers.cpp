@@ -1,0 +1,47 @@
+// Reproduces the §IV-C packer analysis: benign and malicious files are
+// packed at nearly the same rate (54% vs 58%); 35 of 69 packers serve both
+// classes (INNO, UPX, AutoIt, ...); a minority are malicious-exclusive
+// (Molebox, NSPack, Themida, ...).
+#include "bench_common.hpp"
+
+namespace {
+std::string join(const std::vector<std::string_view>& v) {
+  std::string out;
+  for (const auto name : v) {
+    if (!out.empty()) out += ", ";
+    out += std::string(name);
+  }
+  return out.empty() ? "-" : out;
+}
+}  // namespace
+
+int main() {
+  using namespace longtail;
+  bench::print_header("Packers (Section IV-C)",
+                      "Paper: benign 54% packed, malicious 58%; 35 of 69 "
+                      "packers shared.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto stats = analysis::packer_stats(pipeline.annotated());
+
+  util::TextTable table({"Metric", "Measured", "Paper"});
+  table.add_row({"benign files packed", util::pct(stats.benign_packed_pct),
+                 "54%"});
+  table.add_row({"malicious files packed",
+                 util::pct(stats.malicious_packed_pct), "58%"});
+  table.add_row({"unknown files packed", util::pct(stats.unknown_packed_pct),
+                 "-"});
+  table.add_row({"distinct packers (b+m)",
+                 util::with_commas(stats.distinct_packers), "69"});
+  table.add_row({"shared packers", util::with_commas(stats.shared_packers),
+                 "35"});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nShared packer examples:          %s\n",
+              join(stats.shared_examples).c_str());
+  std::printf("Malicious-exclusive examples:    %s\n",
+              join(stats.malicious_only_examples).c_str());
+  std::printf("Benign-exclusive examples:       %s\n",
+              join(stats.benign_only_examples).c_str());
+  return 0;
+}

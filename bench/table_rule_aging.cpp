@@ -1,0 +1,52 @@
+// Extension experiment: rule aging. The paper retrains every month; this
+// bench measures how rules learned once (on January) degrade when applied
+// to every later month — quantifying why monthly retraining is needed
+// (signers churn, campaigns rotate domains).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Extension: aging of a fixed rule set (train January once)",
+      "Coverage decays with distance from the training window; FP stays "
+      "low because rejection and\nthe signer features fail closed "
+      "(no-match) rather than open.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto& a = pipeline.annotated();
+
+  // Train once on January.
+  features::FeatureSpace space;
+  const auto train = features::labeled_instances(
+      a, space, model::month_begin(model::Month::kJanuary),
+      model::month_end(model::Month::kJanuary));
+  const rules::PartLearner learner;
+  const auto all_rules = learner.learn(train);
+  const rules::RuleClassifier classifier(
+      rules::select_rules(all_rules, 0.001));
+  std::printf("trained on January: %zu instances -> %zu rules (%zu "
+              "selected)\n\n",
+              train.size(), all_rules.size(), classifier.rules().size());
+
+  util::TextTable table({"Test month", "# test", "TP", "FP", "matched test",
+                         "# unknowns", "unknowns matched"});
+  for (std::size_t m = 1; m < model::kNumCollectionMonths; ++m) {
+    const auto month = static_cast<model::Month>(m);
+    // Reuse the windowed builder for proper train/test disjointness.
+    const auto data = features::build_window_dataset(
+        a, space, model::Month::kJanuary, month);
+    const auto eval = rules::evaluate(classifier, data.test);
+    const auto expansion = rules::expand_unknowns(classifier, data.unknowns);
+    table.add_row(
+        {std::string(model::month_name(month)),
+         util::with_commas(data.test.size()), util::pct(eval.tp_rate(), 2),
+         util::pct(eval.fp_rate(), 2),
+         util::pct(util::percent(
+             eval.matched_malicious + eval.matched_benign,
+             data.test.size())),
+         util::with_commas(expansion.total_unknowns),
+         util::pct(expansion.matched_pct())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

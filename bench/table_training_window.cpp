@@ -1,0 +1,48 @@
+// Extension experiment: training-window size. The paper uses one-month
+// windows; this sweep trains on 1, 2, and 3 months (ending in May) and
+// tests on June, measuring whether more history buys coverage or costs
+// precision.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Extension: training-window size (test month fixed to June)",
+      "Longer windows add signers (coverage) but also stale ones.");
+
+  const auto pipeline = bench::make_pipeline();
+  const auto& a = pipeline.annotated();
+
+  util::TextTable table({"Train window", "# train", "Rules", "Selected",
+                         "TP", "FP", "Unknowns matched"});
+  features::FeatureSpace space;
+  // Build the June test/unknown sets once (exclude files first seen in the
+  // longest window to keep the comparison fair).
+  const auto longest = features::build_window_dataset(
+      a, space, model::Month::kMarch, model::Month::kJune);
+
+  for (int months = 1; months <= 3; ++months) {
+    const auto begin_month =
+        static_cast<model::Month>(static_cast<int>(model::Month::kMay) -
+                                  (months - 1));
+    const auto train = features::labeled_instances(
+        a, space, model::month_begin(begin_month),
+        model::month_end(model::Month::kMay));
+    const rules::PartLearner learner;
+    const auto rules_all = learner.learn(train);
+    auto selected = rules::select_rules(rules_all, 0.001);
+    const auto n_selected = selected.size();
+    const rules::RuleClassifier classifier(std::move(selected));
+    const auto eval = rules::evaluate(classifier, longest.test);
+    const auto expansion =
+        rules::expand_unknowns(classifier, longest.unknowns);
+    table.add_row({std::string(model::month_abbrev(begin_month)) + "-May",
+                   util::with_commas(train.size()),
+                   util::with_commas(rules_all.size()),
+                   util::with_commas(n_selected),
+                   util::pct(eval.tp_rate(), 2), util::pct(eval.fp_rate(), 2),
+                   util::pct(expansion.matched_pct())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension experiment: sensitivity to the unknowable assumption.
+//
+// The hidden nature of unknown files cannot be known (that is the paper's
+// point); DESIGN.md fixes their benign fraction at 40%. This sweep
+// regenerates the corpus under different assumptions and measures which
+// reproduced results move: the classifier's TP/FP (computed on labeled
+// data only) must be invariant, while the *composition* of expanded labels
+// tracks the assumption.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace longtail;
+  bench::print_header(
+      "Extension: sensitivity to the hidden nature of unknown files",
+      "TP/FP are measured on labeled data and should not move; the "
+      "expansion composition may.");
+
+  const double scale = bench::bench_scale(0.05);
+  util::TextTable table({"benign share of unknowns", "TP", "FP",
+                         "unknowns matched", "-> mal", "-> ben",
+                         "mal share of matched"});
+  for (const double benign_fraction : {0.2, 0.4, 0.6}) {
+    auto profile = synth::paper_calibration(scale);
+    profile.unknown_nature.benign_fraction = benign_fraction;
+    const auto pipeline = core::LongtailPipeline(profile);
+    const auto exp = pipeline.run_rule_experiment(model::Month::kMarch,
+                                                  model::Month::kApril);
+    const auto eval = core::LongtailPipeline::evaluate_tau(exp, 0.001);
+    const auto matched = eval.expansion.matched();
+    table.add_row(
+        {util::pct(100 * benign_fraction, 0),
+         util::pct(eval.eval.tp_rate(), 2), util::pct(eval.eval.fp_rate(), 2),
+         util::pct(eval.expansion.matched_pct()),
+         util::with_commas(eval.expansion.labeled_malicious),
+         util::with_commas(eval.expansion.labeled_benign),
+         util::pct(util::percent(eval.expansion.labeled_malicious,
+                                 matched))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nThe paper's accuracy claims (Table XVII) do not depend on what the "
+      "unknowns really are;\nonly the composition of the newly assigned "
+      "labels does — which is exactly what an expanded\nevaluation corpus "
+      "is supposed to reflect.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Evaluating a malware detector on expanded labels — the paper's stated
+// motivation: systems assessed only on the ~17% of files with ground truth
+// may look very different on the long tail.
+//
+// The example builds a toy download-reputation detector (flag files from
+// domains with bad reputation or with unpopular signers), then scores it
+// twice: against the original ground truth, and against ground truth
+// expanded with rule-derived labels (§VI). The deltas show how much of the
+// evaluation picture the unknown slice hides.
+//
+//   ./examples/detector_eval [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "core/longtail.hpp"
+
+namespace {
+
+using namespace longtail;
+
+// A deliberately simple reputation detector in the spirit of CAMP/Amico:
+// score a file by its hosting domain's malicious share and its signer's
+// standing, both computed over the training window.
+class ToyReputationDetector {
+ public:
+  ToyReputationDetector(const analysis::AnnotatedCorpus& a,
+                        model::Timestamp train_end) {
+    for (const auto& e : a.corpus->events) {
+      if (e.time >= train_end) break;
+      const auto domain = a.corpus->urls[e.url.raw()].domain.raw();
+      auto& d = domains_[domain];
+      if (a.is_malicious(e.file))
+        ++d.bad;
+      else if (a.is_benign(e.file))
+        ++d.good;
+      const auto& meta = a.corpus->files[e.file.raw()];
+      if (meta.is_signed) {
+        auto& s = signers_[meta.signer.raw()];
+        if (a.is_malicious(e.file))
+          ++s.bad;
+        else if (a.is_benign(e.file))
+          ++s.good;
+      }
+    }
+  }
+
+  [[nodiscard]] bool flags(const analysis::AnnotatedCorpus& a,
+                           const model::DownloadEvent& e) const {
+    const auto domain = a.corpus->urls[e.url.raw()].domain.raw();
+    double score = 0;
+    if (const auto it = domains_.find(domain); it != domains_.end())
+      score += it->second.bad_ratio();
+    const auto& meta = a.corpus->files[e.file.raw()];
+    if (meta.is_signed) {
+      if (const auto it = signers_.find(meta.signer.raw());
+          it != signers_.end())
+        score += it->second.bad_ratio();
+    } else {
+      score += 0.25;  // unsigned prior
+    }
+    return score > 0.6;
+  }
+
+ private:
+  struct Rep {
+    std::uint32_t good = 0, bad = 0;
+    [[nodiscard]] double bad_ratio() const {
+      return good + bad == 0
+                 ? 0.0
+                 : static_cast<double>(bad) / static_cast<double>(good + bad);
+    }
+  };
+  std::unordered_map<std::uint32_t, Rep> domains_;
+  std::unordered_map<std::uint32_t, Rep> signers_;
+};
+
+struct Score {
+  std::uint64_t tp = 0, fp = 0, fn = 0, tn = 0;
+  [[nodiscard]] double detection_rate() const {
+    return tp + fn == 0 ? 0.0
+                        : 100.0 * static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  [[nodiscard]] double fp_rate() const {
+    return fp + tn == 0 ? 0.0
+                        : 100.0 * static_cast<double>(fp) /
+                              static_cast<double>(fp + tn);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  std::printf("== detector evaluation on expanded labels (scale %.2f) ==\n",
+              scale);
+
+  auto pipeline = core::LongtailPipeline::generate(scale);
+  const auto& a = pipeline.annotated();
+
+  // Train reputation through April; evaluate on May's first-seen files.
+  const auto train_end = model::month_begin(model::Month::kMay);
+  const ToyReputationDetector detector(a, train_end);
+
+  // Expanded labels for May's unknowns: rules learned on April.
+  const auto experiment = pipeline.run_rule_experiment(model::Month::kApril,
+                                                       model::Month::kMay);
+  const rules::RuleClassifier classifier(
+      rules::select_rules(experiment.all_rules, 0.001));
+  std::unordered_map<std::uint32_t, bool> expanded;  // file -> malicious
+  for (const auto& inst : experiment.data.unknowns) {
+    switch (classifier.classify(inst.x)) {
+      case rules::Decision::kMalicious: expanded[inst.file.raw()] = true; break;
+      case rules::Decision::kBenign: expanded[inst.file.raw()] = false; break;
+      default: break;
+    }
+  }
+
+  // Score the detector on May events, under both label sets.
+  Score gt_only, with_expansion;
+  const auto [begin, end] = a.index.month_range(model::Month::kMay);
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const auto& e = a.corpus->events[i];
+    const bool flagged = detector.flags(a, e);
+
+    const auto verdict = a.verdict(e.file);
+    if (verdict == model::Verdict::kMalicious ||
+        verdict == model::Verdict::kBenign) {
+      const bool malicious = verdict == model::Verdict::kMalicious;
+      auto& cell = malicious ? (flagged ? gt_only.tp : gt_only.fn)
+                             : (flagged ? gt_only.fp : gt_only.tn);
+      ++cell;
+      auto& cell2 = malicious ? (flagged ? with_expansion.tp
+                                         : with_expansion.fn)
+                              : (flagged ? with_expansion.fp
+                                         : with_expansion.tn);
+      ++cell2;
+    } else if (verdict == model::Verdict::kUnknown) {
+      const auto it = expanded.find(e.file.raw());
+      if (it == expanded.end()) continue;  // still unknown: not scoreable
+      auto& cell = it->second
+                       ? (flagged ? with_expansion.tp : with_expansion.fn)
+                       : (flagged ? with_expansion.fp : with_expansion.tn);
+      ++cell;
+    }
+  }
+
+  std::printf("\n%-28s %14s %14s\n", "metric", "ground truth",
+              "GT + expansion");
+  std::printf("%-28s %14s %14s\n", "scoreable events",
+              util::with_commas(gt_only.tp + gt_only.fp + gt_only.fn +
+                                gt_only.tn)
+                  .c_str(),
+              util::with_commas(with_expansion.tp + with_expansion.fp +
+                                with_expansion.fn + with_expansion.tn)
+                  .c_str());
+  std::printf("%-28s %13.2f%% %13.2f%%\n", "detection rate (TP)",
+              gt_only.detection_rate(), with_expansion.detection_rate());
+  std::printf("%-28s %13.2f%% %13.2f%%\n", "false-positive rate",
+              gt_only.fp_rate(), with_expansion.fp_rate());
+  std::printf(
+      "\nThe expanded evaluation scores the detector on low-prevalence "
+      "files it never sees\nin the ground-truth-only setting — exactly the "
+      "blind spot the paper warns about.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Export a generated corpus and the paper-figure series for external
+// analysis (pandas/R/gnuplot):
+//
+//   ./examples/export_dataset [scale] [output-dir]
+//
+// Writes the corpus as TSV entity tables (see telemetry/io.hpp), a
+// verdicts.tsv with the derived labels, and CSV series for Figures 1-6.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/longtail.hpp"
+#include "telemetry/io.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace longtail;
+
+void export_verdicts(const analysis::AnnotatedCorpus& a,
+                     const std::string& path) {
+  util::DelimitedWriter out(path, '\t');
+  out.row("file", "verdict", "type", "family");
+  for (std::uint32_t f = 0; f < a.corpus->files.size(); ++f) {
+    const auto family = a.file_families[f];
+    out.row(f, to_string(a.labels.file_verdicts[f]),
+            to_string(a.file_types[f]),
+            family == analysis::AnnotatedCorpus::kNoFamily
+                ? std::string_view("-")
+                : a.derived_families.at(family));
+  }
+}
+
+void export_cdf(const util::EmpiricalCdf& cdf, const std::string& label,
+                const std::vector<double>& grid, util::DelimitedWriter& out) {
+  for (const auto& [x, y] : cdf.series(grid)) out.row(label, x, y);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const std::string dir = argc > 2 ? argv[2] : "longtail_export";
+
+  std::printf("generating at scale %.2f, exporting to %s/ ...\n", scale,
+              dir.c_str());
+  auto pipeline = core::LongtailPipeline::generate(scale);
+  const auto& a = pipeline.annotated();
+
+  telemetry::export_corpus(*a.corpus, dir);
+  export_verdicts(a, dir + "/verdicts.tsv");
+
+  // Fig. 1: families.
+  {
+    util::DelimitedWriter out(dir + "/fig1_families.csv", ',');
+    out.row("family", "samples");
+    for (const auto& [family, count] :
+         analysis::family_distribution(a).top)
+      out.row(family, count);
+  }
+  // Fig. 2: prevalence CDFs.
+  {
+    util::DelimitedWriter out(dir + "/fig2_prevalence.csv", ',');
+    out.row("class", "prevalence", "cdf");
+    std::vector<double> grid;
+    for (int k = 1; k <= 20; ++k) grid.push_back(k);
+    const auto dist = analysis::prevalence_distributions(a);
+    export_cdf(dist.all, "all", grid, out);
+    export_cdf(dist.benign, "benign", grid, out);
+    export_cdf(dist.malicious, "malicious", grid, out);
+    export_cdf(dist.unknown, "unknown", grid, out);
+  }
+  // Figs. 3/6: Alexa-rank CDFs.
+  {
+    util::DelimitedWriter out(dir + "/fig3_fig6_alexa.csv", ',');
+    out.row("class", "rank", "cdf");
+    std::vector<double> grid;
+    for (double r = 100; r <= 1'000'000; r *= 1.5) grid.push_back(r);
+    export_cdf(analysis::alexa_of_domains_hosting(
+                   a, model::Verdict::kBenign).ranks,
+               "benign", grid, out);
+    export_cdf(analysis::alexa_of_domains_hosting(
+                   a, model::Verdict::kMalicious).ranks,
+               "malicious", grid, out);
+    export_cdf(analysis::alexa_of_domains_hosting(
+                   a, model::Verdict::kUnknown).ranks,
+               "unknown", grid, out);
+  }
+  // Fig. 4: common-signer scatter.
+  {
+    util::DelimitedWriter out(dir + "/fig4_common_signers.csv", ',');
+    out.row("signer", "benign_files", "malicious_files");
+    for (const auto& p : analysis::common_signers(a, 50))
+      out.row(p.signer, p.benign_files, p.malicious_files);
+  }
+  // Fig. 5: transition CDFs.
+  {
+    util::DelimitedWriter out(dir + "/fig5_transitions.csv", ',');
+    out.row("initiator", "day", "cdf");
+    const auto t = analysis::transition_analysis(a, 60);
+    auto dump = [&](const char* name,
+                    const analysis::TransitionCurve& curve) {
+      for (std::size_t d = 0; d < curve.cdf_by_day.size(); ++d)
+        out.row(name, d, curve.cdf_by_day[d]);
+    };
+    dump("benign", t.benign);
+    dump("adware", t.adware);
+    dump("pup", t.pup);
+    dump("dropper", t.dropper);
+  }
+
+  std::uintmax_t bytes = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir))
+    if (entry.is_regular_file()) bytes += entry.file_size();
+  std::printf("done: %.1f MiB across %s\n",
+              static_cast<double>(bytes) / (1024.0 * 1024.0), dir.c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Label expansion walkthrough (§VI): the scenario the paper builds toward
+// — an analyst wants to grow the labeled corpus so future malware
+// detectors can be evaluated on more than the 17% of files with ground
+// truth.
+//
+// The example trains on each month, sweeps the tau error threshold to show
+// the selection trade-off, demonstrates why conflicting matches are
+// rejected, and prints the month-by-month expansion of the labeled set.
+//
+//   ./examples/label_expansion [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/longtail.hpp"
+
+namespace {
+
+using namespace longtail;
+
+void tau_sweep(const core::RuleExperiment& experiment) {
+  std::printf("\n-- tau sweep (train %s, test %s) --\n",
+              std::string(model::month_name(experiment.train_month)).c_str(),
+              std::string(model::month_name(experiment.test_month)).c_str());
+  std::printf("%8s %9s %8s %8s %10s %12s\n", "tau", "selected", "TP",
+              "FP", "rejected", "unk matched");
+  for (const double tau : {0.0, 0.001, 0.005, 0.01, 0.05}) {
+    const auto eval = core::LongtailPipeline::evaluate_tau(experiment, tau);
+    std::printf("%7.2f%% %9zu %7.2f%% %7.2f%% %10llu %11.2f%%\n", 100 * tau,
+                eval.selected.total, eval.eval.tp_rate(), eval.eval.fp_rate(),
+                static_cast<unsigned long long>(eval.eval.rejected),
+                eval.expansion.matched_pct());
+  }
+  std::printf("(the paper stops at tau = 0.1%%: beyond it, extra rules add "
+              "matches but erode precision)\n");
+}
+
+void conflict_demo(const core::RuleExperiment& experiment) {
+  // Compare the paper's conflict-rejection against majority voting and
+  // decision-list semantics on the same rule set.
+  std::printf("\n-- conflict handling (tau = 0.1%%) --\n");
+  std::printf("%-16s %8s %8s %10s\n", "policy", "TP", "FP", "rejected");
+  for (const auto policy :
+       {rules::ConflictPolicy::kReject, rules::ConflictPolicy::kMajorityVote,
+        rules::ConflictPolicy::kDecisionList}) {
+    const auto eval =
+        core::LongtailPipeline::evaluate_tau(experiment, 0.001, policy);
+    const char* name = policy == rules::ConflictPolicy::kReject
+                           ? "reject (paper)"
+                       : policy == rules::ConflictPolicy::kMajorityVote
+                           ? "majority vote"
+                           : "decision list";
+    std::printf("%-16s %7.2f%% %7.2f%% %10llu\n", name, eval.eval.tp_rate(),
+                eval.eval.fp_rate(),
+                static_cast<unsigned long long>(eval.eval.rejected));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  std::printf("== label expansion (scale %.2f) ==\n", scale);
+
+  auto pipeline = core::LongtailPipeline::generate(scale);
+
+  // Month-by-month expansion, as in Table XVII.
+  std::printf("\n-- month-by-month expansion at tau = 0.1%% --\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "window", "unknowns", "matched",
+              "-> mal", "-> ben");
+  std::uint64_t total_unknown = 0, total_matched = 0;
+  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
+    const auto exp = pipeline.run_rule_experiment(
+        static_cast<model::Month>(m), static_cast<model::Month>(m + 1));
+    const auto eval = core::LongtailPipeline::evaluate_tau(exp, 0.001);
+    std::printf("%-3s-%-6s %10s %9.2f%% %10s %10s\n",
+                std::string(model::month_abbrev(exp.train_month)).c_str(),
+                std::string(model::month_abbrev(exp.test_month)).c_str(),
+                util::with_commas(eval.expansion.total_unknowns).c_str(),
+                eval.expansion.matched_pct(),
+                util::with_commas(eval.expansion.labeled_malicious).c_str(),
+                util::with_commas(eval.expansion.labeled_benign).c_str());
+    total_unknown += eval.expansion.total_unknowns;
+    total_matched += eval.expansion.matched();
+  }
+  std::printf("overall: %s of %s unknowns labeled (%s)  [paper: 28.30%% — a "
+              "2.3x increase over ground truth]\n",
+              longtail::util::with_commas(total_matched).c_str(),
+              longtail::util::with_commas(total_unknown).c_str(),
+              longtail::util::pct(
+                  longtail::util::percent(total_matched, total_unknown), 2)
+                  .c_str());
+
+  const auto exp = pipeline.run_rule_experiment(model::Month::kMarch,
+                                                model::Month::kApril);
+  tau_sweep(exp);
+  conflict_demo(exp);
+  return 0;
+}

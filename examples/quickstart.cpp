@@ -1,0 +1,75 @@
+// Quickstart: generate a calibrated telemetry corpus, run the labeling
+// pipeline, reproduce the paper's headline numbers, and learn a first set
+// of human-readable classification rules.
+//
+//   ./examples/quickstart [scale]
+//
+// `scale` resizes the corpus relative to the paper's dataset (default
+// 0.05 — about 150k download events, generated in well under a second).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/longtail.hpp"
+
+int main(int argc, char** argv) {
+  using namespace longtail;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  std::printf("== longtail quickstart (scale %.2f) ==\n\n", scale);
+
+  // 1. Generate the corpus: machines, processes, files, URLs, and seven
+  //    months of download events, plus whitelists and simulated VT scans.
+  auto pipeline = core::LongtailPipeline::generate(scale);
+  const auto& corpus = pipeline.dataset().corpus;
+  const auto& annotated = pipeline.annotated();
+  std::printf("corpus: %s events, %s files, %s processes, %s domains, "
+              "%s machines active\n",
+              util::with_commas(corpus.events.size()).c_str(),
+              util::with_commas(corpus.files.size()).c_str(),
+              util::with_commas(corpus.processes.size()).c_str(),
+              util::with_commas(corpus.domains.size()).c_str(),
+              util::with_commas(annotated.index.num_active_machines()).c_str());
+
+  // 2. The paper's headline: most files cannot be labeled at all, yet the
+  //    unknown slice touches most machines.
+  std::uint64_t unknown_files = 0;
+  for (const auto f : annotated.index.observed_files())
+    if (annotated.is_unknown(f)) ++unknown_files;
+  const auto coverage = analysis::machine_coverage(annotated);
+  std::printf(
+      "\nunknown files: %s of %s observed (%s)  [paper: 83%%]\n"
+      "machines that downloaded an unknown file: %s  [paper: 69%%]\n",
+      util::with_commas(unknown_files).c_str(),
+      util::with_commas(annotated.index.observed_files().size()).c_str(),
+      util::pct(util::percent(unknown_files,
+                              annotated.index.observed_files().size()))
+          .c_str(),
+      util::pct(coverage.pct(model::Verdict::kUnknown)).c_str());
+
+  // 3. Learn classification rules on March, evaluate on April (§VI).
+  auto experiment = pipeline.run_rule_experiment(model::Month::kMarch,
+                                                 model::Month::kApril);
+  auto evaluation = core::LongtailPipeline::evaluate_tau(experiment, 0.001);
+  std::printf(
+      "\nrule learning (train March, test April, tau = 0.1%%):\n"
+      "  %s rules learned, %s selected\n"
+      "  TP %s over %s matched malicious, FP %s over %s matched benign\n"
+      "  %s of unknown April files labeled by the rules\n",
+      util::with_commas(experiment.all_rules.size()).c_str(),
+      util::with_commas(evaluation.selected.total).c_str(),
+      util::pct(evaluation.eval.tp_rate(), 2).c_str(),
+      util::with_commas(evaluation.eval.matched_malicious).c_str(),
+      util::pct(evaluation.eval.fp_rate(), 2).c_str(),
+      util::with_commas(evaluation.eval.matched_benign).c_str(),
+      util::pct(evaluation.expansion.matched_pct()).c_str());
+
+  // 4. Rules are human-readable, as in the paper.
+  std::printf("\nsample rules:\n");
+  const auto selected = rules::select_rules(experiment.all_rules, 0.001);
+  std::size_t shown = 0;
+  for (const auto& rule : selected) {
+    if (shown++ >= 5) break;
+    std::printf("  %s\n", rule.to_string(experiment.space).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "analysis/annotated.hpp"
+
+#include "avclass/avclass.hpp"
+
+namespace longtail::analysis {
+
+AnnotatedCorpus annotate(const telemetry::Corpus& corpus,
+                         const groundtruth::Whitelist& whitelist,
+                         const groundtruth::VtDatabase& vt,
+                         avtype::ManualOracle oracle) {
+  AnnotatedCorpus a(corpus);
+
+  const groundtruth::Labeler labeler;
+  a.labels = labeler.label_all(corpus.files.size(), corpus.processes.size(),
+                               whitelist, vt);
+
+  const avtype::TypeExtractor type_extractor(std::move(oracle));
+  const avclass::FamilyExtractor family_extractor;
+
+  a.file_types.assign(corpus.files.size(), model::MalwareType::kUndefined);
+  a.file_families.assign(corpus.files.size(), AnnotatedCorpus::kNoFamily);
+  for (std::uint32_t f = 0; f < corpus.files.size(); ++f) {
+    if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) continue;
+    const auto& report = vt.query(model::FileId{f});
+    if (!report.has_value()) continue;
+    const auto result = type_extractor.derive(*report);
+    a.file_types[f] = result.type;
+    a.file_type_stats.record(result.resolution);
+    if (const auto family = family_extractor.derive(*report);
+        family.resolved())
+      a.file_families[f] = a.derived_families.intern(family.family);
+  }
+
+  a.process_types.assign(corpus.processes.size(),
+                         model::MalwareType::kUndefined);
+  for (std::uint32_t p = 0; p < corpus.processes.size(); ++p) {
+    if (a.labels.process_verdicts[p] != model::Verdict::kMalicious) continue;
+    const auto& report = vt.query(model::ProcessId{p});
+    if (!report.has_value()) continue;
+    a.process_types[p] = type_extractor.derive(*report).type;
+  }
+
+  const groundtruth::UrlLabeler url_labeler;
+  a.url_verdicts = url_labeler.label_all(corpus.urls, corpus.domains);
+
+  return a;
+}
+
+}  // namespace longtail::analysis

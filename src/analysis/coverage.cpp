@@ -1,0 +1,20 @@
+#include "analysis/coverage.hpp"
+
+#include <unordered_set>
+
+namespace longtail::analysis {
+
+MachineCoverage machine_coverage(const AnnotatedCorpus& a) {
+  std::array<std::unordered_set<std::uint32_t>, model::kNumVerdicts> sets;
+  for (const auto& e : a.corpus->events)
+    sets[static_cast<std::size_t>(a.verdict(e.file))].insert(
+        e.machine.raw());
+
+  MachineCoverage out;
+  out.active_machines = a.index.num_active_machines();
+  for (std::size_t v = 0; v < model::kNumVerdicts; ++v)
+    out.machines[v] = sets[v].size();
+  return out;
+}
+
+}  // namespace longtail::analysis

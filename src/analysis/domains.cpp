@@ -1,0 +1,132 @@
+#include "analysis/domains.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace longtail::analysis {
+
+namespace {
+
+using model::Verdict;
+
+std::uint32_t domain_of(const AnnotatedCorpus& a, model::UrlId url) {
+  return a.corpus->urls[url.raw()].domain.raw();
+}
+
+std::vector<DomainCount> top_named(
+    const AnnotatedCorpus& a,
+    const std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>&
+        sets,
+    std::size_t top_k) {
+  util::TopK<std::uint32_t> counter;
+  for (const auto& [domain, members] : sets) counter.add(domain, members.size());
+  std::vector<DomainCount> out;
+  for (const auto& [domain, count] : counter.top(top_k))
+    out.emplace_back(a.corpus->domain_names.at(domain), count);
+  return out;
+}
+
+}  // namespace
+
+DomainPopularity domain_popularity(const AnnotatedCorpus& a,
+                                   std::size_t top_k) {
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> overall,
+      benign, malicious;
+  for (const auto& e : a.corpus->events) {
+    const auto domain = domain_of(a, e.url);
+    overall[domain].insert(e.machine.raw());
+    switch (a.verdict(e.file)) {
+      case Verdict::kBenign:
+        benign[domain].insert(e.machine.raw());
+        break;
+      case Verdict::kMalicious:
+        malicious[domain].insert(e.machine.raw());
+        break;
+      default:
+        break;
+    }
+  }
+  return DomainPopularity{top_named(a, overall, top_k),
+                          top_named(a, benign, top_k),
+                          top_named(a, malicious, top_k)};
+}
+
+DomainFileCounts files_per_domain(const AnnotatedCorpus& a,
+                                  std::size_t top_k) {
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> benign,
+      malicious;
+  for (const auto& e : a.corpus->events) {
+    const auto domain = domain_of(a, e.url);
+    switch (a.verdict(e.file)) {
+      case Verdict::kBenign:
+        benign[domain].insert(e.file.raw());
+        break;
+      case Verdict::kMalicious:
+        malicious[domain].insert(e.file.raw());
+        break;
+      default:
+        break;
+    }
+  }
+  DomainFileCounts out{top_named(a, benign, top_k),
+                       top_named(a, malicious, top_k), 0};
+  std::unordered_set<std::string_view> benign_top;
+  for (const auto& [name, count] : out.benign) benign_top.insert(name);
+  for (const auto& [name, count] : out.malicious)
+    if (benign_top.contains(name)) ++out.overlap_in_top;
+  return out;
+}
+
+std::array<std::vector<DomainCount>, model::kNumMalwareTypes>
+domains_per_type(const AnnotatedCorpus& a, std::size_t top_k) {
+  std::array<std::unordered_map<std::uint32_t,
+                                std::unordered_set<std::uint32_t>>,
+             model::kNumMalwareTypes>
+      sets;
+  for (const auto& e : a.corpus->events) {
+    if (a.verdict(e.file) != Verdict::kMalicious) continue;
+    const auto type = static_cast<std::size_t>(a.type_of(e.file));
+    sets[type][domain_of(a, e.url)].insert(e.file.raw());
+  }
+  std::array<std::vector<DomainCount>, model::kNumMalwareTypes> out;
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+    out[t] = top_named(a, sets[t], top_k);
+  return out;
+}
+
+std::vector<DomainCount> top_unknown_domains(const AnnotatedCorpus& a,
+                                             std::size_t top_k) {
+  util::TopK<std::uint32_t> downloads;
+  for (const auto& e : a.corpus->events)
+    if (a.verdict(e.file) == Verdict::kUnknown)
+      downloads.add(domain_of(a, e.url));
+  std::vector<DomainCount> out;
+  for (const auto& [domain, count] : downloads.top(top_k))
+    out.emplace_back(a.corpus->domain_names.at(domain), count);
+  return out;
+}
+
+AlexaDistribution alexa_of_domains_hosting(const AnnotatedCorpus& a,
+                                           Verdict target) {
+  std::unordered_set<std::uint32_t> domains;
+  for (const auto& e : a.corpus->events)
+    if (a.verdict(e.file) == target) domains.insert(domain_of(a, e.url));
+
+  AlexaDistribution out;
+  out.domains = domains.size();
+  std::uint64_t unranked = 0;
+  for (const auto d : domains) {
+    const auto rank = a.corpus->domains[d].alexa_rank;
+    if (rank == 0)
+      ++unranked;
+    else
+      out.ranks.add(static_cast<double>(rank));
+  }
+  out.ranks.finalize();
+  if (!domains.empty())
+    out.unranked_fraction =
+        static_cast<double>(unranked) / static_cast<double>(domains.size());
+  return out;
+}
+
+}  // namespace longtail::analysis

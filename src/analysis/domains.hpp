@@ -1,0 +1,67 @@
+// Download-URL analysis (§IV-B, §VI-A):
+//   * Table III  — domains with the highest download popularity (distinct
+//                  machines), overall / benign / malicious;
+//   * Table IV   — domains serving the most unique benign/malicious files;
+//   * Table V    — top domains per malicious file type;
+//   * Table XIII — top domains serving unknown files (by downloads);
+//   * Fig. 3/6   — Alexa-rank distributions of domains hosting benign,
+//                  malicious, and unknown files.
+// All aggregation is by effective second-level domain, as in the paper
+// (the synthetic URL table already stores e2LD-level domains).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "analysis/annotated.hpp"
+#include "util/stats.hpp"
+
+namespace longtail::analysis {
+
+using DomainCount = std::pair<std::string_view, std::uint64_t>;
+
+struct DomainPopularity {
+  // Top domains by number of distinct machines downloading from them.
+  std::vector<DomainCount> overall;
+  std::vector<DomainCount> benign;     // machines downloading benign files
+  std::vector<DomainCount> malicious;  // machines downloading malicious files
+};
+
+DomainPopularity domain_popularity(const AnnotatedCorpus& a,
+                                   std::size_t top_k = 10);
+
+struct DomainFileCounts {
+  std::vector<DomainCount> benign;     // domains by # unique benign files
+  std::vector<DomainCount> malicious;  // domains by # unique malicious files
+  // Number of domains appearing in both top lists (the paper's "notable
+  // overlap" observation).
+  std::size_t overlap_in_top = 0;
+};
+
+DomainFileCounts files_per_domain(const AnnotatedCorpus& a,
+                                  std::size_t top_k = 10);
+
+// Table V: per malicious type, domains serving the most unique files of
+// that type.
+std::array<std::vector<DomainCount>, model::kNumMalwareTypes>
+domains_per_type(const AnnotatedCorpus& a, std::size_t top_k = 10);
+
+// Table XIII: top domains serving unknown files, by number of downloads.
+std::vector<DomainCount> top_unknown_domains(const AnnotatedCorpus& a,
+                                             std::size_t top_k = 10);
+
+// Figs. 3/6: the Alexa ranks of the domains hosting files of one verdict
+// class. Unranked domains are excluded from the CDF and reported as a
+// fraction.
+struct AlexaDistribution {
+  util::EmpiricalCdf ranks;
+  double unranked_fraction = 0;
+  std::uint64_t domains = 0;
+};
+
+AlexaDistribution alexa_of_domains_hosting(const AnnotatedCorpus& a,
+                                           model::Verdict target);
+
+}  // namespace longtail::analysis

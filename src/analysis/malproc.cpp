@@ -1,0 +1,78 @@
+#include "analysis/malproc.hpp"
+
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace longtail::analysis {
+
+namespace {
+
+using model::Verdict;
+
+// Local accumulator mirroring processes.cpp's (kept separate deliberately:
+// Table XII rows do not report infection rates, but the struct is shared).
+struct Acc {
+  std::unordered_set<std::uint32_t> processes, machines, infected;
+  std::unordered_set<std::uint32_t> unknown_files, benign_files,
+      malicious_files;
+  std::array<std::uint64_t, model::kNumMalwareTypes> type_file_counts{};
+  std::unordered_set<std::uint32_t> counted_malicious;
+};
+
+void add(Acc& acc, const AnnotatedCorpus& a, const model::DownloadEvent& e) {
+  acc.processes.insert(e.process.raw());
+  acc.machines.insert(e.machine.raw());
+  switch (a.verdict(e.file)) {
+    case Verdict::kUnknown:
+      acc.unknown_files.insert(e.file.raw());
+      break;
+    case Verdict::kBenign:
+      acc.benign_files.insert(e.file.raw());
+      break;
+    case Verdict::kMalicious:
+      acc.malicious_files.insert(e.file.raw());
+      acc.infected.insert(e.machine.raw());
+      if (acc.counted_malicious.insert(e.file.raw()).second)
+        ++acc.type_file_counts[static_cast<std::size_t>(a.type_of(e.file))];
+      break;
+    default:
+      break;
+  }
+}
+
+ProcessBehaviorRow finish(const Acc& acc) {
+  ProcessBehaviorRow row;
+  row.processes = acc.processes.size();
+  row.machines = acc.machines.size();
+  row.unknown_files = acc.unknown_files.size();
+  row.benign_files = acc.benign_files.size();
+  row.malicious_files = acc.malicious_files.size();
+  row.infected_machines_pct =
+      util::percent(acc.infected.size(), acc.machines.size());
+  std::uint64_t total = 0;
+  for (const auto c : acc.type_file_counts) total += c;
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+    row.type_pct[t] = util::percent(acc.type_file_counts[t], total);
+  return row;
+}
+
+}  // namespace
+
+MalProcBehavior malicious_process_behavior(const AnnotatedCorpus& a) {
+  std::array<Acc, model::kNumMalwareTypes> per_type;
+  Acc overall;
+  for (const auto& e : a.corpus->events) {
+    if (a.verdict(e.process) != Verdict::kMalicious) continue;
+    const auto t = static_cast<std::size_t>(a.type_of(e.process));
+    add(per_type[t], a, e);
+    add(overall, a, e);
+  }
+  MalProcBehavior out;
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+    out.per_type[t] = finish(per_type[t]);
+  out.overall = finish(overall);
+  return out;
+}
+
+}  // namespace longtail::analysis

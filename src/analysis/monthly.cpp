@@ -1,0 +1,101 @@
+#include "analysis/monthly.hpp"
+
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace longtail::analysis {
+
+namespace {
+
+using model::Verdict;
+
+struct Tally {
+  std::unordered_set<std::uint32_t> machines, processes, files, urls;
+
+  void add(const model::DownloadEvent& e) {
+    machines.insert(e.machine.raw());
+    processes.insert(e.process.raw());
+    files.insert(e.file.raw());
+    urls.insert(e.url.raw());
+  }
+};
+
+MonthlyRow summarize(const AnnotatedCorpus& a, const Tally& t,
+                     std::uint64_t events) {
+  MonthlyRow row;
+  row.machines = t.machines.size();
+  row.events = events;
+
+  row.processes = t.processes.size();
+  std::uint64_t pb = 0, plb = 0, pm = 0, plm = 0;
+  for (auto p : t.processes) {
+    switch (a.labels.process_verdicts[p]) {
+      case Verdict::kBenign: ++pb; break;
+      case Verdict::kLikelyBenign: ++plb; break;
+      case Verdict::kMalicious: ++pm; break;
+      case Verdict::kLikelyMalicious: ++plm; break;
+      case Verdict::kUnknown: break;
+    }
+  }
+  row.proc_benign = util::percent(pb, row.processes);
+  row.proc_likely_benign = util::percent(plb, row.processes);
+  row.proc_malicious = util::percent(pm, row.processes);
+  row.proc_likely_malicious = util::percent(plm, row.processes);
+
+  row.files = t.files.size();
+  std::uint64_t fb = 0, flb = 0, fm = 0, flm = 0;
+  for (auto f : t.files) {
+    switch (a.labels.file_verdicts[f]) {
+      case Verdict::kBenign: ++fb; break;
+      case Verdict::kLikelyBenign: ++flb; break;
+      case Verdict::kMalicious: ++fm; break;
+      case Verdict::kLikelyMalicious: ++flm; break;
+      case Verdict::kUnknown: break;
+    }
+  }
+  row.file_benign = util::percent(fb, row.files);
+  row.file_likely_benign = util::percent(flb, row.files);
+  row.file_malicious = util::percent(fm, row.files);
+  row.file_likely_malicious = util::percent(flm, row.files);
+
+  row.urls = t.urls.size();
+  std::uint64_t ub = 0, um = 0;
+  for (auto u : t.urls) {
+    switch (a.url_verdicts[u]) {
+      case groundtruth::UrlVerdict::kBenign: ++ub; break;
+      case groundtruth::UrlVerdict::kMalicious: ++um; break;
+      case groundtruth::UrlVerdict::kUnknown: break;
+    }
+  }
+  row.url_benign = util::percent(ub, row.urls);
+  row.url_malicious = util::percent(um, row.urls);
+  return row;
+}
+
+}  // namespace
+
+MonthlySummary monthly_summary(const AnnotatedCorpus& a) {
+  MonthlySummary out;
+  Tally overall;
+  const auto& events = a.corpus->events;
+
+  for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m) {
+    Tally month;
+    const auto [begin, end] =
+        a.index.month_range(static_cast<model::Month>(m));
+    for (std::uint32_t i = begin; i < end; ++i) {
+      month.add(events[i]);
+      overall.add(events[i]);
+    }
+    out.months[m] = summarize(a, month, end - begin);
+  }
+  // Include any spill past July in the overall row.
+  const auto [aug_begin, aug_end] = a.index.month_range(model::Month::kAugust);
+  for (std::uint32_t i = aug_begin; i < aug_end; ++i) overall.add(events[i]);
+
+  out.overall = summarize(a, overall, events.size());
+  return out;
+}
+
+}  // namespace longtail::analysis

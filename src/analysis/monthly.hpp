@@ -1,0 +1,37 @@
+// Table I: monthly summary of the collected data — machines, events, and
+// the verdict breakdown of the distinct processes, files, and URLs
+// observed each month.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/annotated.hpp"
+#include "model/time.hpp"
+
+namespace longtail::analysis {
+
+struct MonthlyRow {
+  std::uint64_t machines = 0;
+  std::uint64_t events = 0;
+
+  std::uint64_t processes = 0;
+  double proc_benign = 0, proc_likely_benign = 0;
+  double proc_malicious = 0, proc_likely_malicious = 0;
+
+  std::uint64_t files = 0;
+  double file_benign = 0, file_likely_benign = 0;
+  double file_malicious = 0, file_likely_malicious = 0;
+
+  std::uint64_t urls = 0;
+  double url_benign = 0, url_malicious = 0;
+};
+
+struct MonthlySummary {
+  std::array<MonthlyRow, model::kNumCollectionMonths> months{};
+  MonthlyRow overall;  // distinct entities over the whole period
+};
+
+MonthlySummary monthly_summary(const AnnotatedCorpus& a);
+
+}  // namespace longtail::analysis

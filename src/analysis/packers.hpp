@@ -1,0 +1,30 @@
+// Packer analysis (§IV-C): packing rates of benign/malicious/unknown
+// files, the overlap of packers used by both benign and malicious
+// software (the paper: 35 of 69 packers are shared), and examples of
+// packers exclusive to malicious files.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "analysis/annotated.hpp"
+
+namespace longtail::analysis {
+
+struct PackerStats {
+  double benign_packed_pct = 0;
+  double malicious_packed_pct = 0;
+  double unknown_packed_pct = 0;
+
+  std::uint64_t distinct_packers = 0;   // across benign + malicious files
+  std::uint64_t shared_packers = 0;     // used by both classes
+  std::vector<std::string_view> shared_examples;
+  std::vector<std::string_view> malicious_only_examples;
+  std::vector<std::string_view> benign_only_examples;
+};
+
+PackerStats packer_stats(const AnnotatedCorpus& a,
+                         std::size_t max_examples = 8);
+
+}  // namespace longtail::analysis

@@ -1,0 +1,83 @@
+#include "analysis/prevalence.hpp"
+
+namespace longtail::analysis {
+
+PrevalenceDistributions prevalence_distributions(const AnnotatedCorpus& a,
+                                                 std::uint32_t sigma) {
+  PrevalenceDistributions out;
+  std::uint64_t ones = 0, capped = 0, total = 0;
+  for (const auto f : a.index.observed_files()) {
+    const auto prev = a.index.prevalence(f);
+    const auto x = static_cast<double>(prev);
+    out.all.add(x);
+    switch (a.verdict(f)) {
+      case model::Verdict::kBenign: out.benign.add(x); break;
+      case model::Verdict::kMalicious: out.malicious.add(x); break;
+      case model::Verdict::kUnknown: out.unknown.add(x); break;
+      default: break;  // likely-* excluded, as in the paper
+    }
+    ++total;
+    if (prev == 1) ++ones;
+    if (prev >= sigma) ++capped;
+  }
+  out.all.finalize();
+  out.benign.finalize();
+  out.malicious.finalize();
+  out.unknown.finalize();
+  if (total > 0) {
+    out.prevalence_one_fraction =
+        static_cast<double>(ones) / static_cast<double>(total);
+    out.at_cap_fraction =
+        static_cast<double>(capped) / static_cast<double>(total);
+  }
+  return out;
+}
+
+std::array<util::EmpiricalCdf, model::kNumMalwareTypes> prevalence_by_type(
+    const AnnotatedCorpus& a) {
+  std::array<util::EmpiricalCdf, model::kNumMalwareTypes> out;
+  for (const auto f : a.index.observed_files()) {
+    if (a.verdict(f) != model::Verdict::kMalicious) continue;
+    out[static_cast<std::size_t>(a.type_of(f))].add(
+        static_cast<double>(a.index.prevalence(f)));
+  }
+  for (auto& cdf : out) cdf.finalize();
+  return out;
+}
+
+std::array<double, model::kNumMalwareTypes> type_breakdown(
+    const AnnotatedCorpus& a) {
+  std::array<std::uint64_t, model::kNumMalwareTypes> counts{};
+  std::uint64_t total = 0;
+  for (std::uint32_t f = 0; f < a.corpus->files.size(); ++f) {
+    if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) continue;
+    ++counts[static_cast<std::size_t>(a.file_types[f])];
+    ++total;
+  }
+  std::array<double, model::kNumMalwareTypes> out{};
+  if (total == 0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    out[i] = 100.0 * static_cast<double>(counts[i]) /
+             static_cast<double>(total);
+  return out;
+}
+
+FamilyDistribution family_distribution(const AnnotatedCorpus& a,
+                                       std::size_t top_k) {
+  FamilyDistribution out;
+  util::TopK<std::uint32_t> counter;
+  for (std::uint32_t f = 0; f < a.corpus->files.size(); ++f) {
+    if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) continue;
+    ++out.total_malicious;
+    const auto family = a.file_families[f];
+    if (family == AnnotatedCorpus::kNoFamily) continue;
+    ++out.with_family;
+    counter.add(family);
+  }
+  out.distinct_families = counter.distinct();
+  for (const auto& [id, count] : counter.top(top_k))
+    out.top.emplace_back(std::string(a.derived_families.at(id)), count);
+  return out;
+}
+
+}  // namespace longtail::analysis

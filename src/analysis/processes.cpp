@@ -1,0 +1,112 @@
+#include "analysis/processes.hpp"
+
+#include "analysis/procname.hpp"
+
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace longtail::analysis {
+
+namespace {
+
+using model::ProcessCategory;
+using model::Verdict;
+
+struct RowAccumulator {
+  std::unordered_set<std::uint32_t> processes, machines, infected;
+  std::unordered_set<std::uint32_t> unknown_files, benign_files,
+      malicious_files;
+  std::array<std::uint64_t, model::kNumMalwareTypes> type_file_counts{};
+  std::unordered_set<std::uint32_t> counted_malicious;
+
+  void add(const AnnotatedCorpus& a, const model::DownloadEvent& e) {
+    processes.insert(e.process.raw());
+    machines.insert(e.machine.raw());
+    switch (a.verdict(e.file)) {
+      case Verdict::kUnknown:
+        unknown_files.insert(e.file.raw());
+        break;
+      case Verdict::kBenign:
+        benign_files.insert(e.file.raw());
+        break;
+      case Verdict::kMalicious:
+        malicious_files.insert(e.file.raw());
+        infected.insert(e.machine.raw());
+        if (counted_malicious.insert(e.file.raw()).second)
+          ++type_file_counts[static_cast<std::size_t>(a.type_of(e.file))];
+        break;
+      default:
+        break;
+    }
+  }
+
+  [[nodiscard]] ProcessBehaviorRow finish() const {
+    ProcessBehaviorRow row;
+    row.processes = processes.size();
+    row.machines = machines.size();
+    row.unknown_files = unknown_files.size();
+    row.benign_files = benign_files.size();
+    row.malicious_files = malicious_files.size();
+    row.infected_machines_pct = util::percent(infected.size(), machines.size());
+    std::uint64_t mal_total = 0;
+    for (const auto c : type_file_counts) mal_total += c;
+    for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+      row.type_pct[t] = util::percent(type_file_counts[t], mal_total);
+    return row;
+  }
+};
+
+}  // namespace
+
+std::array<ProcessBehaviorRow, model::kNumProcessCategories>
+benign_process_behavior(const AnnotatedCorpus& a) {
+  std::array<RowAccumulator, model::kNumProcessCategories> acc;
+  for (const auto& e : a.corpus->events) {
+    // Category from the on-disk executable name; restricted to processes
+    // whose hash is known benign, exactly as §V-A does (a masquerading
+    // chrome.exe fails the whitelist and never reaches these rows).
+    if (a.verdict(e.process) != Verdict::kBenign) continue;
+    const auto cat = static_cast<std::size_t>(
+        categorize_by_name(a.corpus->process_name(e.process)).category);
+    acc[cat].add(a, e);
+  }
+  std::array<ProcessBehaviorRow, model::kNumProcessCategories> out;
+  for (std::size_t c = 0; c < out.size(); ++c) out[c] = acc[c].finish();
+  return out;
+}
+
+std::array<ProcessBehaviorRow, model::kNumBrowserKinds> browser_behavior(
+    const AnnotatedCorpus& a) {
+  std::array<RowAccumulator, model::kNumBrowserKinds> acc;
+  for (const auto& e : a.corpus->events) {
+    if (a.verdict(e.process) != Verdict::kBenign) continue;
+    const auto named =
+        categorize_by_name(a.corpus->process_name(e.process));
+    if (named.category != ProcessCategory::kBrowser) continue;
+    acc[static_cast<std::size_t>(named.browser)].add(a, e);
+  }
+  std::array<ProcessBehaviorRow, model::kNumBrowserKinds> out;
+  for (std::size_t b = 0; b < out.size(); ++b) out[b] = acc[b].finish();
+  return out;
+}
+
+UnknownDownloads unknown_downloads_by_category(const AnnotatedCorpus& a) {
+  UnknownDownloads out;
+  std::array<std::unordered_set<std::uint32_t>, model::kNumProcessCategories>
+      files;
+  for (const auto& e : a.corpus->events) {
+    if (a.verdict(e.process) != Verdict::kBenign) continue;
+    if (a.verdict(e.file) != Verdict::kUnknown) continue;
+    const auto cat = static_cast<std::size_t>(
+        categorize_by_name(a.corpus->process_name(e.process)).category);
+    files[cat].insert(e.file.raw());
+  }
+  for (std::size_t c = 0; c < files.size(); ++c) {
+    out.by_category[c] = files[c].size();
+    out.total += files[c].size();
+  }
+  return out;
+}
+
+}  // namespace longtail::analysis

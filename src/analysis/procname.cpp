@@ -1,0 +1,84 @@
+#include "analysis/procname.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace longtail::analysis {
+
+namespace {
+
+using model::BrowserKind;
+using model::ProcessCategory;
+
+struct NameEntry {
+  std::string_view name;
+  ProcessCategory category;
+  BrowserKind browser;
+};
+
+// Process names observed in the wild, per category (§V-A's compiled list).
+constexpr std::array<NameEntry, 34> kNames = {{
+    // Browsers.
+    {"firefox.exe", ProcessCategory::kBrowser, BrowserKind::kFirefox},
+    {"chrome.exe", ProcessCategory::kBrowser, BrowserKind::kChrome},
+    {"iexplore.exe", ProcessCategory::kBrowser,
+     BrowserKind::kInternetExplorer},
+    {"opera.exe", ProcessCategory::kBrowser, BrowserKind::kOpera},
+    {"safari.exe", ProcessCategory::kBrowser, BrowserKind::kSafari},
+    // Windows system processes.
+    {"svchost.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"explorer.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"rundll32.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"wscript.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"cscript.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"mshta.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"winlogon.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"services.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"taskhost.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"dllhost.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"conhost.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"msiexec.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"wmiprvse.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"spoolsv.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"lsass.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"csrss.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"smss.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"wininit.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"dwm.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    {"ctfmon.exe", ProcessCategory::kWindows, BrowserKind::kNotABrowser},
+    // Java runtime.
+    {"java.exe", ProcessCategory::kJava, BrowserKind::kNotABrowser},
+    {"javaw.exe", ProcessCategory::kJava, BrowserKind::kNotABrowser},
+    {"javaws.exe", ProcessCategory::kJava, BrowserKind::kNotABrowser},
+    {"jp2launcher.exe", ProcessCategory::kJava, BrowserKind::kNotABrowser},
+    // Acrobat Reader.
+    {"acrord32.exe", ProcessCategory::kAcrobatReader,
+     BrowserKind::kNotABrowser},
+    {"acrobat.exe", ProcessCategory::kAcrobatReader,
+     BrowserKind::kNotABrowser},
+    {"acrord64.exe", ProcessCategory::kAcrobatReader,
+     BrowserKind::kNotABrowser},
+    {"reader_sl.exe", ProcessCategory::kAcrobatReader,
+     BrowserKind::kNotABrowser},
+    {"acrotray.exe", ProcessCategory::kAcrobatReader,
+     BrowserKind::kNotABrowser},
+}};
+
+}  // namespace
+
+NameCategory categorize_by_name(std::string_view executable_name) {
+  std::string lower(executable_name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  // Strip any path prefix.
+  if (const auto slash = lower.find_last_of("/\\");
+      slash != std::string::npos)
+    lower.erase(0, slash + 1);
+  for (const auto& entry : kNames)
+    if (entry.name == lower) return {entry.category, entry.browser};
+  return {ProcessCategory::kOther, BrowserKind::kNotABrowser};
+}
+
+}  // namespace longtail::analysis

@@ -1,0 +1,197 @@
+#include "analysis/signers.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace longtail::analysis {
+
+namespace {
+
+using model::ProcessCategory;
+using model::Verdict;
+
+// Files with at least one browser-initiated download event.
+std::vector<bool> browser_downloaded(const AnnotatedCorpus& a) {
+  std::vector<bool> out(a.corpus->files.size(), false);
+  for (const auto& e : a.corpus->events)
+    if (a.corpus->processes[e.process.raw()].category ==
+        ProcessCategory::kBrowser)
+      out[e.file.raw()] = true;
+  return out;
+}
+
+void accumulate(SignedRateRow& row, bool is_signed, bool via_browser,
+                std::uint64_t& signed_total, std::uint64_t& browser_signed) {
+  ++row.files;
+  if (is_signed) ++signed_total;
+  if (via_browser) {
+    ++row.browser_files;
+    if (is_signed) ++browser_signed;
+  }
+}
+
+}  // namespace
+
+SigningRates signing_rates(const AnnotatedCorpus& a) {
+  SigningRates out;
+  const auto via_browser = browser_downloaded(a);
+
+  std::array<std::uint64_t, model::kNumMalwareTypes> type_signed{},
+      type_browser_signed{};
+  std::uint64_t b_signed = 0, b_browser_signed = 0;
+  std::uint64_t u_signed = 0, u_browser_signed = 0;
+  std::uint64_t m_signed = 0, m_browser_signed = 0;
+
+  for (const auto f : a.index.observed_files()) {
+    const auto& meta = a.corpus->files[f.raw()];
+    const bool browser = via_browser[f.raw()];
+    switch (a.verdict(f)) {
+      case Verdict::kBenign:
+        accumulate(out.benign, meta.is_signed, browser, b_signed,
+                   b_browser_signed);
+        break;
+      case Verdict::kUnknown:
+        accumulate(out.unknown, meta.is_signed, browser, u_signed,
+                   u_browser_signed);
+        break;
+      case Verdict::kMalicious: {
+        const auto t = static_cast<std::size_t>(a.type_of(f));
+        accumulate(out.per_type[t], meta.is_signed, browser, type_signed[t],
+                   type_browser_signed[t]);
+        accumulate(out.malicious, meta.is_signed, browser, m_signed,
+                   m_browser_signed);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  auto finish = [](SignedRateRow& row, std::uint64_t signed_total,
+                   std::uint64_t browser_signed) {
+    row.signed_pct = util::percent(signed_total, row.files);
+    row.browser_signed_pct = util::percent(browser_signed, row.browser_files);
+  };
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+    finish(out.per_type[t], type_signed[t], type_browser_signed[t]);
+  finish(out.benign, b_signed, b_browser_signed);
+  finish(out.unknown, u_signed, u_browser_signed);
+  finish(out.malicious, m_signed, m_browser_signed);
+  return out;
+}
+
+namespace {
+
+struct SignerSets {
+  std::unordered_set<std::uint32_t> benign_signers;
+  std::array<std::unordered_set<std::uint32_t>, model::kNumMalwareTypes>
+      type_signers;
+  std::unordered_set<std::uint32_t> malicious_signers;
+  // Per-signer file counts.
+  util::TopK<std::uint32_t> benign_counts, malicious_counts;
+  std::array<util::TopK<std::uint32_t>, model::kNumMalwareTypes> type_counts;
+};
+
+SignerSets collect_signers(const AnnotatedCorpus& a) {
+  SignerSets s;
+  for (const auto f : a.index.observed_files()) {
+    const auto& meta = a.corpus->files[f.raw()];
+    if (!meta.is_signed) continue;
+    const auto signer = meta.signer.raw();
+    switch (a.verdict(f)) {
+      case Verdict::kBenign:
+        s.benign_signers.insert(signer);
+        s.benign_counts.add(signer);
+        break;
+      case Verdict::kMalicious: {
+        const auto t = static_cast<std::size_t>(a.type_of(f));
+        s.type_signers[t].insert(signer);
+        s.malicious_signers.insert(signer);
+        s.malicious_counts.add(signer);
+        s.type_counts[t].add(signer);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+SignerOverlap signer_overlap(const AnnotatedCorpus& a) {
+  const SignerSets s = collect_signers(a);
+  SignerOverlap out;
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t) {
+    out.per_type[t].signers = s.type_signers[t].size();
+    for (const auto signer : s.type_signers[t])
+      if (s.benign_signers.contains(signer))
+        ++out.per_type[t].common_with_benign;
+  }
+  out.total.signers = s.malicious_signers.size();
+  for (const auto signer : s.malicious_signers)
+    if (s.benign_signers.contains(signer)) ++out.total.common_with_benign;
+  return out;
+}
+
+TopSigners top_signers(const AnnotatedCorpus& a, std::size_t top_k,
+                       std::size_t table9_k) {
+  const SignerSets s = collect_signers(a);
+  TopSigners out;
+
+  auto split_top = [&](const util::TopK<std::uint32_t>& counts,
+                       TopSigners::Row& row) {
+    std::size_t want = std::max<std::size_t>(top_k * 8, 24);
+    for (const auto& [signer, count] : counts.top(want)) {
+      const auto name = a.corpus->signer_names.at(signer);
+      if (row.top.size() < top_k) row.top.emplace_back(name, count);
+      if (s.benign_signers.contains(signer)) {
+        if (row.top_common.size() < top_k)
+          row.top_common.emplace_back(name, count);
+      } else if (row.top_exclusive.size() < top_k) {
+        row.top_exclusive.emplace_back(name, count);
+      }
+    }
+  };
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+    split_top(s.type_counts[t], out.per_type[t]);
+  split_top(s.malicious_counts, out.malicious_total);
+
+  for (const auto& [signer, count] :
+       s.benign_counts.top(s.benign_counts.distinct())) {
+    if (out.top_benign_exclusive.size() >= table9_k) break;
+    if (!s.malicious_signers.contains(signer))
+      out.top_benign_exclusive.emplace_back(a.corpus->signer_names.at(signer),
+                                            count);
+  }
+  for (const auto& [signer, count] :
+       s.malicious_counts.top(s.malicious_counts.distinct())) {
+    if (out.top_malicious_exclusive.size() >= table9_k) break;
+    if (!s.benign_signers.contains(signer))
+      out.top_malicious_exclusive.emplace_back(
+          a.corpus->signer_names.at(signer), count);
+  }
+  return out;
+}
+
+std::vector<CommonSignerPoint> common_signers(const AnnotatedCorpus& a,
+                                              std::size_t top_k) {
+  const SignerSets s = collect_signers(a);
+  util::TopK<std::uint32_t> total;
+  for (const auto signer : s.malicious_signers) {
+    if (!s.benign_signers.contains(signer)) continue;
+    total.add(signer, s.benign_counts.count(signer) +
+                          s.malicious_counts.count(signer));
+  }
+  std::vector<CommonSignerPoint> out;
+  for (const auto& [signer, count] : total.top(top_k))
+    out.push_back({a.corpus->signer_names.at(signer),
+                   s.benign_counts.count(signer),
+                   s.malicious_counts.count(signer)});
+  return out;
+}
+
+}  // namespace longtail::analysis

@@ -1,0 +1,126 @@
+#include "analysis/transitions.hpp"
+
+#include <algorithm>
+
+namespace longtail::analysis {
+
+namespace {
+
+using model::MalwareType;
+using model::Verdict;
+
+// "Other malware" per the paper: malicious, excluding adware, PUP, and
+// undefined.
+bool is_other_malware(const AnnotatedCorpus& a, model::FileId f) {
+  if (a.verdict(f) != Verdict::kMalicious) return false;
+  const auto t = a.type_of(f);
+  return t != MalwareType::kAdware && t != MalwareType::kPup &&
+         t != MalwareType::kUndefined;
+}
+
+struct CurveAccumulator {
+  std::vector<std::uint64_t> transitions_by_day;
+  std::uint64_t machines = 0;
+  std::uint64_t transitioned = 0;
+
+  explicit CurveAccumulator(std::size_t max_days)
+      : transitions_by_day(max_days + 1, 0) {}
+
+  void record(std::int64_t delta_days) {
+    ++machines;
+    if (delta_days < 0) return;  // never transitioned
+    ++transitioned;
+    const auto d = std::min<std::size_t>(
+        static_cast<std::size_t>(delta_days), transitions_by_day.size() - 1);
+    ++transitions_by_day[d];
+  }
+
+  [[nodiscard]] TransitionCurve finish() const {
+    TransitionCurve curve;
+    curve.initiator_machines = machines;
+    curve.transitioned = transitioned;
+    curve.cdf_by_day.resize(transitions_by_day.size(), 0.0);
+    std::uint64_t cumulative = 0;
+    for (std::size_t d = 0; d < transitions_by_day.size(); ++d) {
+      cumulative += transitions_by_day[d];
+      curve.cdf_by_day[d] =
+          machines == 0 ? 0.0
+                        : static_cast<double>(cumulative) /
+                              static_cast<double>(machines);
+    }
+    return curve;
+  }
+};
+
+}  // namespace
+
+TransitionAnalysis transition_analysis(const AnnotatedCorpus& a,
+                                       std::size_t max_days) {
+  CurveAccumulator benign(max_days), adware(max_days), pup(max_days),
+      dropper(max_days);
+
+  const auto& events = a.corpus->events;
+  for (std::uint32_t m = 0; m < a.corpus->machine_count; ++m) {
+    const auto timeline = a.index.machine_events(model::MachineId{m});
+    if (timeline.empty()) continue;
+
+    // Timeline position of the first initiator download of each kind;
+    // "subsequent" malware means strictly after that event, so the
+    // initiator download itself never counts as its own transition.
+    constexpr std::ptrdiff_t kNone = -1;
+    std::ptrdiff_t first_adware = kNone, first_pup = kNone,
+                   first_dropper = kNone, first_clean_benign = kNone;
+    bool saw_malicious = false;
+
+    for (std::size_t pos = 0; pos < timeline.size(); ++pos) {
+      const auto& e = events[timeline[pos]];
+      const auto v = a.verdict(e.file);
+      if (v == Verdict::kMalicious) {
+        saw_malicious = true;
+        switch (a.type_of(e.file)) {
+          case MalwareType::kAdware:
+            if (first_adware == kNone)
+              first_adware = static_cast<std::ptrdiff_t>(pos);
+            break;
+          case MalwareType::kPup:
+            if (first_pup == kNone)
+              first_pup = static_cast<std::ptrdiff_t>(pos);
+            break;
+          case MalwareType::kDropper:
+            if (first_dropper == kNone)
+              first_dropper = static_cast<std::ptrdiff_t>(pos);
+            break;
+          default:
+            break;
+        }
+      } else if (v == Verdict::kBenign && first_clean_benign == kNone &&
+                 !saw_malicious) {
+        first_clean_benign = static_cast<std::ptrdiff_t>(pos);
+      }
+    }
+
+    auto delta_to_other_malware = [&](std::ptrdiff_t from) -> std::int64_t {
+      const auto since = events[timeline[static_cast<std::size_t>(from)]].time;
+      for (std::size_t pos = static_cast<std::size_t>(from) + 1;
+           pos < timeline.size(); ++pos) {
+        const auto& e = events[timeline[pos]];
+        if (is_other_malware(a, e.file) && e.time >= since)
+          return (e.time - since) / model::kSecondsPerDay;
+      }
+      return -1;
+    };
+
+    if (first_adware != kNone)
+      adware.record(delta_to_other_malware(first_adware));
+    if (first_pup != kNone) pup.record(delta_to_other_malware(first_pup));
+    if (first_dropper != kNone)
+      dropper.record(delta_to_other_malware(first_dropper));
+    if (first_clean_benign != kNone)
+      benign.record(delta_to_other_malware(first_clean_benign));
+  }
+
+  return TransitionAnalysis{benign.finish(), adware.finish(), pup.finish(),
+                            dropper.finish()};
+}
+
+}  // namespace longtail::analysis

@@ -1,0 +1,40 @@
+// Fig. 5 (§V-B): time between an initial benign / adware / PUP / dropper
+// download on a machine and the machine's first subsequent download of
+// *other* malware (excluding adware, PUP, and undefined, as the paper
+// does for comparability).
+//
+// Each curve is a CDF over initiator machines: curve[d] = fraction of
+// machines that downloaded other malware within <= d days of the
+// initiator download. Curves saturate below 1.0 — machines that never
+// transition stay in the denominator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/annotated.hpp"
+
+namespace longtail::analysis {
+
+struct TransitionCurve {
+  std::vector<double> cdf_by_day;  // index = days since initiator, 0-based
+  std::uint64_t initiator_machines = 0;
+  std::uint64_t transitioned = 0;
+
+  [[nodiscard]] double at_day(std::size_t d) const {
+    if (cdf_by_day.empty()) return 0.0;
+    return cdf_by_day[std::min(d, cdf_by_day.size() - 1)];
+  }
+};
+
+struct TransitionAnalysis {
+  TransitionCurve benign;   // control: benign download, no prior malware
+  TransitionCurve adware;
+  TransitionCurve pup;
+  TransitionCurve dropper;
+};
+
+TransitionAnalysis transition_analysis(const AnnotatedCorpus& a,
+                                       std::size_t max_days = 30);
+
+}  // namespace longtail::analysis

@@ -1,0 +1,132 @@
+#include "avclass/avclass.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace longtail::avclass {
+
+namespace {
+
+// Generic tokens: platform names, behaviour-type keywords, heuristic
+// markers — anything that is not a family name. Mirrors AVclass's
+// default generic-token list, trimmed to the grammars in this corpus.
+constexpr std::array<std::string_view, 54> kGenericTokens = {
+    "adware",     "agent",    "application", "artemis",   "autorun",
+    "backdoor",   "banker",   "behaveslike", "bundler",   "crypt",
+    "dangerousobject", "dloadr", "downloader", "dynamer",  "fakealert",
+    "fakeav",     "generic",  "graftor",     "heur",      "heuristic",
+    "infostealer","keylog",   "kryptik",     "malware",   "multi",
+    "notavirus",  "packed",   "program",     "ransom",    "riskware",
+    "rogue",      "softwarebundler", "spyware", "suspicious", "trojan",
+    "trojandownloader", "trojanspy", "unsafe", "unwanted", "variant",
+    "virus",      "webtoolbar", "win32",     "win64",     "worm",
+    "xpack",      "gen",      "troj",        "tspy",      "bkdr",
+    "dldr",       "pua",      "pup",         "pws",
+};
+
+// Family aliases (different vendors, same family).
+struct Alias {
+  std::string_view from;
+  std::string_view to;
+};
+constexpr std::array<Alias, 6> kAliases = {{
+    {"zeus", "zbot"},
+    {"zeusbot", "zbot"},
+    {"kazy", "cerber"},
+    {"swizzor", "obfuscated"},
+    {"installerex", "webpick"},
+    {"multiplug", "plugin"},
+}};
+
+bool is_generic(std::string_view token) {
+  return std::find(kGenericTokens.begin(), kGenericTokens.end(), token) !=
+         kGenericTokens.end();
+}
+
+std::string resolve_alias(std::string token) {
+  for (const auto& a : kAliases)
+    if (token == a.from) return std::string(a.to);
+  return token;
+}
+
+}  // namespace
+
+std::vector<std::string> FamilyExtractor::candidate_tokens(
+    std::string_view label) {
+  std::vector<std::string> out;
+  std::string current;
+  bool has_digit = false;
+  // AVclass keeps alphabetic tokens of length >= 4; shorter tokens and
+  // tokens containing digits are variant suffixes / hex tags.
+  auto flush = [&] {
+    if (!has_digit && current.size() >= 4 && !is_generic(current))
+      out.push_back(resolve_alias(current));
+    current.clear();
+    has_digit = false;
+  };
+  for (char raw : label) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (std::isdigit(c)) {
+      has_digit = true;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+FamilyResult FamilyExtractor::derive(
+    const groundtruth::VtReport& report) const {
+  // Each engine votes at most once per token.
+  std::map<std::string, int> votes;
+  for (const auto& det : report.detections) {
+    std::set<std::string> seen;
+    for (auto& token : candidate_tokens(det.label)) {
+      if (std::find(extra_generics_.begin(), extra_generics_.end(), token) !=
+          extra_generics_.end())
+        continue;
+      if (seen.insert(token).second) ++votes[token];
+    }
+  }
+
+  FamilyResult result;
+  for (const auto& [token, count] : votes) {
+    if (count > result.support ||
+        (count == result.support && token < result.family)) {
+      result.family = token;
+      result.support = count;
+    }
+  }
+  if (result.support < min_support_) return {};
+  return result;
+}
+
+void GenericTokenLearner::observe(const groundtruth::VtReport& report) {
+  ++samples_;
+  std::set<std::string> tokens;
+  for (const auto& det : report.detections)
+    for (auto& token : FamilyExtractor::candidate_tokens(det.label))
+      tokens.insert(std::move(token));
+  for (const auto& token : tokens) ++token_samples_[token];
+}
+
+std::vector<std::string> GenericTokenLearner::learn(
+    double max_sample_fraction, std::size_t min_samples) const {
+  std::vector<std::string> out;
+  if (samples_ == 0) return out;
+  for (const auto& [token, count] : token_samples_) {
+    if (count < min_samples) continue;
+    const double fraction =
+        static_cast<double>(count) / static_cast<double>(samples_);
+    if (fraction >= max_sample_fraction) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace longtail::avclass

@@ -1,0 +1,168 @@
+#include "avtype/avtype.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "groundtruth/engines.hpp"
+
+namespace longtail::avtype {
+
+namespace {
+
+using model::MalwareType;
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+// Families whose behaviour is well known regardless of the label's type
+// token — the paper's Zbot example: "Trojan-Spy.Win32.Zbot.ruxa" is a
+// banker because Zbot steals banking credentials.
+struct FamilyOverride {
+  std::string_view token;
+  MalwareType type;
+};
+constexpr std::array<FamilyOverride, 8> kFamilyOverrides = {{
+    {"zbot", MalwareType::kBanker},
+    {"zeus", MalwareType::kBanker},
+    {"banload", MalwareType::kBanker},
+    {"bancos", MalwareType::kBanker},
+    {"cryptolocker", MalwareType::kRansomware},
+    {"cryptowall", MalwareType::kRansomware},
+    {"fareit", MalwareType::kBanker},
+    {"reveton", MalwareType::kRansomware},
+}};
+
+// Keyword → type map, in match-priority order: specific behaviour keywords
+// first, the generic "trojan" bucket last. Derived from the per-engine
+// naming grammars of the five leading vendors.
+struct Keyword {
+  std::string_view token;
+  MalwareType type;
+};
+constexpr std::array<Keyword, 39> kKeywords = {{
+    // explicit generic markers -> undefined (checked before the trojan
+    // bucket: "Trojan:Win32/Dynamer!ac" or "Trojan.Gen.2" carry no
+    // behaviour information)
+    {"artemis", MalwareType::kUndefined},
+    {"dynamer", MalwareType::kUndefined},
+    {"dangerousobject", MalwareType::kUndefined},
+    {"graftor", MalwareType::kUndefined},
+    {"kryptik", MalwareType::kUndefined},
+    {"trojan.gen", MalwareType::kUndefined},
+    {"troj_gen", MalwareType::kUndefined},
+    // fakeav
+    {"fakeav", MalwareType::kFakeAv},
+    {"fakealert", MalwareType::kFakeAv},
+    {"rogue", MalwareType::kFakeAv},
+    // ransomware
+    {"ransom", MalwareType::kRansomware},
+    // banker
+    {"banker", MalwareType::kBanker},
+    {"infostealer", MalwareType::kBanker},
+    {"pws", MalwareType::kBanker},
+    // spyware
+    {"trojanspy", MalwareType::kSpyware},
+    {"trojan-spy", MalwareType::kSpyware},
+    {"tspy", MalwareType::kSpyware},
+    {"spyware", MalwareType::kSpyware},
+    {"keylog", MalwareType::kSpyware},
+    // bot
+    {"backdoor", MalwareType::kBot},
+    {"bkdr", MalwareType::kBot},
+    // worm
+    {"worm", MalwareType::kWorm},
+    // dropper
+    {"trojandownloader", MalwareType::kDropper},
+    {"trojan-downloader", MalwareType::kDropper},
+    {"downloader", MalwareType::kDropper},
+    {"dloadr", MalwareType::kDropper},
+    {"dldr", MalwareType::kDropper},
+    {"dropper", MalwareType::kDropper},
+    // adware (before pup: "not-a-virus:AdWare" must map to adware)
+    {"adware", MalwareType::kAdware},
+    {"adw_", MalwareType::kAdware},
+    // pup
+    {"softwarebundler", MalwareType::kPup},
+    {"webtoolbar", MalwareType::kPup},
+    {"pua", MalwareType::kPup},
+    {"pup", MalwareType::kPup},
+    {"bundler", MalwareType::kPup},
+    {"unwanted", MalwareType::kPup},
+    // generic trojan bucket
+    {"trojan", MalwareType::kTrojan},
+    {"troj", MalwareType::kTrojan},
+    {"generic", MalwareType::kUndefined},
+}};
+
+}  // namespace
+
+MalwareType interpret_label(std::string_view label) {
+  const std::string l = lower(label);
+  for (const auto& fo : kFamilyOverrides)
+    if (contains(l, fo.token)) return fo.type;
+  for (const auto& kw : kKeywords)
+    if (contains(l, kw.token)) return kw.type;
+  return MalwareType::kUndefined;
+}
+
+TypeResult TypeExtractor::derive(const groundtruth::VtReport& report) const {
+  // Collect one vote per leading engine.
+  std::vector<MalwareType> votes;
+  votes.reserve(groundtruth::kNumLeadingEngines);
+  for (const auto& det : report.detections)
+    if (groundtruth::is_leading(det.engine))
+      votes.push_back(interpret_label(det.label));
+
+  if (votes.empty()) return {MalwareType::kUndefined, Resolution::kNoLeadingLabel};
+
+  // Tally.
+  std::array<int, model::kNumMalwareTypes> tally{};
+  for (MalwareType v : votes) ++tally[static_cast<std::size_t>(v)];
+
+  if (std::all_of(votes.begin(), votes.end(),
+                  [&](MalwareType v) { return v == votes.front(); }))
+    return {votes.front(), Resolution::kUnanimous};
+
+  // Rule 1: voting.
+  const int max_votes = *std::max_element(tally.begin(), tally.end());
+  std::vector<MalwareType> leaders;
+  for (std::size_t i = 0; i < tally.size(); ++i)
+    if (tally[i] == max_votes) leaders.push_back(static_cast<MalwareType>(i));
+  if (leaders.size() == 1) return {leaders.front(), Resolution::kVoting};
+
+  // Rule 2: specificity — only applies if one leader is strictly more
+  // specific than every other.
+  auto best = std::max_element(leaders.begin(), leaders.end(),
+                               [](MalwareType a, MalwareType b) {
+                                 return model::specificity(a) <
+                                        model::specificity(b);
+                               });
+  const int best_spec = model::specificity(*best);
+  const auto ties = std::count_if(
+      leaders.begin(), leaders.end(),
+      [&](MalwareType t) { return model::specificity(t) == best_spec; });
+  if (ties == 1) return {*best, Resolution::kSpecificity};
+
+  // Rule 3: manual analysis.
+  if (oracle_) {
+    std::vector<MalwareType> tied;
+    for (MalwareType t : leaders)
+      if (model::specificity(t) == best_spec) tied.push_back(t);
+    return {oracle_(std::span<const MalwareType>(tied)), Resolution::kManual};
+  }
+  return {*best, Resolution::kManual};
+}
+
+}  // namespace longtail::avtype

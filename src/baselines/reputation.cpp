@@ -1,0 +1,106 @@
+#include "baselines/reputation.hpp"
+
+#include <unordered_set>
+
+namespace longtail::baselines {
+
+namespace {
+using model::Verdict;
+}  // namespace
+
+PrevalenceReputation::PrevalenceReputation(
+    const analysis::AnnotatedCorpus& a, model::Timestamp train_end,
+    Config config)
+    : config_(config) {
+  // One belief-propagation sweep: machine risk = share of its training
+  // downloads that are known malicious (Laplace-smoothed).
+  struct MachineCounts {
+    std::uint32_t benign = 0, malicious = 0;
+  };
+  std::unordered_map<std::uint32_t, MachineCounts> counts;
+  for (const auto& e : a.corpus->events) {
+    if (e.time >= train_end) break;
+    const auto v = a.verdict(e.file);
+    if (v == Verdict::kBenign)
+      ++counts[e.machine.raw()].benign;
+    else if (v == Verdict::kMalicious)
+      ++counts[e.machine.raw()].malicious;
+  }
+  machine_risk_.reserve(counts.size());
+  for (const auto& [machine, c] : counts)
+    machine_risk_[machine] =
+        static_cast<float>(c.malicious + 1) /
+        static_cast<float>(c.malicious + c.benign + 2);
+
+  // File -> machines over the whole corpus (test-window files included).
+  for (const auto& e : a.corpus->events)
+    file_machines_[e.file.raw()].push_back(e.machine.raw());
+}
+
+BaselineVerdict PrevalenceReputation::classify(
+    const analysis::AnnotatedCorpus& /*a*/, model::FileId file) const {
+  // Gather the distinct machines holding the file.
+  std::unordered_set<std::uint32_t> machines;
+  const auto it = file_machines_.find(file.raw());
+  if (it == file_machines_.end()) return BaselineVerdict::kAbstain;
+  for (const auto m : it->second) machines.insert(m);
+
+  if (machines.size() < config_.min_prevalence)
+    return BaselineVerdict::kAbstain;  // Polonium's blind spot
+
+  double risk_sum = 0;
+  std::uint32_t known = 0;
+  for (const auto m : machines) {
+    if (const auto rit = machine_risk_.find(m); rit != machine_risk_.end()) {
+      risk_sum += rit->second;
+      ++known;
+    }
+  }
+  if (known == 0) return BaselineVerdict::kAbstain;
+  const double belief = risk_sum / static_cast<double>(known);
+  if (belief >= config_.malicious_threshold)
+    return BaselineVerdict::kMalicious;
+  if (belief <= config_.benign_threshold) return BaselineVerdict::kBenign;
+  return BaselineVerdict::kAbstain;
+}
+
+UrlReputation::UrlReputation(const analysis::AnnotatedCorpus& a,
+                             model::Timestamp train_end, Config config)
+    : config_(config) {
+  for (const auto& e : a.corpus->events) {
+    if (e.time >= train_end) break;
+    const auto domain = a.corpus->urls[e.url.raw()].domain.raw();
+    const auto v = a.verdict(e.file);
+    if (v == Verdict::kBenign)
+      ++domains_[domain].benign;
+    else if (v == Verdict::kMalicious)
+      ++domains_[domain].malicious;
+  }
+  for (const auto& e : a.corpus->events)
+    file_domains_[e.file.raw()].push_back(
+        a.corpus->urls[e.url.raw()].domain.raw());
+}
+
+BaselineVerdict UrlReputation::classify(
+    const analysis::AnnotatedCorpus& /*a*/, model::FileId file) const {
+  const auto it = file_domains_.find(file.raw());
+  if (it == file_domains_.end()) return BaselineVerdict::kAbstain;
+
+  std::uint32_t benign = 0, malicious = 0;
+  for (const auto domain : it->second) {
+    if (const auto dit = domains_.find(domain); dit != domains_.end()) {
+      benign += dit->second.benign;
+      malicious += dit->second.malicious;
+    }
+  }
+  if (benign + malicious < config_.min_observations)
+    return BaselineVerdict::kAbstain;
+  const double ratio = static_cast<double>(malicious) /
+                       static_cast<double>(benign + malicious);
+  if (ratio >= config_.malicious_threshold)
+    return BaselineVerdict::kMalicious;
+  if (ratio <= config_.benign_threshold) return BaselineVerdict::kBenign;
+  return BaselineVerdict::kAbstain;
+}
+
+}  // namespace longtail::baselines

@@ -1,0 +1,60 @@
+// longtail — a C++ reproduction of "Exploring the Long Tail of (Malicious)
+// Software Downloads" (Rahbarinia, Balduzzi, Perdisci; IEEE/IFIP DSN
+// 2017).
+//
+// Single-include facade. The major subsystems:
+//
+//   synth/        calibrated synthetic telemetry (the data substitution for
+//                 the proprietary vendor dataset — see DESIGN.md)
+//   telemetry/    the 5-tuple event corpus and collection-server rules
+//   groundtruth/  whitelists, simulated VirusTotal, the §II-B labeler
+//   avtype/       behaviour-type extraction from AV labels (§II-C)
+//   avclass/      AVclass-style family extraction
+//   analysis/     every measurement of §III-V (Tables I-XIV, Figs 1-6)
+//   features/     the eight features of Table XV
+//   rules/        PART rule learning, tau selection, conflict-rejecting
+//                 classification, evaluation (§VI, Tables XVI-XVII)
+//   core/         LongtailPipeline: end-to-end orchestration
+//
+// Quickstart:
+//
+//   auto pipeline = longtail::core::LongtailPipeline::generate(0.1);
+//   auto summary = longtail::analysis::monthly_summary(pipeline.annotated());
+//   auto exp = pipeline.run_rule_experiment(longtail::model::Month::kMarch,
+//                                           longtail::model::Month::kApril);
+//   auto eval = longtail::core::LongtailPipeline::evaluate_tau(exp, 0.001);
+#pragma once
+
+#include "analysis/annotated.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/domains.hpp"
+#include "analysis/malproc.hpp"
+#include "analysis/monthly.hpp"
+#include "analysis/packers.hpp"
+#include "analysis/prevalence.hpp"
+#include "analysis/processes.hpp"
+#include "analysis/signers.hpp"
+#include "analysis/transitions.hpp"
+#include "avclass/avclass.hpp"
+#include "avtype/avtype.hpp"
+#include "baselines/reputation.hpp"
+#include "core/pipeline.hpp"
+#include "deploy/online.hpp"
+#include "features/dataset.hpp"
+#include "features/features.hpp"
+#include "groundtruth/labeler.hpp"
+#include "model/event.hpp"
+#include "model/labels.hpp"
+#include "model/time.hpp"
+#include "rules/classifier.hpp"
+#include "rules/evaluation.hpp"
+#include "rules/part.hpp"
+#include "rules/tree.hpp"
+#include "synth/calibration.hpp"
+#include "synth/generator.hpp"
+#include "telemetry/collection.hpp"
+#include "telemetry/corpus.hpp"
+#include "telemetry/index.hpp"
+#include "telemetry/io.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"

@@ -1,0 +1,36 @@
+#include "core/pipeline.hpp"
+
+namespace longtail::core {
+
+LongtailPipeline::LongtailPipeline(const synth::CalibrationProfile& profile)
+    : dataset_(synth::generate_dataset(profile)) {
+  annotated_ = std::make_unique<analysis::AnnotatedCorpus>(analysis::annotate(
+      dataset_.corpus, dataset_.whitelist, dataset_.vt));
+}
+
+RuleExperiment LongtailPipeline::run_rule_experiment(
+    model::Month train, model::Month test, rules::PartConfig config) const {
+  RuleExperiment exp;
+  exp.train_month = train;
+  exp.test_month = test;
+  exp.data = features::build_window_dataset(*annotated_, exp.space, train,
+                                            test);
+  const rules::PartLearner learner(config);
+  exp.all_rules = learner.learn(exp.data.train);
+  return exp;
+}
+
+TauEvaluation LongtailPipeline::evaluate_tau(const RuleExperiment& experiment,
+                                             double tau,
+                                             rules::ConflictPolicy policy) {
+  TauEvaluation out;
+  out.tau = tau;
+  auto selected = rules::select_rules(experiment.all_rules, tau);
+  out.selected = rules::rule_set_stats(selected);
+  const rules::RuleClassifier classifier(std::move(selected), policy);
+  out.eval = rules::evaluate(classifier, experiment.data.test);
+  out.expansion = rules::expand_unknowns(classifier, experiment.data.unknowns);
+  return out;
+}
+
+}  // namespace longtail::core

@@ -1,0 +1,69 @@
+// LongtailPipeline: one-call orchestration of the full reproduction —
+// generate the calibrated corpus, run the §II labeling pipeline, and run
+// §VI rule-learning experiments over (training, test) month windows.
+//
+// This is the entry point the examples and benchmarks use; see
+// longtail.hpp for the single-include facade.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "analysis/annotated.hpp"
+#include "features/dataset.hpp"
+#include "rules/classifier.hpp"
+#include "rules/evaluation.hpp"
+#include "rules/part.hpp"
+#include "synth/generator.hpp"
+
+namespace longtail::core {
+
+// One §VI-D experiment: rules learned on T_tr, evaluated on T_ts.
+struct RuleExperiment {
+  model::Month train_month{};
+  model::Month test_month{};
+  features::FeatureSpace space;
+  features::WindowDataset data;
+  std::vector<rules::Rule> all_rules;  // PART output, pre-tau
+};
+
+// The result of applying a tau filter and conflict policy to an
+// experiment (one row of Tables XVI/XVII).
+struct TauEvaluation {
+  double tau = 0;
+  rules::RuleSetStats selected;
+  rules::EvalResult eval;
+  rules::ExpansionResult expansion;
+};
+
+class LongtailPipeline {
+ public:
+  explicit LongtailPipeline(const synth::CalibrationProfile& profile);
+
+  // Convenience: paper calibration at the given scale.
+  static LongtailPipeline generate(double scale = 0.10) {
+    return LongtailPipeline(synth::paper_calibration(scale));
+  }
+
+  [[nodiscard]] const synth::Dataset& dataset() const { return dataset_; }
+  [[nodiscard]] const analysis::AnnotatedCorpus& annotated() const {
+    return *annotated_;
+  }
+
+  // Learns PART rules on `train` and builds the train/test/unknown
+  // datasets for the following month pair.
+  [[nodiscard]] RuleExperiment run_rule_experiment(
+      model::Month train, model::Month test,
+      rules::PartConfig config = {}) const;
+
+  // Applies the tau filter, classifies test + unknown files.
+  [[nodiscard]] static TauEvaluation evaluate_tau(
+      const RuleExperiment& experiment, double tau,
+      rules::ConflictPolicy policy = rules::ConflictPolicy::kReject);
+
+ private:
+  synth::Dataset dataset_;
+  std::unique_ptr<analysis::AnnotatedCorpus> annotated_;
+};
+
+}  // namespace longtail::core

@@ -1,0 +1,96 @@
+#include "deploy/online.hpp"
+
+#include <unordered_map>
+
+namespace longtail::deploy {
+
+namespace {
+using model::Verdict;
+}  // namespace
+
+OnlineLabeler::OnlineLabeler(const synth::Dataset& dataset,
+                             const analysis::AnnotatedCorpus& annotated,
+                             OnlineConfig config)
+    : dataset_(dataset), annotated_(annotated), config_(config) {}
+
+std::vector<features::Instance> OnlineLabeler::training_window(
+    model::Month month) {
+  const auto begin = model::month_begin(month);
+  const auto end = model::month_end(month);
+
+  // First event of each file within the window.
+  std::unordered_map<std::uint32_t, std::uint32_t> first;
+  const auto& events = annotated_.corpus->events;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (e.time < begin) continue;
+    if (e.time >= end) break;
+    first.try_emplace(e.file.raw(), i);
+  }
+
+  std::vector<features::Instance> out;
+  for (const auto& [file, event_index] : first) {
+    const model::FileId id{file};
+    const Verdict v =
+        config_.labels_as_of_training_time
+            ? labeler_.verdict_as_of(dataset_.whitelist.contains(id),
+                                     dataset_.vt.query(id), end)
+            : annotated_.labels.file_verdicts[file];
+    if (v != Verdict::kBenign && v != Verdict::kMalicious) continue;
+    out.push_back(features::Instance{
+        features::extract_features(annotated_, events[event_index], space_),
+        v == Verdict::kMalicious, id});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.file < b.file; });
+  return out;
+}
+
+std::vector<MonthlyDeployStats> OnlineLabeler::run() {
+  std::vector<MonthlyDeployStats> out;
+  const rules::PartLearner learner(config_.part);
+
+  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
+    const auto train_month = static_cast<model::Month>(m);
+    const auto deploy_month = static_cast<model::Month>(m + 1);
+
+    const auto training = training_window(train_month);
+    const auto all_rules = learner.learn(training);
+    const rules::RuleClassifier classifier(
+        rules::select_rules(all_rules, config_.tau), config_.policy);
+
+    MonthlyDeployStats stats;
+    stats.rules_active = classifier.rules().size();
+    stats.training_instances = training.size();
+
+    const auto [begin, end] = annotated_.index.month_range(deploy_month);
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const auto& e = annotated_.corpus->events[i];
+      ++stats.events;
+      const auto x = features::extract_features(annotated_, e, space_);
+      const auto decision = classifier.classify(x);
+      switch (decision) {
+        case rules::Decision::kMalicious: ++stats.decided_malicious; break;
+        case rules::Decision::kBenign: ++stats.decided_benign; break;
+        case rules::Decision::kRejected: ++stats.rejected; break;
+        case rules::Decision::kNoMatch: ++stats.unmatched; break;
+      }
+      if (decision != rules::Decision::kMalicious &&
+          decision != rules::Decision::kBenign)
+        continue;
+      // Score against the final retrospective verdict where one exists.
+      const auto final_verdict = annotated_.verdict(e.file);
+      if (final_verdict == Verdict::kMalicious) {
+        ++stats.final_malicious_decided;
+        if (decision == rules::Decision::kMalicious) ++stats.true_positives;
+      } else if (final_verdict == Verdict::kBenign) {
+        ++stats.final_benign_decided;
+        if (decision == rules::Decision::kMalicious) ++stats.false_positives;
+      }
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace longtail::deploy

@@ -1,0 +1,99 @@
+// Operational deployment of the rule-based classifier.
+//
+// §VI-D: "this perfectly simulates how the system is used in operational
+// environments; rules generated based on past events are used to classify
+// new, unknown events in the future." This module is that environment:
+//
+//   * events are replayed in time order;
+//   * at every month boundary the labeler retrains on the previous month,
+//     using only the ground truth *knowable at that moment*
+//     (groundtruth::Labeler::verdict_as_of — signatures developed later
+//     are invisible, unlike the paper's retrospective two-year labels);
+//   * each incoming download is classified with the rules active at its
+//     timestamp.
+//
+// Comparing the per-month results against the retrospective Table XVII
+// quantifies how much accuracy the two-year label maturation is worth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/annotated.hpp"
+#include "features/dataset.hpp"
+#include "groundtruth/labeler.hpp"
+#include "rules/classifier.hpp"
+#include "rules/part.hpp"
+#include "synth/generator.hpp"
+
+namespace longtail::deploy {
+
+struct OnlineConfig {
+  double tau = 0.001;
+  rules::PartConfig part{};
+  rules::ConflictPolicy policy = rules::ConflictPolicy::kReject;
+  // If true, train with labels as of the retraining moment (operational);
+  // if false, use the final retrospective labels (the paper's setting).
+  bool labels_as_of_training_time = true;
+};
+
+// Per-month deployment statistics. Accuracy is scored against the *final*
+// (retrospective) ground truth, while training only ever saw the labels
+// available at retraining time.
+struct MonthlyDeployStats {
+  std::uint64_t events = 0;
+  std::uint64_t decided_malicious = 0;
+  std::uint64_t decided_benign = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unmatched = 0;
+
+  // Decisions on files whose final verdict is known, scored against it.
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t final_malicious_decided = 0;
+  std::uint64_t final_benign_decided = 0;
+
+  std::size_t rules_active = 0;
+  std::size_t training_instances = 0;
+
+  [[nodiscard]] double tp_rate() const {
+    return final_malicious_decided == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(true_positives) /
+                     static_cast<double>(final_malicious_decided);
+  }
+  [[nodiscard]] double fp_rate() const {
+    return final_benign_decided == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(false_positives) /
+                     static_cast<double>(final_benign_decided);
+  }
+};
+
+class OnlineLabeler {
+ public:
+  OnlineLabeler(const synth::Dataset& dataset,
+                const analysis::AnnotatedCorpus& annotated,
+                OnlineConfig config = {});
+
+  // Replays the full corpus: retrains at each month boundary, classifies
+  // every event of the following month. Months without a preceding
+  // training window (January) are skipped.
+  [[nodiscard]] std::vector<MonthlyDeployStats> run();
+
+ private:
+  // Training instances for files first seen in `month`, labeled with the
+  // evidence available at the month's end (or final labels, per config).
+  [[nodiscard]] std::vector<features::Instance> training_window(
+      model::Month month);
+
+  const synth::Dataset& dataset_;
+  const analysis::AnnotatedCorpus& annotated_;
+  OnlineConfig config_;
+  groundtruth::Labeler labeler_;
+  features::FeatureSpace space_;
+};
+
+}  // namespace longtail::deploy

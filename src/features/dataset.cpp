@@ -1,0 +1,99 @@
+#include "features/dataset.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace longtail::features {
+
+namespace {
+
+using model::Verdict;
+
+// First event of each file within [begin, end), in corpus (time) order.
+std::unordered_map<std::uint32_t, std::uint32_t> first_events_in(
+    const analysis::AnnotatedCorpus& a, model::Timestamp begin,
+    model::Timestamp end) {
+  std::unordered_map<std::uint32_t, std::uint32_t> first;
+  const auto& events = a.corpus->events;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (e.time < begin) continue;
+    if (e.time >= end) break;  // events are time-sorted
+    first.try_emplace(e.file.raw(), i);
+  }
+  return first;
+}
+
+// Deterministic instance order regardless of hash-map iteration.
+void sort_by_file(std::vector<Instance>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Instance& a, const Instance& b) { return a.file < b.file; });
+}
+
+}  // namespace
+
+std::vector<Instance> labeled_instances(const analysis::AnnotatedCorpus& a,
+                                        FeatureSpace& space,
+                                        model::Timestamp begin,
+                                        model::Timestamp end) {
+  std::vector<Instance> out;
+  for (const auto& [file, event_index] : first_events_in(a, begin, end)) {
+    const auto v = a.labels.file_verdicts[file];
+    if (v != Verdict::kBenign && v != Verdict::kMalicious) continue;
+    out.push_back(Instance{
+        extract_features(a, a.corpus->events[event_index], space),
+        v == Verdict::kMalicious, model::FileId{file}});
+  }
+  sort_by_file(out);
+  return out;
+}
+
+WindowDataset build_window_dataset(const analysis::AnnotatedCorpus& a,
+                                   FeatureSpace& space, model::Month train,
+                                   model::Month test, WindowOptions options) {
+  WindowDataset out;
+
+  const auto train_first =
+      first_events_in(a, model::month_begin(train), model::month_end(train));
+  const auto test_first =
+      first_events_in(a, model::month_begin(test), model::month_end(test));
+
+  for (const auto& [file, event_index] : train_first) {
+    const auto v = a.labels.file_verdicts[file];
+    bool is_label = v == Verdict::kBenign || v == Verdict::kMalicious;
+    bool malicious = v == Verdict::kMalicious;
+    if (!is_label && options.include_likely_as_labels &&
+        (v == Verdict::kLikelyBenign || v == Verdict::kLikelyMalicious)) {
+      is_label = true;
+      malicious = v == Verdict::kLikelyMalicious;
+    }
+    if (!is_label) continue;
+    out.train.push_back(Instance{
+        extract_features(a, a.corpus->events[event_index], space),
+        malicious, model::FileId{file}});
+  }
+
+  for (const auto& [file, event_index] : test_first) {
+    // The intersection between training and test downloads must be empty.
+    if (train_first.contains(file)) {
+      ++out.excluded_overlap;
+      continue;
+    }
+    const auto v = a.labels.file_verdicts[file];
+    const auto& event = a.corpus->events[event_index];
+    if (v == Verdict::kBenign || v == Verdict::kMalicious) {
+      out.test.push_back(Instance{extract_features(a, event, space),
+                                  v == Verdict::kMalicious,
+                                  model::FileId{file}});
+    } else if (v == Verdict::kUnknown) {
+      out.unknowns.push_back(Instance{extract_features(a, event, space),
+                                      false, model::FileId{file}});
+    }
+  }
+  sort_by_file(out.train);
+  sort_by_file(out.test);
+  sort_by_file(out.unknowns);
+  return out;
+}
+
+}  // namespace longtail::features

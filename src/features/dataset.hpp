@@ -1,0 +1,46 @@
+// Train/test window construction (§VI-D):
+//   * training set  — known benign/malicious files first observed during
+//                     T_tr;
+//   * test set      — known benign/malicious files from T_ts, excluding
+//                     any file already seen in training (the paper ensures
+//                     an empty intersection);
+//   * unknown set   — files from T_ts with no ground truth, to be labeled
+//                     by the learned rules.
+// Each file contributes one instance, built from its first download event
+// inside the window.
+#pragma once
+
+#include <vector>
+
+#include "features/features.hpp"
+#include "model/time.hpp"
+
+namespace longtail::features {
+
+struct WindowDataset {
+  std::vector<Instance> train;
+  std::vector<Instance> test;
+  std::vector<Instance> unknowns;  // `malicious` flag is meaningless here
+  std::size_t excluded_overlap = 0;  // test files dropped (seen in training)
+};
+
+struct WindowOptions {
+  // The paper excludes likely-benign / likely-malicious files from
+  // training because of their noise (§III). Setting this true injects
+  // them as full labels — the ablation that quantifies the exclusion.
+  bool include_likely_as_labels = false;
+};
+
+WindowDataset build_window_dataset(const analysis::AnnotatedCorpus& a,
+                                   FeatureSpace& space, model::Month train,
+                                   model::Month test,
+                                   WindowOptions options = {});
+
+// All labeled instances over an arbitrary [begin, end) time range — used
+// by benchmarks that train on more than one month.
+std::vector<Instance> labeled_instances(const analysis::AnnotatedCorpus& a,
+                                        FeatureSpace& space,
+                                        model::Timestamp begin,
+                                        model::Timestamp end);
+
+}  // namespace longtail::features

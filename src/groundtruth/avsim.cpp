@@ -1,0 +1,350 @@
+#include "groundtruth/avsim.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/hash.hpp"
+
+namespace longtail::groundtruth {
+
+namespace {
+
+using model::MalwareType;
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+std::string camel(std::string_view s) {
+  std::string out(s);
+  if (!out.empty())
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+// Short deterministic variant suffix, e.g. "smu1" (salted).
+std::string variant(std::uint64_t salt, bool upper_case) {
+  static constexpr char kLower[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  std::uint64_t state = salt;
+  std::uint64_t v = util::splitmix64(state);
+  for (int i = 0; i < 3; ++i) {
+    out.push_back(kLower[v % 26]);
+    v /= 26;
+  }
+  out.push_back(static_cast<char>('0' + v % 10));
+  return upper_case ? upper(out) : out;
+}
+
+std::string hex_tag(std::uint64_t salt) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  std::uint64_t state = salt ^ 0x5bd1e995;
+  std::uint64_t v = util::splitmix64(state);
+  for (int i = 0; i < 12; ++i) {
+    out.push_back(kHex[v & 0xF]);
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string microsoft_label(MalwareType t, std::string_view fam, bool with_fam,
+                            std::uint64_t salt) {
+  std::string_view type_tok;
+  switch (t) {
+    case MalwareType::kDropper: type_tok = "TrojanDownloader"; break;
+    case MalwareType::kBanker: type_tok = "PWS"; break;
+    case MalwareType::kTrojan: type_tok = "Trojan"; break;
+    case MalwareType::kAdware: type_tok = "Adware"; break;
+    case MalwareType::kWorm: type_tok = "Worm"; break;
+    case MalwareType::kBot: type_tok = "Backdoor"; break;
+    case MalwareType::kRansomware: type_tok = "Ransom"; break;
+    case MalwareType::kFakeAv: type_tok = "Rogue"; break;
+    case MalwareType::kSpyware: type_tok = "TrojanSpy"; break;
+    case MalwareType::kPup: type_tok = "SoftwareBundler"; break;
+    case MalwareType::kUndefined:
+      return "Trojan:Win32/Dynamer!ac";
+  }
+  const std::string family = with_fam && !fam.empty() ? camel(fam) : "Agent";
+  return std::string(type_tok) + ":Win32/" + family + "." +
+         variant(salt, /*upper=*/false);
+}
+
+std::string symantec_label(MalwareType t, std::string_view fam, bool with_fam,
+                           std::uint64_t salt) {
+  const std::string family = with_fam && !fam.empty() ? camel(fam) : "Agent";
+  switch (t) {
+    case MalwareType::kDropper: return "Downloader." + family;
+    case MalwareType::kBanker: return "Infostealer." + family;
+    case MalwareType::kTrojan: return "Trojan." + family;
+    case MalwareType::kAdware: return "Adware." + family;
+    case MalwareType::kWorm: return "W32." + family + ".Worm";
+    case MalwareType::kBot: return "Backdoor." + family;
+    case MalwareType::kRansomware: return "Ransom." + family;
+    case MalwareType::kFakeAv: return "Trojan.FakeAV";
+    case MalwareType::kSpyware: return "Spyware." + family;
+    case MalwareType::kPup: return "PUA." + family;
+    case MalwareType::kUndefined:
+      return "Trojan.Gen." + std::to_string(salt % 9 + 1);
+  }
+  return "Trojan.Gen.2";
+}
+
+std::string trendmicro_label(MalwareType t, std::string_view fam,
+                             bool with_fam, std::uint64_t salt) {
+  const std::string family = with_fam && !fam.empty() ? upper(fam) : "";
+  const std::string suf = variant(salt, /*upper=*/true);
+  switch (t) {
+    case MalwareType::kDropper: return "TROJ_DLOADR." + suf;
+    case MalwareType::kBanker:
+      // TrendMicro banker labels carry the BANKER token (TSPY_<family>
+      // forms are reserved for families with a known behaviour override,
+      // e.g. TSPY_ZBOT).
+      return "TSPY_BANKER." + suf;
+    case MalwareType::kTrojan:
+      // Family-less trojans still carry the TROJ type token via the
+      // generic AGENT family (TROJ_GEN would be a type-generic label).
+      return family.empty() ? "TROJ_AGENT." + suf
+                            : "TROJ_" + family + "." + suf;
+    case MalwareType::kAdware:
+      return family.empty() ? "ADW_GENERIC." + suf : "ADW_" + family;
+    case MalwareType::kWorm:
+      return family.empty() ? "WORM_GEN." + suf : "WORM_" + family + "." + suf;
+    case MalwareType::kBot:
+      return family.empty() ? "BKDR_GEN." + suf : "BKDR_" + family + "." + suf;
+    case MalwareType::kRansomware:
+      return family.empty() ? "RANSOM_GEN." + suf
+                            : "RANSOM_" + family + "." + suf;
+    case MalwareType::kFakeAv: return "TROJ_FAKEAV." + suf;
+    case MalwareType::kSpyware:
+      return family.empty() ? "TSPY_KEYLOG." + suf : "TSPY_" + family + "." + suf;
+    case MalwareType::kPup:
+      return family.empty() ? "PUA_GENERIC." + suf : "PUA_" + family;
+    case MalwareType::kUndefined:
+      return "TROJ_GEN.R" + hex_tag(salt).substr(0, 6);
+  }
+  return "TROJ_GEN." + suf;
+}
+
+std::string kaspersky_label(MalwareType t, std::string_view fam, bool with_fam,
+                            std::uint64_t salt) {
+  std::string family = with_fam && !fam.empty() ? camel(fam) : "Agent";
+  const std::string suf = variant(salt, /*upper=*/false);
+  switch (t) {
+    case MalwareType::kDropper:
+      return "Trojan-Downloader.Win32." + family + "." + suf;
+    case MalwareType::kBanker:
+      return "Trojan-Banker.Win32." + family + "." + suf;
+    case MalwareType::kTrojan: return "Trojan.Win32." + family + "." + suf;
+    case MalwareType::kAdware:
+      return "not-a-virus:AdWare.Win32." + family + "." + suf;
+    case MalwareType::kWorm: return "Worm.Win32." + family + "." + suf;
+    case MalwareType::kBot: return "Backdoor.Win32." + family + "." + suf;
+    case MalwareType::kRansomware:
+      return "Trojan-Ransom.Win32." + family + "." + suf;
+    case MalwareType::kFakeAv:
+      return "Trojan-FakeAV.Win32." + family + "." + suf;
+    case MalwareType::kSpyware:
+      return "Trojan-Spy.Win32." + family + "." + suf;
+    case MalwareType::kPup:
+      return "not-a-virus:WebToolbar.Win32." + family + "." + suf;
+    case MalwareType::kUndefined:
+      return "UDS:DangerousObject.Multi.Generic";
+  }
+  return "Trojan.Win32.Agent." + suf;
+}
+
+std::string mcafee_label(MalwareType t, std::string_view fam, bool with_fam,
+                         std::uint64_t salt) {
+  const std::string family = with_fam && !fam.empty() ? camel(fam) : "";
+  const std::string tag = hex_tag(salt);
+  switch (t) {
+    case MalwareType::kDropper:
+      return "Downloader-" + variant(salt, true).substr(0, 3) + "!" + tag;
+    case MalwareType::kBanker: return "PWS-Banker!" + tag;
+    case MalwareType::kTrojan:
+      return family.empty() ? "Generic Trojan!" + tag
+                            : "Trojan-" + family + "!" + tag;
+    case MalwareType::kAdware:
+      return family.empty() ? "Adware-Gen!" + tag : "Adware-" + family;
+    case MalwareType::kWorm:
+      return family.empty() ? "W32/Autorun.worm" : "W32/" + family + ".worm";
+    case MalwareType::kBot:
+      return family.empty() ? "BackDoor-" + variant(salt, true).substr(0, 3)
+                            : "BackDoor-" + family;
+    case MalwareType::kRansomware:
+      return family.empty() ? "Ransom!" + tag : "Ransom-" + family + "!" + tag;
+    case MalwareType::kFakeAv:
+      return family.empty() ? "FakeAlert!" + tag
+                            : "FakeAlert-" + family + "!" + tag;
+    case MalwareType::kSpyware:
+      return family.empty() ? "Spyware-Gen!" + tag : "Spyware-" + family;
+    case MalwareType::kPup:
+      return family.empty() ? "PUP-FXO!" + tag : "PUP-" + family;
+    case MalwareType::kUndefined: return "Artemis!" + tag;
+  }
+  return "Artemis!" + tag;
+}
+
+// Trusted non-leading and untrusted engines: family-oriented grammars; the
+// behaviour type is rarely encoded (these engines do not feed AVType).
+std::string other_engine_label(std::uint16_t engine, std::string_view fam,
+                               bool with_fam, std::uint64_t salt) {
+  const std::string family = with_fam && !fam.empty() ? camel(fam) : "";
+  const std::string suf = variant(salt, /*upper=*/false);
+  switch (engine % 6) {
+    case 0:
+      return family.empty() ? "Gen:Variant.Graftor." + std::to_string(salt % 9000)
+                            : "Gen:Variant." + family + "." +
+                                  std::to_string(salt % 9000);
+    case 1:
+      return family.empty() ? "W32.Malware!heur"
+                            : "W32." + upper(fam).substr(0, 6) + "!tr";
+    case 2:
+      return family.empty() ? "Win32:Malware-gen"
+                            : "Win32:" + family + "-" + variant(salt, true).substr(0, 2) +
+                                  " [Trj]";
+    case 3:
+      return family.empty() ? "TR/Crypt.XPACK.Gen" : "TR/" + family + "." + suf;
+    case 4:
+      return family.empty() ? "Mal/Generic-S" : "Troj/" + family + "-" +
+                                                     variant(salt, true).substr(0, 2);
+    default:
+      return family.empty() ? "a variant of Win32/Kryptik." + upper(suf)
+                            : "a variant of Win32/" + family + "." + upper(suf);
+  }
+}
+
+}  // namespace
+
+std::string render_engine_label(std::uint16_t engine, MalwareType type,
+                                std::string_view family, bool include_family,
+                                std::uint64_t variant_salt) {
+  switch (engine) {
+    case static_cast<std::uint16_t>(LeadingEngine::kMicrosoft):
+      return microsoft_label(type, family, include_family, variant_salt);
+    case static_cast<std::uint16_t>(LeadingEngine::kSymantec):
+      return symantec_label(type, family, include_family, variant_salt);
+    case static_cast<std::uint16_t>(LeadingEngine::kTrendMicro):
+      return trendmicro_label(type, family, include_family, variant_salt);
+    case static_cast<std::uint16_t>(LeadingEngine::kKaspersky):
+      return kaspersky_label(type, family, include_family, variant_salt);
+    case static_cast<std::uint16_t>(LeadingEngine::kMcAfee):
+      return mcafee_label(type, family, include_family, variant_salt);
+    default:
+      return other_engine_label(engine, family, include_family, variant_salt);
+  }
+}
+
+MalwareType AvSimulator::sample_label_type(MalwareType true_type) {
+  const double r = rng_.uniform01();
+  if (r < config_.p_type_correct) return true_type;
+  if (r < config_.p_type_correct + config_.p_type_generic)
+    return MalwareType::kUndefined;  // a pure generic label
+  // Wrong specific type: droppers are the most common mislabel target
+  // (many families have downloader components).
+  static constexpr MalwareType kConfusions[] = {
+      MalwareType::kDropper, MalwareType::kTrojan, MalwareType::kAdware,
+      MalwareType::kPup};
+  MalwareType t = kConfusions[rng_.uniform(std::size(kConfusions))];
+  if (t == true_type) t = MalwareType::kTrojan;
+  return t;
+}
+
+VtReport AvSimulator::malicious_report(MalwareType type,
+                                       std::string_view family,
+                                       bool family_extractable,
+                                       model::Timestamp first_observed,
+                                       double detect_boost) {
+  VtReport report;
+  const auto lag = static_cast<model::Timestamp>(
+      rng_.exponential(config_.mean_submission_lag_days) *
+      static_cast<double>(model::kSecondsPerDay));
+  report.first_scan = first_observed + lag;
+  report.last_scan =
+      first_observed + 720 * model::kSecondsPerDay;  // ~2 years later
+
+  const double boost = 0.6 + 0.8 * detect_boost;
+  // Signature-development lag: leading vendors push signatures within
+  // weeks, the crowd trails over months. Popular samples (high boost)
+  // get coverage faster.
+  auto signature_time = [&](std::uint16_t e) {
+    const double mean_days = (is_leading(e)   ? 18.0
+                              : is_trusted(e) ? 45.0
+                                              : 120.0) /
+                             (0.5 + boost);
+    const double lag = std::min(rng_.exponential(mean_days), 700.0);
+    return first_observed +
+           static_cast<model::Timestamp>(lag * model::kSecondsPerDay);
+  };
+  bool any_trusted = false;
+  for (std::uint16_t e = 0; e < kNumEngines; ++e) {
+    const double base = is_leading(e)   ? config_.p_detect_leading
+                        : is_trusted(e) ? config_.p_detect_trusted
+                                        : config_.p_detect_other;
+    if (!rng_.bernoulli(std::min(0.98, base * boost))) continue;
+    const MalwareType label_type = is_leading(e) ? sample_label_type(type) : type;
+    const bool with_family =
+        family_extractable && rng_.bernoulli(config_.p_family_in_label);
+    report.detections.push_back(
+        {e,
+         render_engine_label(e, label_type, family, with_family,
+                             rng_.next_u64()),
+         signature_time(e)});
+    if (is_trusted(e)) any_trusted = true;
+  }
+  // A "malicious" ground-truth sample must be flagged by at least one
+  // trusted engine (§II-B); force one leading detection if sampling missed.
+  if (!any_trusted) {
+    const auto e = static_cast<std::uint16_t>(rng_.uniform(kNumLeadingEngines));
+    report.detections.push_back(
+        {e,
+         render_engine_label(e, sample_label_type(type), family,
+                             family_extractable, rng_.next_u64()),
+         signature_time(e)});
+  }
+  return report;
+}
+
+VtReport AvSimulator::likely_malicious_report(MalwareType type,
+                                              std::string_view family,
+                                              model::Timestamp first_observed) {
+  VtReport report;
+  const auto lag = static_cast<model::Timestamp>(
+      rng_.exponential(config_.mean_submission_lag_days * 2) *
+      static_cast<double>(model::kSecondsPerDay));
+  report.first_scan = first_observed + lag;
+  report.last_scan = first_observed + 720 * model::kSecondsPerDay;
+
+  // Only untrusted engines detect; pick distinct engines.
+  const std::size_t n = 1 + rng_.uniform(3);
+  const std::uint16_t first =
+      kNumTrustedEngines +
+      static_cast<std::uint16_t>(rng_.uniform(kNumEngines - kNumTrustedEngines));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto e = static_cast<std::uint16_t>(
+        kNumTrustedEngines +
+        (first - kNumTrustedEngines + i) % (kNumEngines - kNumTrustedEngines));
+    const double lag_days = std::min(rng_.exponential(150.0), 700.0);
+    report.detections.push_back(
+        {e,
+         render_engine_label(e, type, family, rng_.bernoulli(0.3),
+                             rng_.next_u64()),
+         first_observed + static_cast<model::Timestamp>(
+                              lag_days * model::kSecondsPerDay)});
+  }
+  return report;
+}
+
+VtReport AvSimulator::clean_report(model::Timestamp first_observed,
+                                   std::int64_t span_days) {
+  VtReport report;
+  report.first_scan = first_observed;
+  report.last_scan = first_observed + span_days * model::kSecondsPerDay;
+  return report;
+}
+
+}  // namespace longtail::groundtruth

@@ -1,0 +1,84 @@
+// Simulation of the AV ecosystem: generates per-engine detection labels for
+// malicious artifacts, in each engine's naming grammar, with realistic
+// disagreement (generic labels, wrong-type labels, missed detections) and
+// signature-development lag.
+//
+// This stands in for the real VirusTotal crowd: downstream consumers
+// (Labeler, AVType, AVclass) never see the hidden truth, only these
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "groundtruth/engines.hpp"
+#include "groundtruth/vt.hpp"
+#include "model/labels.hpp"
+#include "model/time.hpp"
+#include "util/rng.hpp"
+
+namespace longtail::groundtruth {
+
+struct AvSimConfig {
+  // Probability that a detecting *leading* engine emits a label carrying
+  // the true behaviour-type keyword (vs. a generic label / wrong type).
+  // Tuned so the AVType conflict-resolution mix approximates the paper's
+  // 44% unanimous / 28% voting / 23% specificity / 5% manual split.
+  double p_type_correct = 0.76;
+  double p_type_generic = 0.18;  // generic label (Artemis / Dynamer / Gen)
+  // Remaining mass: a wrong specific type.
+
+  // Probability that a label embeds the sample's family token (needed for
+  // AVclass to recover the family; the paper found AVclass failed on 58%).
+  double p_family_in_label = 0.47;
+
+  // Mean VT submission lag after first observation, in days.
+  double mean_submission_lag_days = 12.0;
+
+  // Per-engine detection probability for malicious files, for leading /
+  // other trusted / untrusted engines.
+  double p_detect_leading = 0.68;
+  double p_detect_trusted = 0.62;
+  double p_detect_other = 0.38;
+};
+
+// Renders one engine's label for a sample of the given type/family in that
+// engine's naming grammar. `family` must be a lowercase token ("zbot");
+// pass an empty view for no family (a generic family like "agent" is used).
+// `variant_salt` diversifies variant suffixes deterministically.
+std::string render_engine_label(std::uint16_t engine, model::MalwareType type,
+                                std::string_view family, bool include_family,
+                                std::uint64_t variant_salt);
+
+class AvSimulator {
+ public:
+  AvSimulator(AvSimConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  // A report for a truly malicious sample that the trusted group detects.
+  // `detect_boost` in [0,1] scales detection odds (well-known families are
+  // detected by more engines).
+  VtReport malicious_report(model::MalwareType type, std::string_view family,
+                            bool family_extractable,
+                            model::Timestamp first_observed,
+                            double detect_boost);
+
+  // Only untrusted engines detect: drives "likely malicious".
+  VtReport likely_malicious_report(model::MalwareType type,
+                                   std::string_view family,
+                                   model::Timestamp first_observed);
+
+  // Clean report with the given scan span (drives benign / likely-benign).
+  VtReport clean_report(model::Timestamp first_observed,
+                        std::int64_t span_days);
+
+  [[nodiscard]] const AvSimConfig& config() const noexcept { return config_; }
+
+ private:
+  model::MalwareType sample_label_type(model::MalwareType true_type);
+
+  AvSimConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace longtail::groundtruth

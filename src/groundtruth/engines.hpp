@@ -1,0 +1,58 @@
+// The AV-engine roster.
+//
+// The paper splits VirusTotal's ~50 engines into a "trusted" group of ten
+// popular vendors and the remainder (§II-B), and uses a subset of five
+// *leading* engines — Microsoft, Symantec, TrendMicro, Kaspersky, McAfee —
+// for behaviour-type extraction (§II-C). We model the same structure: a
+// fixed roster where the first five entries are the leading engines, the
+// first ten are the trusted group, and the rest are lower-reliability
+// engines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace longtail::groundtruth {
+
+enum class LeadingEngine : std::uint16_t {
+  kMicrosoft = 0,
+  kSymantec = 1,
+  kTrendMicro = 2,
+  kKaspersky = 3,
+  kMcAfee = 4,
+};
+
+inline constexpr std::uint16_t kNumLeadingEngines = 5;
+inline constexpr std::uint16_t kNumTrustedEngines = 10;
+
+inline constexpr std::array<std::string_view, 48> kEngineNames = {
+    // Leading five (used for behaviour-type extraction).
+    "Microsoft", "Symantec", "TrendMicro", "Kaspersky", "McAfee",
+    // Remaining trusted vendors.
+    "Avast", "AVG", "Avira", "ESET-NOD32", "Sophos",
+    // Other engines (less reliable; drive "likely malicious" labels).
+    "AhnLab-V3", "Antiy-AVL", "Arcabit", "Baidu", "BitDefender",
+    "Bkav", "CAT-QuickHeal", "ClamAV", "CMC", "Comodo",
+    "Cyren", "DrWeb", "Emsisoft", "F-Prot", "F-Secure",
+    "Fortinet", "GData", "Ikarus", "Jiangmin", "K7AntiVirus",
+    "K7GW", "Kingsoft", "Malwarebytes", "MicroWorld-eScan", "NANO-Antivirus",
+    "nProtect", "Panda", "Qihoo-360", "Rising", "SUPERAntiSpyware",
+    "Tencent", "TheHacker", "TotalDefense", "VBA32", "VIPRE",
+    "ViRobot", "Zillya", "Zoner",
+};
+
+inline constexpr std::uint16_t kNumEngines =
+    static_cast<std::uint16_t>(kEngineNames.size());
+
+constexpr bool is_trusted(std::uint16_t engine) {
+  return engine < kNumTrustedEngines;
+}
+constexpr bool is_leading(std::uint16_t engine) {
+  return engine < kNumLeadingEngines;
+}
+constexpr std::string_view engine_name(std::uint16_t engine) {
+  return kEngineNames[engine];
+}
+
+}  // namespace longtail::groundtruth

@@ -1,0 +1,46 @@
+#include "groundtruth/labeler.hpp"
+
+namespace longtail::groundtruth {
+
+model::Verdict Labeler::verdict(bool whitelisted,
+                                const std::optional<VtReport>& vt) const {
+  if (whitelisted) return model::Verdict::kBenign;
+  if (!vt.has_value()) return model::Verdict::kUnknown;
+
+  if (vt->clean()) {
+    return vt->scan_span_days() >= config_.min_clean_span_days
+               ? model::Verdict::kBenign
+               : model::Verdict::kLikelyBenign;
+  }
+  for (const auto& det : vt->detections)
+    if (is_trusted(det.engine)) return model::Verdict::kMalicious;
+  return model::Verdict::kLikelyMalicious;
+}
+
+model::Verdict Labeler::verdict_as_of(bool whitelisted,
+                                      const std::optional<VtReport>& vt,
+                                      model::Timestamp when) const {
+  if (whitelisted) return model::Verdict::kBenign;
+  if (!vt.has_value() || vt->first_scan > when)
+    return model::Verdict::kUnknown;  // VT has no record yet
+  return verdict(false, vt->as_of(when));
+}
+
+LabelSet Labeler::label_all(std::size_t num_files, std::size_t num_processes,
+                            const Whitelist& whitelist,
+                            const VtDatabase& vt) const {
+  LabelSet out;
+  out.file_verdicts.reserve(num_files);
+  for (std::size_t i = 0; i < num_files; ++i) {
+    const model::FileId f{static_cast<std::uint32_t>(i)};
+    out.file_verdicts.push_back(verdict(whitelist.contains(f), vt.query(f)));
+  }
+  out.process_verdicts.reserve(num_processes);
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    const model::ProcessId p{static_cast<std::uint32_t>(i)};
+    out.process_verdicts.push_back(verdict(whitelist.contains(p), vt.query(p)));
+  }
+  return out;
+}
+
+}  // namespace longtail::groundtruth

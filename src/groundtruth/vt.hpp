@@ -1,0 +1,94 @@
+// VirusTotal-style scan reports (§II-B).
+//
+// For every file the paper queries VT twice: close to the download time and
+// again ~two years later, so AV vendors have had time to develop
+// signatures. A `VtReport` captures what such a (second) query returns: the
+// first/last scan dates and, per AV engine, the detection label (if any).
+//
+// These types are produced by the AV-ecosystem simulator (avsim.hpp) in
+// this reproduction, but the labeler, AVclass, and AVType consume them
+// exactly as they would consume parsed VT responses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/time.hpp"
+
+namespace longtail::groundtruth {
+
+// One engine's verdict within a scan.
+struct EngineDetection {
+  std::uint16_t engine = 0;   // index into the AvEngineRoster
+  std::string label;          // e.g. "Trojan-Spy.Win32.Zbot.ruxa"
+  // When this engine's signature first flagged the sample. The paper's
+  // two-year re-scan exists precisely because detections trickle in; a
+  // query made before this time would not see the detection.
+  model::Timestamp signature_time = 0;
+};
+
+struct VtReport {
+  model::Timestamp first_scan = 0;
+  model::Timestamp last_scan = 0;
+  // Empty means the file was scanned and found clean by every engine.
+  std::vector<EngineDetection> detections;
+
+  [[nodiscard]] bool clean() const noexcept { return detections.empty(); }
+  [[nodiscard]] std::int64_t scan_span_days() const noexcept {
+    return (last_scan - first_scan) / model::kSecondsPerDay;
+  }
+
+  // The report as a query at time `as_of` would have returned it:
+  // detections whose signatures did not exist yet are invisible, and the
+  // scan window is truncated. Models the difference between querying VT
+  // at collection time and two years later (§II-B).
+  [[nodiscard]] VtReport as_of(model::Timestamp when) const {
+    VtReport out;
+    out.first_scan = first_scan;
+    out.last_scan = std::min(last_scan, when);
+    for (const auto& det : detections)
+      if (det.signature_time <= when) out.detections.push_back(det);
+    return out;
+  }
+};
+
+// The corpus of VT lookups: files never submitted to VT have no entry.
+class VtDatabase {
+ public:
+  // Grow-only: existing reports are never discarded.
+  void set_file_count(std::size_t n) {
+    if (n > file_reports_.size()) file_reports_.resize(n);
+  }
+  void set_process_count(std::size_t n) {
+    if (n > process_reports_.size()) process_reports_.resize(n);
+  }
+
+  void put(model::FileId f, VtReport r) {
+    set_file_count(f.raw() + 1);
+    file_reports_[f.raw()] = std::move(r);
+  }
+  void put(model::ProcessId p, VtReport r) {
+    set_process_count(p.raw() + 1);
+    process_reports_[p.raw()] = std::move(r);
+  }
+
+  [[nodiscard]] const std::optional<VtReport>& query(model::FileId f) const {
+    static const std::optional<VtReport> kNone;
+    return f.raw() < file_reports_.size() ? file_reports_[f.raw()] : kNone;
+  }
+  [[nodiscard]] const std::optional<VtReport>& query(model::ProcessId p) const {
+    static const std::optional<VtReport> kNone;
+    return p.raw() < process_reports_.size() ? process_reports_[p.raw()]
+                                             : kNone;
+  }
+
+ private:
+  std::vector<std::optional<VtReport>> file_reports_;
+  std::vector<std::optional<VtReport>> process_reports_;
+};
+
+}  // namespace longtail::groundtruth

@@ -1,0 +1,40 @@
+// File whitelists (§II-B): the commercial whitelist and NIST's software
+// reference library (NSRL). A file that matches either is labeled benign.
+//
+// The paper notes (§VII) that its whitelist ground truth carries noise —
+// 33% of "benign" test samples were downloaded from malicious contexts —
+// so the simulator can deliberately whitelist a small number of
+// non-benign files to reproduce that effect.
+#pragma once
+
+#include <unordered_set>
+
+#include "model/ids.hpp"
+
+namespace longtail::groundtruth {
+
+class Whitelist {
+ public:
+  void add(model::FileId f) { files_.insert(f); }
+  void add(model::ProcessId p) { processes_.insert(p); }
+
+  [[nodiscard]] bool contains(model::FileId f) const {
+    return files_.contains(f);
+  }
+  [[nodiscard]] bool contains(model::ProcessId p) const {
+    return processes_.contains(p);
+  }
+
+  [[nodiscard]] std::size_t file_count() const noexcept {
+    return files_.size();
+  }
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return processes_.size();
+  }
+
+ private:
+  std::unordered_set<model::FileId> files_;
+  std::unordered_set<model::ProcessId> processes_;
+};
+
+}  // namespace longtail::groundtruth

@@ -1,0 +1,70 @@
+// The 5-tuple download event (§II-A): (file, machine, process, URL, time),
+// plus the per-entity metadata records attached by the vendor's analysis
+// infrastructure (size, signer, packer, …).
+#pragma once
+
+#include <cstdint>
+
+#include "model/ids.hpp"
+#include "model/labels.hpp"
+#include "model/time.hpp"
+#include "util/hash.hpp"
+
+namespace longtail::model {
+
+struct DownloadEvent {
+  FileId file;
+  MachineId machine;
+  ProcessId process;
+  UrlId url;
+  Timestamp time = 0;
+  // The agent only reports files that were executed; retained as a flag so
+  // the collection-server filter (§II-A) is an observable code path.
+  bool executed = true;
+};
+
+// Static metadata for a downloaded file, as the vendor's infrastructure
+// would report it. Contains no verdict: labeling is a separate concern
+// (groundtruth::Labeler).
+struct FileMeta {
+  util::Digest sha;         // content digest (identity)
+  std::uint64_t size = 0;   // bytes
+  bool is_signed = false;
+  SignerId signer;          // invalid unless is_signed
+  CaId ca;                  // invalid unless is_signed
+  bool is_packed = false;
+  PackerId packer;          // invalid unless is_packed
+};
+
+// Static metadata for a downloading process.
+struct ProcessMeta {
+  util::Digest sha;
+  // On-disk executable name, interned in Corpus::process_names. The
+  // category/browser fields below are the *generator's* intent; the
+  // analysis modules re-derive categories from the name plus the benign
+  // whitelist, as the paper does (§V-A), so masquerading malware is
+  // handled the same way.
+  std::uint32_t name = 0;
+  ProcessCategory category = ProcessCategory::kOther;
+  BrowserKind browser = BrowserKind::kNotABrowser;
+  bool is_signed = false;
+  SignerId signer;
+  CaId ca;
+  bool is_packed = false;
+  PackerId packer;
+};
+
+struct UrlMeta {
+  DomainId domain;
+  // Alexa rank of the e2LD; 0 means unranked.
+  std::uint32_t alexa_rank = 0;
+};
+
+struct DomainMeta {
+  std::uint32_t alexa_rank = 0;  // 0 = unranked
+  bool on_gsb = false;           // Google Safe Browsing hit
+  bool on_private_blacklist = false;
+  bool on_curated_whitelist = false;
+};
+
+}  // namespace longtail::model

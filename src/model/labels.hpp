@@ -1,0 +1,116 @@
+// Label vocabulary: ground-truth verdicts (§II-B), malware behaviour types
+// (§II-C, Table II), and process categories (§V-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace longtail::model {
+
+// Final verdict assigned by the ground-truth labeler (§II-B). "Likely"
+// labels exist but are excluded from most measurements, as in the paper.
+enum class Verdict : std::uint8_t {
+  kBenign = 0,
+  kLikelyBenign,
+  kMalicious,
+  kLikelyMalicious,
+  kUnknown,
+};
+inline constexpr std::size_t kNumVerdicts = 5;
+
+constexpr std::string_view to_string(Verdict v) {
+  constexpr std::array<std::string_view, kNumVerdicts> names = {
+      "benign", "likely-benign", "malicious", "likely-malicious", "unknown"};
+  return names[static_cast<std::size_t>(v)];
+}
+
+// Malware behaviour type (Table II). kUndefined covers generic labels
+// (e.g. McAfee's Artemis) and labels with no mapping.
+enum class MalwareType : std::uint8_t {
+  kDropper = 0,
+  kPup,
+  kAdware,
+  kTrojan,
+  kBanker,
+  kBot,
+  kFakeAv,
+  kRansomware,
+  kWorm,
+  kSpyware,
+  kUndefined,
+};
+inline constexpr std::size_t kNumMalwareTypes = 11;
+
+constexpr std::string_view to_string(MalwareType t) {
+  constexpr std::array<std::string_view, kNumMalwareTypes> names = {
+      "dropper", "pup",        "adware", "trojan", "banker", "bot",
+      "fakeav",  "ransomware", "worm",   "spyware", "undefined"};
+  return names[static_cast<std::size_t>(t)];
+}
+
+constexpr std::optional<MalwareType> malware_type_from_string(
+    std::string_view s) {
+  for (std::size_t i = 0; i < kNumMalwareTypes; ++i) {
+    const auto t = static_cast<MalwareType>(i);
+    if (to_string(t) == s) return t;
+  }
+  return std::nullopt;
+}
+
+// Type specificity for the §II-C "Specificity" conflict-resolution rule:
+// higher = more specific. trojan and undefined are the generic buckets AV
+// engines use when the true behaviour is unknown.
+constexpr int specificity(MalwareType t) {
+  switch (t) {
+    case MalwareType::kUndefined: return 0;
+    case MalwareType::kTrojan: return 1;
+    case MalwareType::kDropper: return 2;
+    case MalwareType::kAdware: return 2;
+    case MalwareType::kPup: return 2;
+    case MalwareType::kWorm: return 3;
+    case MalwareType::kBot: return 3;
+    case MalwareType::kSpyware: return 3;
+    case MalwareType::kBanker: return 4;
+    case MalwareType::kFakeAv: return 4;
+    case MalwareType::kRansomware: return 4;
+  }
+  return 0;
+}
+
+// Broad process categories studied in §V-A (Table X).
+enum class ProcessCategory : std::uint8_t {
+  kBrowser = 0,
+  kWindows,
+  kJava,
+  kAcrobatReader,
+  kOther,
+};
+inline constexpr std::size_t kNumProcessCategories = 5;
+
+constexpr std::string_view to_string(ProcessCategory c) {
+  constexpr std::array<std::string_view, kNumProcessCategories> names = {
+      "Browsers", "Windows Processes", "Java", "Acrobat Reader",
+      "All other processes"};
+  return names[static_cast<std::size_t>(c)];
+}
+
+// Browser families (Table XI).
+enum class BrowserKind : std::uint8_t {
+  kFirefox = 0,
+  kChrome,
+  kOpera,
+  kSafari,
+  kInternetExplorer,
+  kNotABrowser,
+};
+inline constexpr std::size_t kNumBrowserKinds = 5;
+
+constexpr std::string_view to_string(BrowserKind b) {
+  constexpr std::array<std::string_view, 6> names = {
+      "Firefox", "Chrome", "Opera", "Safari", "IE", "-"};
+  return names[static_cast<std::size_t>(b)];
+}
+
+}  // namespace longtail::model

@@ -1,0 +1,81 @@
+// Simulation time.
+//
+// The paper's observation window runs January–August 2014 (seven monthly
+// collection periods, January through July, with a test window extending
+// into August). We count time in seconds from 2014-01-01 00:00:00 UTC and
+// model months as the real calendar months of 2014.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace longtail::model {
+
+using Timestamp = std::int64_t;  // seconds since 2014-01-01 00:00:00 UTC
+
+constexpr std::int64_t kSecondsPerDay = 86'400;
+
+// Months of the study, indexed 0 = January 2014.
+enum class Month : std::uint8_t {
+  kJanuary = 0,
+  kFebruary,
+  kMarch,
+  kApril,
+  kMay,
+  kJune,
+  kJuly,
+  kAugust,
+};
+
+inline constexpr std::size_t kNumCollectionMonths = 7;  // Jan..Jul
+inline constexpr std::size_t kNumCalendarMonths = 8;    // Jan..Aug
+
+// Day counts for Jan..Aug 2014 (not a leap year).
+inline constexpr std::array<int, kNumCalendarMonths> kDaysInMonth = {
+    31, 28, 31, 30, 31, 30, 31, 31};
+
+// First second of each month, plus one-past-the-end sentinel.
+constexpr std::array<Timestamp, kNumCalendarMonths + 1> month_starts() {
+  std::array<Timestamp, kNumCalendarMonths + 1> out{};
+  Timestamp t = 0;
+  for (std::size_t m = 0; m < kNumCalendarMonths; ++m) {
+    out[m] = t;
+    t += static_cast<Timestamp>(kDaysInMonth[m]) * kSecondsPerDay;
+  }
+  out[kNumCalendarMonths] = t;
+  return out;
+}
+
+inline constexpr auto kMonthStart = month_starts();
+
+constexpr Timestamp month_begin(Month m) {
+  return kMonthStart[static_cast<std::size_t>(m)];
+}
+constexpr Timestamp month_end(Month m) {
+  return kMonthStart[static_cast<std::size_t>(m) + 1];
+}
+
+// Month containing timestamp t; clamps to [January, August].
+constexpr Month month_of(Timestamp t) {
+  for (std::size_t m = kNumCalendarMonths; m-- > 0;)
+    if (t >= kMonthStart[m]) return static_cast<Month>(m);
+  return Month::kJanuary;
+}
+
+constexpr std::int64_t day_of(Timestamp t) { return t / kSecondsPerDay; }
+
+constexpr std::string_view month_name(Month m) {
+  constexpr std::array<std::string_view, kNumCalendarMonths> names = {
+      "January", "February", "March", "April", "May", "June", "July",
+      "August"};
+  return names[static_cast<std::size_t>(m)];
+}
+
+constexpr std::string_view month_abbrev(Month m) {
+  constexpr std::array<std::string_view, kNumCalendarMonths> names = {
+      "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug"};
+  return names[static_cast<std::size_t>(m)];
+}
+
+}  // namespace longtail::model

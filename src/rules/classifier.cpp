@@ -1,0 +1,87 @@
+#include "rules/classifier.hpp"
+
+#include <algorithm>
+
+namespace longtail::rules {
+
+namespace {
+constexpr std::uint64_t bucket_key(features::Feature f, std::uint32_t value) {
+  return (static_cast<std::uint64_t>(f) << 32) | value;
+}
+}  // namespace
+
+RuleClassifier::RuleClassifier(std::vector<Rule> rules, ConflictPolicy policy)
+    : rules_(std::move(rules)), policy_(policy) {
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].conditions.empty()) {
+      unconditional_.push_back(i);
+      continue;
+    }
+    const auto& first = rules_[i].conditions.front();
+    first_cond_[bucket_key(first.feature, first.value)].push_back(i);
+  }
+}
+
+template <typename Visit>
+void RuleClassifier::for_each_match(const features::FeatureVector& x,
+                                    Visit&& visit) const {
+  for (std::size_t f = 0; f < features::kNumFeatures; ++f) {
+    const auto it = first_cond_.find(
+        bucket_key(static_cast<features::Feature>(f), x.values[f]));
+    if (it == first_cond_.end()) continue;
+    for (const auto index : it->second)
+      if (rules_[index].matches(x)) visit(index);
+  }
+  for (const auto index : unconditional_) visit(index);
+}
+
+std::vector<Rule> select_rules(std::span<const Rule> rules, double tau) {
+  std::vector<Rule> out;
+  for (const auto& rule : rules)
+    if (rule.error_rate() <= tau + 1e-12) out.push_back(rule);
+  return out;
+}
+
+RuleSetStats rule_set_stats(std::span<const Rule> rules) {
+  RuleSetStats stats;
+  stats.total = rules.size();
+  for (const auto& rule : rules)
+    ++(rule.predict_malicious ? stats.malicious_rules : stats.benign_rules);
+  return stats;
+}
+
+std::vector<std::uint32_t> RuleClassifier::matching_rules(
+    const features::FeatureVector& x) const {
+  std::vector<std::uint32_t> out;
+  for_each_match(x, [&](std::uint32_t index) { out.push_back(index); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Decision RuleClassifier::classify(const features::FeatureVector& x) const {
+  std::uint32_t benign = 0, malicious = 0;
+  if (policy_ == ConflictPolicy::kDecisionList) {
+    // List semantics depend on rule order: take the lowest-index match.
+    const auto matches = matching_rules(x);
+    if (matches.empty()) return Decision::kNoMatch;
+    return rules_[matches.front()].predict_malicious ? Decision::kMalicious
+                                                     : Decision::kBenign;
+  }
+  for_each_match(x, [&](std::uint32_t index) {
+    ++(rules_[index].predict_malicious ? malicious : benign);
+  });
+  if (benign == 0 && malicious == 0) return Decision::kNoMatch;
+  switch (policy_) {
+    case ConflictPolicy::kReject:
+      if (benign > 0 && malicious > 0) return Decision::kRejected;
+      return malicious > 0 ? Decision::kMalicious : Decision::kBenign;
+    case ConflictPolicy::kMajorityVote:
+      if (benign == malicious) return Decision::kRejected;
+      return malicious > benign ? Decision::kMalicious : Decision::kBenign;
+    case ConflictPolicy::kDecisionList:
+      break;  // unreachable
+  }
+  return Decision::kNoMatch;
+}
+
+}  // namespace longtail::rules

@@ -1,0 +1,79 @@
+#include "rules/evaluation.hpp"
+
+namespace longtail::rules {
+
+EvalResult evaluate(const RuleClassifier& classifier,
+                    std::span<const features::Instance> test) {
+  EvalResult r;
+  for (const auto& inst : test) {
+    const auto decision = classifier.classify(inst.x);
+    switch (decision) {
+      case Decision::kNoMatch:
+        ++r.unmatched;
+        break;
+      case Decision::kRejected:
+        ++r.rejected;
+        break;
+      case Decision::kMalicious:
+        if (inst.malicious) {
+          ++r.matched_malicious;
+          ++r.true_positives;
+        } else {
+          ++r.matched_benign;
+          ++r.false_positives;
+          for (const auto rule_index : classifier.matching_rules(inst.x))
+            if (classifier.rules()[rule_index].predict_malicious)
+              r.fp_rules.insert(rule_index);
+        }
+        break;
+      case Decision::kBenign:
+        if (inst.malicious) {
+          ++r.matched_malicious;
+          ++r.false_negatives;
+        } else {
+          ++r.matched_benign;
+          ++r.true_negatives;
+        }
+        break;
+    }
+  }
+  return r;
+}
+
+ExpansionResult expand_unknowns(
+    const RuleClassifier& classifier,
+    std::span<const features::Instance> unknowns) {
+  ExpansionResult r;
+  r.total_unknowns = unknowns.size();
+  for (const auto& inst : unknowns) {
+    switch (classifier.classify(inst.x)) {
+      case Decision::kMalicious: ++r.labeled_malicious; break;
+      case Decision::kBenign: ++r.labeled_benign; break;
+      case Decision::kRejected: ++r.rejected; break;
+      case Decision::kNoMatch: break;
+    }
+  }
+  return r;
+}
+
+FeatureUsage feature_usage(std::span<const Rule> rules) {
+  FeatureUsage usage;
+  if (rules.empty()) return usage;
+  std::array<std::uint64_t, features::kNumFeatures> counts{};
+  std::uint64_t single = 0;
+  for (const auto& rule : rules) {
+    std::array<bool, features::kNumFeatures> seen{};
+    for (const auto& c : rule.conditions)
+      seen[static_cast<std::size_t>(c.feature)] = true;
+    for (std::size_t f = 0; f < features::kNumFeatures; ++f)
+      if (seen[f]) ++counts[f];
+    if (rule.conditions.size() == 1) ++single;
+  }
+  const auto n = static_cast<double>(rules.size());
+  for (std::size_t f = 0; f < features::kNumFeatures; ++f)
+    usage.pct[f] = 100.0 * static_cast<double>(counts[f]) / n;
+  usage.single_condition_pct = 100.0 * static_cast<double>(single) / n;
+  return usage;
+}
+
+}  // namespace longtail::rules

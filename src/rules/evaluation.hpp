@@ -1,0 +1,80 @@
+// Evaluation of the rule-based classifier (Table XVII): TP/FP over the
+// test samples that match at least one rule (rejected samples excluded),
+// the rules responsible for false positives, and the expansion of labels
+// onto unknown files.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "rules/classifier.hpp"
+
+namespace longtail::rules {
+
+struct EvalResult {
+  // Test samples by ground-truth class that matched >= 1 rule and were not
+  // rejected (the paper's "# malicious" / "# benign" columns).
+  std::uint64_t matched_malicious = 0;
+  std::uint64_t matched_benign = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unmatched = 0;
+
+  std::uint64_t true_positives = 0;   // malicious classified malicious
+  std::uint64_t false_negatives = 0;  // malicious classified benign
+  std::uint64_t false_positives = 0;  // benign classified malicious
+  std::uint64_t true_negatives = 0;   // benign classified benign
+
+  // Distinct rules that produced at least one false positive.
+  std::set<std::uint32_t> fp_rules;
+
+  [[nodiscard]] double tp_rate() const {
+    return matched_malicious == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(true_positives) /
+                     static_cast<double>(matched_malicious);
+  }
+  [[nodiscard]] double fp_rate() const {
+    return matched_benign == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(false_positives) /
+                     static_cast<double>(matched_benign);
+  }
+};
+
+EvalResult evaluate(const RuleClassifier& classifier,
+                    std::span<const features::Instance> test);
+
+// Applying the classifier to truly unknown files (§VI-D, right side of
+// Table XVII).
+struct ExpansionResult {
+  std::uint64_t total_unknowns = 0;
+  std::uint64_t labeled_malicious = 0;
+  std::uint64_t labeled_benign = 0;
+  std::uint64_t rejected = 0;
+
+  [[nodiscard]] std::uint64_t matched() const {
+    return labeled_malicious + labeled_benign;
+  }
+  [[nodiscard]] double matched_pct() const {
+    return total_unknowns == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(matched()) /
+                     static_cast<double>(total_unknowns);
+  }
+};
+
+ExpansionResult expand_unknowns(const RuleClassifier& classifier,
+                                std::span<const features::Instance> unknowns);
+
+// Per-feature usage share across a rule set (§VII: the file-signer feature
+// appeared in 75% of all rules; 89% of rules have a single condition).
+struct FeatureUsage {
+  std::array<double, features::kNumFeatures> pct{};  // % of rules using it
+  double single_condition_pct = 0;
+};
+
+FeatureUsage feature_usage(std::span<const Rule> rules);
+
+}  // namespace longtail::rules

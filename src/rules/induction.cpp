@@ -1,0 +1,73 @@
+#include "rules/induction.hpp"
+
+#include <cmath>
+
+namespace longtail::rules::induction {
+
+double entropy2(double mal, double n) {
+  if (n <= 0) return 0.0;
+  const double p = mal / n;
+  double h = 0.0;
+  if (p > 0) h -= p * std::log2(p);
+  if (p < 1) h -= (1 - p) * std::log2(1 - p);
+  return h;
+}
+
+SplitChoice choose_split(std::span<const features::Instance> data,
+                         const std::vector<std::uint32_t>& items,
+                         std::uint32_t mal, std::uint32_t min_instances) {
+  const double n = static_cast<double>(items.size());
+  const double base_entropy = entropy2(mal, n);
+
+  struct Candidate {
+    features::Feature feature{};
+    double gain = 0, gain_ratio = 0;
+    std::unordered_map<std::uint32_t, Subset> partitions;
+  };
+  std::vector<Candidate> candidates;
+  double gain_sum = 0;
+
+  for (std::size_t fi = 0; fi < features::kNumFeatures; ++fi) {
+    const auto feature = static_cast<features::Feature>(fi);
+    std::unordered_map<std::uint32_t, Subset> parts;
+    for (const auto item : items) {
+      const auto& inst = data[item];
+      auto& subset = parts[inst.x.at(feature)];
+      subset.items.push_back(item);
+      if (inst.malicious) ++subset.mal;
+    }
+    if (parts.size() < 2) continue;
+    std::size_t viable = 0;
+    for (const auto& [value, subset] : parts)
+      if (subset.items.size() >= min_instances) ++viable;
+    if (viable < 2) continue;
+
+    double split_entropy = 0, split_info = 0;
+    for (const auto& [value, subset] : parts) {
+      const double frac = static_cast<double>(subset.items.size()) / n;
+      split_entropy += frac * subset.entropy();
+      split_info -= frac * std::log2(frac);
+    }
+    const double gain = base_entropy - split_entropy;
+    if (gain <= 1e-9 || split_info <= 1e-9) continue;
+    gain_sum += gain;
+    candidates.push_back({feature, gain, gain / split_info, std::move(parts)});
+  }
+  if (candidates.empty()) return {};
+
+  const double avg_gain = gain_sum / static_cast<double>(candidates.size());
+  SplitChoice choice;
+  double best_ratio = -1;
+  for (auto& cand : candidates) {
+    if (cand.gain + 1e-12 < avg_gain) continue;
+    if (cand.gain_ratio > best_ratio) {
+      best_ratio = cand.gain_ratio;
+      choice.found = true;
+      choice.feature = cand.feature;
+      choice.partitions = std::move(cand.partitions);
+    }
+  }
+  return choice;
+}
+
+}  // namespace longtail::rules::induction

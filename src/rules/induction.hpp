@@ -1,0 +1,40 @@
+// Shared C4.5 induction helpers used by both the PART learner (partial
+// trees) and the full DecisionTree classifier: class entropy, candidate
+// partitioning, and gain-ratio split selection with the "at least average
+// gain" constraint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "features/features.hpp"
+
+namespace longtail::rules::induction {
+
+double entropy2(double mal, double n);
+
+struct Subset {
+  std::vector<std::uint32_t> items;  // indices into the instance span
+  std::uint32_t mal = 0;
+  [[nodiscard]] double entropy() const {
+    return entropy2(mal, static_cast<double>(items.size()));
+  }
+};
+
+struct SplitChoice {
+  bool found = false;
+  features::Feature feature{};
+  std::unordered_map<std::uint32_t, Subset> partitions;
+};
+
+// Chooses the multiway categorical split with the best gain ratio among
+// attributes whose information gain is at least the average positive gain
+// (C4.5's heuristic). Requires at least two branches with `min_instances`
+// instances; returns found=false when no viable split exists.
+SplitChoice choose_split(std::span<const features::Instance> data,
+                         const std::vector<std::uint32_t>& items,
+                         std::uint32_t mal, std::uint32_t min_instances);
+
+}  // namespace longtail::rules::induction

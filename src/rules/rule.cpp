@@ -1,0 +1,27 @@
+#include "rules/rule.hpp"
+
+namespace longtail::rules {
+
+std::string Rule::to_string(const features::FeatureSpace& space) const {
+  std::string out = "IF ";
+  if (conditions.empty()) out += "(anything)";
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const auto& c = conditions[i];
+    out += "(";
+    out += features::to_string(c.feature);
+    out += " is \"";
+    out += space.name(c.feature, c.value);
+    out += "\")";
+  }
+  out += " -> file is ";
+  out += predict_malicious ? "malicious" : "benign";
+  out += "  [covers ";
+  out += std::to_string(coverage);
+  out += ", errors ";
+  out += std::to_string(errors);
+  out += "]";
+  return out;
+}
+
+}  // namespace longtail::rules

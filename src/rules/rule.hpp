@@ -1,0 +1,50 @@
+// Human-readable classification rules (§VI-C).
+//
+// A rule is a conjunction of (feature == value) tests with a predicted
+// class and its training-set statistics. Rules render in the paper's
+// style:
+//
+//   IF (file's signer is "SecureInstall") -> file is malicious.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/features.hpp"
+
+namespace longtail::rules {
+
+struct Condition {
+  features::Feature feature{};
+  std::uint32_t value = 0;
+
+  friend bool operator==(const Condition&, const Condition&) = default;
+};
+
+struct Rule {
+  std::vector<Condition> conditions;  // conjunction; empty = match-all
+  bool predict_malicious = false;
+  std::uint32_t coverage = 0;  // training instances matched
+  std::uint32_t errors = 0;    // of those, wrongly classified
+
+  [[nodiscard]] double error_rate() const {
+    return coverage == 0
+               ? 0.0
+               : static_cast<double>(errors) / static_cast<double>(coverage);
+  }
+
+  [[nodiscard]] bool matches(const features::FeatureVector& x) const {
+    for (const auto& c : conditions)
+      if (x.at(c.feature) != c.value) return false;
+    return true;
+  }
+
+  // Paper-style rendering, e.g.:
+  //   IF (file's signer is "Somoto Ltd.") AND (file's packer is "NSIS")
+  //   -> file is malicious
+  [[nodiscard]] std::string to_string(
+      const features::FeatureSpace& space) const;
+};
+
+}  // namespace longtail::rules

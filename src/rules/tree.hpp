@@ -1,0 +1,63 @@
+// A complete C4.5-style decision tree classifier.
+//
+// The paper argues (§VI-D) that using PART's pruned *rule set* with
+// conflict rejection beats classifying with a whole decision tree, because
+// a tree cannot reject and its less-accurate branches cannot be left out.
+// This classifier exists to measure that claim: same splitting criterion
+// (gain ratio among above-average-gain attributes), same pessimistic-error
+// subtree replacement, but grown fully instead of partially and used as a
+// plain classifier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "features/features.hpp"
+#include "rules/part.hpp"
+
+namespace longtail::rules {
+
+struct TreeConfig {
+  std::uint32_t min_instances = 4;
+  double pruning_confidence = 0.25;
+  std::uint32_t max_depth = 32;
+};
+
+class DecisionTree {
+ public:
+  using Config = TreeConfig;
+
+  // Builds (and prunes) the tree from labeled instances.
+  static DecisionTree build(std::span<const features::Instance> data,
+                            TreeConfig config = {});
+
+  // True = malicious. Unseen feature values fall through to the node's
+  // majority class.
+  [[nodiscard]] bool classify(const features::FeatureVector& x) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaves_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  // Multi-line indented rendering for inspection.
+  [[nodiscard]] std::string to_string(const features::FeatureSpace& space,
+                                      std::size_t max_lines = 50) const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    bool majority_malicious = false;
+    std::uint32_t coverage = 0;
+    std::uint32_t errors = 0;
+    features::Feature split{};
+    std::unordered_map<std::uint32_t, std::unique_ptr<Node>> children;
+  };
+
+  std::unique_ptr<Node> root_;
+  std::size_t nodes_ = 0, leaves_ = 0, depth_ = 0;
+};
+
+}  // namespace longtail::rules

@@ -1,0 +1,942 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "groundtruth/avsim.hpp"
+#include "synth/world.hpp"
+#include "util/hash.hpp"
+#include "util/zipf.hpp"
+
+namespace longtail::synth {
+
+namespace {
+
+using model::BrowserKind;
+using model::DomainId;
+using model::FileId;
+using model::MachineId;
+using model::MalwareType;
+using model::ProcessCategory;
+using model::ProcessId;
+using model::Timestamp;
+using model::UrlId;
+using model::Verdict;
+
+constexpr std::size_t idx(MalwareType t) { return static_cast<std::size_t>(t); }
+
+// Downloader categories for the joint (file class x downloader) matrix.
+constexpr int kCatBrowser = 0;
+constexpr int kCatWindows = 1;
+constexpr int kCatJava = 2;
+constexpr int kCatAcrobat = 3;
+constexpr int kCatOther = 4;
+constexpr int kCatMalProcBase = 5;  // + malware type index
+constexpr int kCatUnknownProc = 5 + static_cast<int>(model::kNumMalwareTypes);
+constexpr int kNumCats = kCatUnknownProc + 1;
+
+// File-class keys for the matrix.
+constexpr int kClassBenign = 0;
+constexpr int kClassUnknown = 1;
+constexpr int kClassMalBase = 2;  // + malware type index
+constexpr int kNumClasses = kClassMalBase + static_cast<int>(model::kNumMalwareTypes);
+
+struct FileDraft {
+  Verdict intended{};
+  Nature nature{};
+  MalwareType type = MalwareType::kUndefined;
+  std::uint32_t family = TruthTable::kNoFamily;
+  bool extractable = false;
+  std::uint8_t month = 0;
+  std::uint32_t prevalence = 1;
+  std::uint32_t repeats = 0;
+  int primary_cat = kCatBrowser;
+  Timestamp first_time = 0;
+  UrlId primary_url;
+};
+
+// A raw event pending machine/time resolution against the infection
+// registry (downloads initiated by malicious processes).
+struct PendingMalProcEvent {
+  std::uint32_t file = 0;
+  MalwareType proc_type = MalwareType::kUndefined;
+};
+
+struct InfectionRecord {
+  MachineId machine;
+  Timestamp time;
+};
+
+class Generator {
+ public:
+  explicit Generator(const CalibrationProfile& profile)
+      : profile_(profile),
+        rng_(profile.seed),
+        avsim_({}, profile.seed ^ 0x5EEDF00D),
+        world_(build_world(profile, rng_, avsim_)) {}
+
+  Dataset run();
+
+ private:
+  void build_cat_samplers();
+  void compute_signer_prefixes();
+  void draft_files();
+  void materialize_file(std::uint32_t file_index, FileDraft& d);
+  void resolve_events();
+  void resolve_pending();
+  void add_decoys();
+  void finalize_corpus();
+  void build_file_evidence();
+
+  [[nodiscard]] int class_key(const FileDraft& d) const {
+    switch (d.intended) {
+      case Verdict::kBenign:
+      case Verdict::kLikelyBenign:
+        return kClassBenign;
+      case Verdict::kMalicious:
+      case Verdict::kLikelyMalicious:
+        return kClassMalBase + static_cast<int>(idx(d.type));
+      case Verdict::kUnknown:
+        return kClassUnknown;
+    }
+    return kClassUnknown;
+  }
+
+  // Zipf-ish head-heavy index into a pool of size n.
+  std::size_t head_heavy(std::size_t n, double alpha) {
+    if (n == 0) return 0;
+    const auto r = static_cast<std::size_t>(
+        static_cast<double>(n) * std::pow(rng_.uniform01(), alpha));
+    return std::min(r, n - 1);
+  }
+
+  enum class MachinePool { kPlain, kRisky, kHeavy };
+
+  DomainId pick_domain(const FileDraft& d);
+  UrlId url_on_domain(DomainId domain);
+  // Fig. 5 infection-transition delta, keyed by initiator type.
+  Timestamp delta_for(MalwareType initiator);
+
+  // Machines are active in short sessions (~5-day buckets, ~5% of buckets
+  // active): people install software in bursts. This produces the paper's
+  // monthly machine counts (each month sees ~25% of the population) and
+  // the short benign->malware deltas of Fig. 5's control curve.
+  static bool machine_active_at(MachineId m, Timestamp t) {
+    const auto bucket =
+        static_cast<std::uint64_t>(t / (5 * model::kSecondsPerDay));
+    return util::mix64(m.raw() * 0x9E3779B97F4A7C15ULL + bucket * 0xD6E8FEB86659FD93ULL) %
+               100 < 5;
+  }
+  MachineId pick_machine(MachinePool pool, const std::vector<MachineId>& used,
+                         Timestamp t);
+  ProcessId process_for(int cat, MachineId machine);
+  void emit(std::uint32_t file, MachineId machine, ProcessId process,
+            UrlId url, Timestamp t, bool executed = true);
+
+  CalibrationProfile profile_;
+  util::Rng rng_;
+  groundtruth::AvSimulator avsim_;
+  World world_;
+
+  std::vector<FileDraft> drafts_;
+  std::array<util::DiscreteSampler, kNumClasses> cat_samplers_;
+  telemetry::CollectionStats collection_stats_;
+
+  util::DiscreteSampler malicious_type_sampler_;
+  util::DiscreteSampler unknown_mal_type_sampler_;
+
+  // Active-signer prefixes: a signer that is "in business" signs several
+  // files every month. Drawing from a truncated popularity head instead of
+  // the whole pool removes the sampling-noise band of signers with ~1 file
+  // per month, which would otherwise look class-exclusive in one training
+  // window and flip in the next (destroying the paper's <0.32% FP rate).
+  std::size_t benign_signer_prefix_ = 0;
+  std::array<std::size_t, model::kNumMalwareTypes> type_signer_prefix_{};
+  std::uint32_t zbot_family_ = TruthTable::kNoFamily;
+
+  std::vector<model::DownloadEvent> raw_events_;
+  // Per-file resolved event indexes (for repeats).
+  std::vector<std::vector<std::uint32_t>> file_events_;
+  std::vector<PendingMalProcEvent> pending_;
+  std::array<std::vector<InfectionRecord>, model::kNumMalwareTypes> registry_;
+  std::unordered_map<std::uint32_t, std::vector<UrlId>> domain_urls_;
+};
+
+void Generator::build_cat_samplers() {
+  const auto& procs = profile_.benign_procs;
+  // Joint event counts J[class][cat] from Tables X and XII.
+  std::array<std::array<double, kNumCats>, kNumClasses> j{};
+
+  auto benign_cat_index = [](std::size_t row) {
+    switch (row) {
+      case 0: return kCatBrowser;
+      case 1: return kCatWindows;
+      case 2: return kCatJava;
+      case 3: return kCatAcrobat;
+      default: return kCatOther;
+    }
+  };
+
+  for (std::size_t row = 0; row < procs.size(); ++row) {
+    const auto cat = benign_cat_index(row);
+    j[kClassBenign][cat] += static_cast<double>(procs[row].benign_files);
+    j[kClassUnknown][cat] += static_cast<double>(procs[row].unknown_files);
+    for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+      j[kClassMalBase + t][cat] +=
+          static_cast<double>(procs[row].malicious_files) *
+          procs[row].malicious_type_pct[t];
+  }
+  for (const auto& mp : profile_.mal_procs) {
+    const int cat = kCatMalProcBase + static_cast<int>(idx(mp.type));
+    j[kClassBenign][cat] += static_cast<double>(mp.benign_files);
+    j[kClassUnknown][cat] += static_cast<double>(mp.unknown_files);
+    for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+      j[kClassMalBase + t][cat] +=
+          static_cast<double>(mp.malicious_files) * mp.malicious_type_pct[t];
+  }
+  // Events by processes that stay unknown to ground truth: a small share
+  // on top, proportional to each class's row sum.
+  const double share = profile_.unknown_process_event_share;
+  for (auto& row : j) {
+    double sum = 0;
+    for (double v : row) sum += v;
+    row[kCatUnknownProc] = sum * share / (1.0 - share);
+  }
+  for (int c = 0; c < kNumClasses; ++c)
+    cat_samplers_[c] = util::DiscreteSampler(j[c]);
+}
+
+void Generator::draft_files() {
+  if (const auto zbot = world_.corpus.family_names.find("zbot"))
+    zbot_family_ = *zbot;
+  // Normalize monthly file counts so they sum to the paper's distinct-file
+  // total (monthly columns of Table I double-count files spanning months).
+  double month_sum = 0;
+  for (const auto& m : profile_.months) month_sum += static_cast<double>(m.files);
+  const double norm = static_cast<double>(profile_.total_files) / month_sum;
+
+  malicious_type_sampler_ = util::DiscreteSampler(profile_.malware_type_pct);
+  unknown_mal_type_sampler_ =
+      util::DiscreteSampler(profile_.unknown_nature.malicious_type_pct);
+
+  util::ZipfSampler prev_unknown(profile_.prevalence.max_prevalence,
+                                 profile_.prevalence.unknown_s);
+  util::ZipfSampler prev_benign(profile_.prevalence.max_prevalence,
+                                profile_.prevalence.benign_s);
+  util::ZipfSampler prev_malicious(profile_.prevalence.max_prevalence,
+                                   profile_.prevalence.malicious_s);
+
+  for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m) {
+    const auto& cal = profile_.months[m];
+    const auto n_files = static_cast<std::uint64_t>(
+        static_cast<double>(cal.files) * norm * profile_.scale);
+    std::uint64_t month_events = 0;
+    const auto month_begin =
+        model::month_begin(static_cast<model::Month>(m));
+    const auto month_len =
+        model::month_end(static_cast<model::Month>(m)) - month_begin;
+
+    const std::size_t month_first_draft = drafts_.size();
+    for (std::uint64_t i = 0; i < n_files; ++i) {
+      FileDraft d;
+      d.month = static_cast<std::uint8_t>(m);
+      const double r = rng_.uniform01();
+      if (r < cal.file_benign) {
+        d.intended = Verdict::kBenign;
+      } else if (r < cal.file_benign + cal.file_likely_benign) {
+        d.intended = Verdict::kLikelyBenign;
+      } else if (r < cal.file_benign + cal.file_likely_benign +
+                         cal.file_malicious) {
+        d.intended = Verdict::kMalicious;
+      } else if (r < cal.file_benign + cal.file_likely_benign +
+                         cal.file_malicious + cal.file_likely_malicious) {
+        d.intended = Verdict::kLikelyMalicious;
+      } else {
+        d.intended = Verdict::kUnknown;
+      }
+
+      switch (d.intended) {
+        case Verdict::kBenign:
+          d.nature = Nature::kBenign;
+          d.prevalence =
+              static_cast<std::uint32_t>(prev_benign.sample(rng_));
+          break;
+        case Verdict::kLikelyBenign:
+          // "Likely" verdicts are the noisy band the paper excludes
+          // (§III): a slice of them is wrong.
+          d.nature = rng_.bernoulli(0.15) ? Nature::kMalicious
+                                          : Nature::kBenign;
+          if (d.nature == Nature::kMalicious)
+            d.type = static_cast<MalwareType>(
+                unknown_mal_type_sampler_.sample(rng_));
+          d.prevalence =
+              static_cast<std::uint32_t>(prev_benign.sample(rng_));
+          break;
+        case Verdict::kMalicious:
+          d.nature = Nature::kMalicious;
+          d.type = static_cast<MalwareType>(
+              malicious_type_sampler_.sample(rng_));
+          d.prevalence =
+              static_cast<std::uint32_t>(prev_malicious.sample(rng_));
+          break;
+        case Verdict::kLikelyMalicious:
+          d.nature = rng_.bernoulli(0.20) ? Nature::kBenign
+                                          : Nature::kMalicious;
+          if (d.nature == Nature::kMalicious)
+            d.type = static_cast<MalwareType>(
+                malicious_type_sampler_.sample(rng_));
+          d.prevalence =
+              static_cast<std::uint32_t>(prev_malicious.sample(rng_));
+          break;
+        case Verdict::kUnknown:
+          if (rng_.bernoulli(profile_.unknown_nature.benign_fraction)) {
+            d.nature = Nature::kBenign;
+          } else {
+            d.nature = Nature::kMalicious;
+            d.type = static_cast<MalwareType>(
+                unknown_mal_type_sampler_.sample(rng_));
+          }
+          d.prevalence =
+              static_cast<std::uint32_t>(prev_unknown.sample(rng_));
+          break;
+      }
+
+      if (d.nature == Nature::kMalicious) {
+        d.family = world_.family_ids[head_heavy(world_.family_ids.size(), 3.0)];
+        // Families with a known behaviour override (zbot = banking theft)
+        // belong to their own type; handing them to, say, a signed dropper
+        // would make AVType mislabel it banker and distort Table VI.
+        for (int tries = 0; d.family == zbot_family_ &&
+                            d.type != MalwareType::kBanker && tries < 8;
+             ++tries)
+          d.family =
+              world_.family_ids[head_heavy(world_.family_ids.size(), 3.0)];
+        if (d.type == MalwareType::kBanker && rng_.bernoulli(0.5))
+          d.family = zbot_family_;
+        d.extractable = rng_.bernoulli(0.42);
+      }
+
+      d.primary_cat =
+          static_cast<int>(cat_samplers_[class_key(d)].sample(rng_));
+      d.first_time =
+          month_begin + static_cast<Timestamp>(rng_.uniform(
+                            static_cast<std::uint64_t>(month_len)));
+      month_events += d.prevalence;
+      drafts_.push_back(d);
+    }
+
+    // Repeat downloads (same machine re-fetching a file) top the month up
+    // to its Table I event count.
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(cal.events) * profile_.scale);
+    const std::size_t month_drafts = drafts_.size() - month_first_draft;
+    if (month_drafts == 0) continue;
+    // Repeats land on popular files (prevalence-weighted): re-downloads in
+    // the wild are dominated by widely-distributed installers.
+    std::vector<double> repeat_w(month_drafts);
+    for (std::size_t i = 0; i < month_drafts; ++i) {
+      const auto& d = drafts_[month_first_draft + i];
+      repeat_w[i] = static_cast<double>(d.prevalence) *
+                    (d.intended == Verdict::kUnknown ? 0.35 : 1.0);
+    }
+    const util::DiscreteSampler repeat_pick(repeat_w);
+    while (month_events < target) {
+      auto& d = drafts_[month_first_draft + repeat_pick.sample(rng_)];
+      ++d.repeats;
+      ++month_events;
+    }
+  }
+}
+
+DomainId Generator::pick_domain(const FileDraft& d) {
+  struct RoleWeight {
+    const std::vector<DomainId>* pool;
+    double weight;
+    double alpha;  // head-heaviness within the role
+  };
+  std::array<RoleWeight, 5> roles{};
+  std::size_t n = 0;
+  auto add = [&](const std::vector<DomainId>& pool, double wgt, double alpha) {
+    if (!pool.empty()) roles[n++] = {&pool, wgt, alpha};
+  };
+
+  const auto& w = world_;
+  if (d.intended == Verdict::kBenign || d.intended == Verdict::kLikelyBenign) {
+    add(w.mixed_domains, 0.50, 2.5);
+    add(w.vendor_domains, 0.38, 2.5);
+    add(w.tail_domains, 0.12, 1.2);
+  } else if (d.intended == Verdict::kUnknown) {
+    if (d.nature == Nature::kBenign) {
+      add(w.tail_domains, 0.50, 1.2);
+      add(w.mixed_domains, 0.33, 2.5);
+      add(w.vendor_domains, 0.12, 2.5);
+      add(w.adware_domains, 0.05, 2.0);
+    } else {
+      add(w.tail_domains, 0.45, 1.2);
+      add(w.mixed_domains, 0.25, 2.5);
+      add(w.dedicated_domains, 0.20, 2.0);
+      add(w.adware_domains, 0.06, 2.0);
+      add(w.fakeav_domains, 0.04, 2.0);
+    }
+  } else {
+    switch (d.type) {
+      case MalwareType::kDropper:
+        add(w.mixed_domains, 0.45, 2.5);
+        add(w.dedicated_domains, 0.40, 2.0);
+        add(w.tail_domains, 0.12, 1.2);
+        add(w.adware_domains, 0.03, 2.0);
+        break;
+      case MalwareType::kPup:
+        add(w.mixed_domains, 0.50, 2.5);
+        add(w.dedicated_domains, 0.30, 2.0);
+        add(w.tail_domains, 0.15, 1.2);
+        add(w.adware_domains, 0.05, 2.0);
+        break;
+      case MalwareType::kAdware:
+        add(w.adware_domains, 0.50, 2.0);
+        add(w.mixed_domains, 0.25, 2.5);
+        add(w.dedicated_domains, 0.15, 2.0);
+        add(w.tail_domains, 0.10, 1.2);
+        break;
+      case MalwareType::kFakeAv:
+        add(w.fakeav_domains, 0.75, 1.5);
+        add(w.dedicated_domains, 0.10, 2.0);
+        add(w.mixed_domains, 0.10, 2.5);
+        add(w.tail_domains, 0.05, 1.2);
+        break;
+      case MalwareType::kTrojan:
+      case MalwareType::kUndefined:
+        add(w.dedicated_domains, 0.40, 2.0);
+        add(w.mixed_domains, 0.32, 2.5);
+        add(w.tail_domains, 0.23, 1.2);
+        add(w.adware_domains, 0.05, 2.0);
+        break;
+      default:  // banker, bot, worm, spyware, ransomware
+        add(w.dedicated_domains, 0.60, 1.6);
+        add(w.tail_domains, 0.25, 1.2);
+        add(w.mixed_domains, 0.15, 2.5);
+        break;
+    }
+  }
+
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += roles[i].weight;
+  double r = rng_.uniform01() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    r -= roles[i].weight;
+    if (r < 0 || i == n - 1) {
+      const auto& pool = *roles[i].pool;
+      return pool[head_heavy(pool.size(), roles[i].alpha)];
+    }
+  }
+  return w.tail_domains.front();
+}
+
+UrlId Generator::url_on_domain(DomainId domain) {
+  auto& urls = domain_urls_[domain.raw()];
+  // File-hosting URLs are shared across files often enough that the URL
+  // table ends up smaller than the file table, as in the paper.
+  if (!urls.empty() && rng_.bernoulli(0.35))
+    return urls[rng_.uniform(urls.size())];
+  const UrlId id{static_cast<std::uint32_t>(world_.corpus.urls.size())};
+  world_.corpus.urls.push_back(model::UrlMeta{
+      domain, world_.corpus.domains[domain.raw()].alexa_rank});
+  urls.push_back(id);
+  return id;
+}
+
+MachineId Generator::pick_machine(MachinePool pool,
+                                  const std::vector<MachineId>& used,
+                                  Timestamp t) {
+  const auto& sampler = pool == MachinePool::kHeavy
+                            ? world_.machine_sampler_heavy
+                            : pool == MachinePool::kRisky
+                                  ? world_.machine_sampler_risky
+                                  : world_.machine_sampler_plain;
+  // Rejection-sample until the machine is in an active session at t; the
+  // fallback after the try budget accepts a session mismatch rather than
+  // looping forever.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const MachineId m{static_cast<std::uint32_t>(sampler.sample(rng_))};
+    if (!machine_active_at(m, t)) continue;
+    if (std::find(used.begin(), used.end(), m) == used.end()) return m;
+  }
+  return MachineId{static_cast<std::uint32_t>(sampler.sample(rng_))};
+}
+
+ProcessId Generator::process_for(int cat, MachineId machine) {
+  const auto& w = world_;
+  const std::uint64_t mhash =
+      util::mix64(machine.raw() * 0x9E3779B97F4A7C15ULL + 17);
+  switch (cat) {
+    case kCatBrowser: {
+      const auto kind =
+          static_cast<std::size_t>(w.machines[machine.raw()].browser);
+      const auto& range = w.browser_procs[kind];
+      return ProcessId{range.begin +
+                       static_cast<std::uint32_t>(mhash % range.size())};
+    }
+    case kCatWindows: {
+      const auto& range = w.windows_procs;
+      return ProcessId{range.begin +
+                       static_cast<std::uint32_t>(mhash % range.size())};
+    }
+    case kCatJava: {
+      const auto& range = w.java_procs;
+      return ProcessId{range.begin +
+                       static_cast<std::uint32_t>(mhash % range.size())};
+    }
+    case kCatAcrobat: {
+      const auto& range = w.acrobat_procs;
+      return ProcessId{range.begin +
+                       static_cast<std::uint32_t>(mhash % range.size())};
+    }
+    case kCatOther: {
+      const auto& range = w.other_procs;
+      return ProcessId{
+          range.begin +
+          static_cast<std::uint32_t>(head_heavy(range.size(), 1.8))};
+    }
+    case kCatUnknownProc: {
+      const auto& pool = w.unknown_procs;
+      return pool[head_heavy(pool.size(), 1.5)];
+    }
+    default: {  // malicious process of type (cat - kCatMalProcBase)
+      const auto& pool = w.malproc_pool[static_cast<std::size_t>(
+          cat - kCatMalProcBase)];
+      if (pool.empty()) return w.unknown_procs.front();
+      return pool[head_heavy(pool.size(), 2.0)];
+    }
+  }
+}
+
+void Generator::emit(std::uint32_t file, MachineId machine, ProcessId process,
+                     UrlId url, Timestamp t, bool executed) {
+  raw_events_.push_back(model::DownloadEvent{
+      FileId{file}, machine, process, url, t, executed});
+  if (executed) {
+    file_events_[file].push_back(
+        static_cast<std::uint32_t>(raw_events_.size() - 1));
+  }
+}
+
+void Generator::resolve_events() {
+  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
+  file_events_.resize(drafts_.size());
+
+  // Infection-chain demands (Fig. 5): a machine that downloads and runs an
+  // adware/PUP/dropper is likely to fetch *other* malware shortly after.
+  // Initiator events push a demand; later other-malware events consume one,
+  // inheriting the machine and a type-specific time delta.
+  struct Demand {
+    MachineId machine;
+    Timestamp time;
+    MalwareType initiator;
+  };
+  std::vector<Demand> adware_pup_demands, dropper_demands;
+
+  auto is_chain_initiator = [](MalwareType t) {
+    return t == MalwareType::kAdware || t == MalwareType::kPup ||
+           t == MalwareType::kDropper;
+  };
+  auto is_other_malware_type = [](MalwareType t) {
+    return t != MalwareType::kAdware && t != MalwareType::kPup &&
+           t != MalwareType::kUndefined;
+  };
+
+  std::vector<MachineId> used;
+  auto resolve_file = [&](std::uint32_t f, bool consume_demands) {
+    auto& d = drafts_[f];
+    used.clear();
+    for (std::uint32_t i = 0; i < d.prevalence; ++i) {
+      const int cat = (i == 0 || rng_.bernoulli(0.85))
+                          ? d.primary_cat
+                          : static_cast<int>(
+                                cat_samplers_[class_key(d)].sample(rng_));
+      Timestamp t =
+          i == 0 ? d.first_time
+                 : d.first_time + static_cast<Timestamp>(
+                                      rng_.exponential(6.0 * 86'400.0));
+      t = std::min(t, period_end - 1);
+
+      if (cat >= kCatMalProcBase && cat < kCatUnknownProc) {
+        pending_.push_back(
+            {f, static_cast<MalwareType>(cat - kCatMalProcBase)});
+        continue;
+      }
+
+      MachineId machine;
+      bool from_demand = false;
+      if (consume_demands && rng_.bernoulli(0.9)) {
+        // Pick a demand queue: droppers favor adware/PUP chains (bundled
+        // installers drop the next stage) but also re-drop on dropper
+        // machines; other malware splits between both queues.
+        auto* queue = &adware_pup_demands;
+        if (d.type == MalwareType::kDropper) {
+          if (adware_pup_demands.empty() || rng_.bernoulli(0.35))
+            queue = &dropper_demands;
+        } else if (!dropper_demands.empty() && rng_.bernoulli(0.5)) {
+          queue = &dropper_demands;
+        }
+        if (queue->empty())
+          queue = queue == &dropper_demands ? &adware_pup_demands
+                                            : &dropper_demands;
+        if (!queue->empty()) {
+          const std::size_t pick = rng_.uniform(queue->size());
+          const Demand demand = (*queue)[pick];
+          (*queue)[pick] = queue->back();
+          queue->pop_back();
+          if (std::find(used.begin(), used.end(), demand.machine) ==
+              used.end()) {
+            machine = demand.machine;
+            t = std::min(demand.time + delta_for(demand.initiator),
+                         period_end - 1);
+            from_demand = true;
+          }
+        }
+      }
+      if (!from_demand) {
+        // Casual machines download popular files; the long tail of
+        // prevalence-1 unknown files lands on heavy downloaders. This is
+        // what keeps "machines that saw an unknown file" near 69% (§IV-A)
+        // while total machine coverage stays at the paper's events/machine.
+        // Malicious events lean on risky machines but keep substantial
+        // overlap with the plain population: the paper's Fig. 5 control
+        // shows even benign-only machines pick up malware at a steady
+        // background rate.
+        const MachinePool pool =
+            d.intended == Verdict::kUnknown
+                ? MachinePool::kHeavy
+                : (d.nature == Nature::kMalicious && rng_.bernoulli(0.6)
+                       ? MachinePool::kRisky
+                       : MachinePool::kPlain);
+        machine = pick_machine(pool, used, t);
+      }
+      used.push_back(machine);
+      const UrlId url = rng_.bernoulli(0.9) ? d.primary_url
+                                            : url_on_domain(pick_domain(d));
+      emit(f, machine, process_for(cat, machine), url, t);
+      if (d.nature == Nature::kMalicious)
+        registry_[idx(d.type)].push_back({machine, t});
+
+      // Labeled chain initiators prime their machine for follow-ups.
+      if (d.intended == Verdict::kMalicious && is_chain_initiator(d.type) &&
+          rng_.bernoulli(0.9)) {
+        auto& queue = d.type == MalwareType::kDropper ? dropper_demands
+                                                      : adware_pup_demands;
+        queue.push_back({machine, t, d.type});
+      }
+    }
+  };
+
+  // Phase 1: everything that is not labeled other-malware — this builds
+  // the demand queues. Phase 2: dropper files (consume adware/PUP demands,
+  // produce dropper demands). Phase 3: remaining other-malware files
+  // consume demands (droppers' first).
+  std::vector<std::uint32_t> phase2, phase3;
+  for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
+    const auto& d = drafts_[f];
+    const bool labeled_malware = d.intended == Verdict::kMalicious;
+    if (labeled_malware && d.type == MalwareType::kDropper) {
+      phase2.push_back(f);
+    } else if (labeled_malware && is_other_malware_type(d.type)) {
+      phase3.push_back(f);
+    } else {
+      resolve_file(f, /*consume_demands=*/false);
+    }
+  }
+  for (const auto f : phase2) resolve_file(f, /*consume_demands=*/true);
+  for (const auto f : phase3) resolve_file(f, /*consume_demands=*/true);
+
+  resolve_pending();
+
+  // Repeat downloads: same machine re-fetches a file it already has.
+  for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
+    const auto& d = drafts_[f];
+    if (d.repeats == 0 || file_events_[f].empty()) continue;
+    for (std::uint32_t r = 0; r < d.repeats; ++r) {
+      const auto& src =
+          raw_events_[file_events_[f][rng_.uniform(file_events_[f].size())]];
+      const Timestamp t = std::min(
+          src.time + static_cast<Timestamp>(3'600 + rng_.uniform(71 * 3'600)),
+          period_end - 1);
+      emit(f, src.machine, src.process, src.url, t);
+    }
+  }
+}
+
+Timestamp Generator::delta_for(MalwareType initiator) {
+  const auto& tr = profile_.transitions;
+  double day0, mean;
+  switch (initiator) {
+    case MalwareType::kDropper:
+      day0 = tr.dropper_day0; mean = tr.dropper_mean_days; break;
+    case MalwareType::kAdware:
+      day0 = tr.adware_day0; mean = tr.adware_mean_days; break;
+    case MalwareType::kPup:
+      day0 = tr.pup_day0; mean = tr.pup_mean_days; break;
+    default:
+      day0 = tr.default_day0; mean = tr.default_mean_days; break;
+  }
+  const double days = rng_.bernoulli(day0)
+                          ? rng_.uniform01() * 0.9
+                          : 1.0 + rng_.exponential(mean);
+  return static_cast<Timestamp>(days * 86'400.0);
+}
+
+void Generator::resolve_pending() {
+  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
+
+  for (const auto& p : pending_) {
+    auto& d = drafts_[p.file];
+    const auto& reg = registry_[idx(p.proc_type)];
+    MachineId machine;
+    Timestamp t;
+    if (reg.empty()) {
+      // No machine is infected with this process type (possible at tiny
+      // scales): fall back to an independent risky machine.
+      static const std::vector<MachineId> kNoUsed;
+      t = d.first_time;
+      machine = pick_machine(MachinePool::kRisky, kNoUsed, t);
+    } else {
+      const auto& rec = reg[rng_.uniform(reg.size())];
+      machine = rec.machine;
+      t = std::min(rec.time + delta_for(p.proc_type), period_end - 1);
+    }
+    const UrlId url = rng_.bernoulli(0.9) ? d.primary_url
+                                          : url_on_domain(pick_domain(d));
+    const int cat = kCatMalProcBase + static_cast<int>(idx(p.proc_type));
+    emit(p.file, machine, process_for(cat, machine), url, t);
+    if (d.nature == Nature::kMalicious)
+      registry_[idx(d.type)].push_back({machine, t});
+  }
+  pending_.clear();
+}
+
+void Generator::add_decoys() {
+  if (raw_events_.empty()) return;
+  const std::size_t n_events = raw_events_.size();
+
+  // Downloads that were never executed: observed by the agent, filtered by
+  // the reporting rules.
+  const auto n_nonexec = n_events / 50;
+  for (std::size_t i = 0; i < n_nonexec; ++i) {
+    auto ev = raw_events_[rng_.uniform(n_events)];
+    ev.executed = false;
+    ev.time = std::min<Timestamp>(
+        ev.time + static_cast<Timestamp>(rng_.uniform(86'400)),
+        model::kMonthStart[model::kNumCalendarMonths] - 1);
+    raw_events_.push_back(ev);
+  }
+
+  // Software updates from whitelisted vendor CDNs: suppressed at the
+  // collection server.
+  const auto n_update = n_events / 100;
+  for (std::size_t i = 0; i < n_update; ++i) {
+    auto ev = raw_events_[rng_.uniform(n_events)];
+    const DomainId dom =
+        world_.update_domains[rng_.uniform(world_.update_domains.size())];
+    ev.url = url_on_domain(dom);
+    raw_events_.push_back(ev);
+  }
+}
+
+void Generator::finalize_corpus() {
+  std::sort(raw_events_.begin(), raw_events_.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+
+  telemetry::CollectionPolicy policy;
+  policy.sigma = profile_.sigma;
+  for (DomainId dom : world_.update_domains)
+    policy.whitelisted_domains.insert(dom);
+
+  telemetry::CollectionServer server(std::move(policy));
+  world_.corpus.events = server.filter(raw_events_, world_.corpus.urls);
+  world_.corpus.machine_count = world_.num_machines();
+  collection_stats_ = server.stats();
+}
+
+void Generator::materialize_file(std::uint32_t file_index, FileDraft& d) {
+  model::FileMeta meta;
+  meta.sha = util::digest_of(/*kind=*/1, file_index);
+
+  const bool via_browser = d.primary_cat == kCatBrowser;
+  double signed_rate;
+  const auto& sg = profile_.signing;
+  auto split_rate = [](double overall, double share, double browser_rate,
+                       bool browser) {
+    if (browser) return browser_rate;
+    if (share >= 0.999) return overall;
+    const double rest = (overall - share * browser_rate) / (1.0 - share);
+    return std::clamp(rest, 0.0, 1.0);
+  };
+  switch (d.intended) {
+    case Verdict::kBenign:
+    case Verdict::kLikelyBenign:
+      signed_rate = split_rate(sg.benign_signed, sg.benign_browser_share,
+                               sg.benign_browser_signed, via_browser);
+      break;
+    case Verdict::kUnknown:
+      signed_rate = split_rate(sg.unknown_signed, sg.unknown_browser_share,
+                               sg.unknown_browser_signed, via_browser);
+      break;
+    default:
+      signed_rate = split_rate(sg.signed_pct[idx(d.type)],
+                               sg.browser_share[idx(d.type)],
+                               sg.browser_signed_pct[idx(d.type)], via_browser);
+      break;
+  }
+  meta.is_signed = rng_.bernoulli(signed_rate);
+  if (meta.is_signed) {
+    if (d.nature == Nature::kBenign) {
+      meta.signer =
+          world_.benign_signer_pool[head_heavy(benign_signer_prefix_, 1.0)];
+    } else {
+      // Malicious signing certificates churn: each month the active window
+      // slides a third of its width through the type's pool (new certs are
+      // acquired, burned ones abandoned). Benign signers are long-lived.
+      const auto& pool = world_.type_signer_pool[idx(d.type)];
+      const std::size_t prefix = type_signer_prefix_[idx(d.type)];
+      const std::size_t offset = (d.month * std::max<std::size_t>(prefix / 3, 1)) % pool.size();
+      meta.signer = pool[(offset + head_heavy(prefix, 1.0)) % pool.size()];
+    }
+    meta.ca = world_.signer_ca[meta.signer.raw()];
+  }
+
+  const auto& pk = profile_.packers;
+  const double packed_rate = d.intended == Verdict::kUnknown
+                                 ? pk.unknown_packed
+                                 : (d.nature == Nature::kBenign
+                                        ? pk.benign_packed
+                                        : pk.malicious_packed);
+  meta.is_packed = rng_.bernoulli(packed_rate);
+  if (meta.is_packed) {
+    const auto& pool = d.nature == Nature::kBenign
+                           ? world_.benign_packer_pool
+                           : world_.malicious_packer_pool;
+    meta.packer = pool[head_heavy(pool.size(), 1.6)];
+  }
+
+  const double mu = d.nature == Nature::kBenign ? 14.3 : 13.2;  // ~e^14.3=1.6MB
+  meta.size = static_cast<std::uint64_t>(std::exp(rng_.normal(mu, 1.1)));
+
+  world_.corpus.files.push_back(meta);
+  world_.truth.file_nature.push_back(d.nature);
+  world_.truth.file_type.push_back(d.type);
+  world_.truth.file_family.push_back(d.family);
+  world_.truth.file_family_extractable.push_back(d.extractable);
+  world_.truth.file_intended.push_back(d.intended);
+
+  d.primary_url = url_on_domain(pick_domain(d));
+}
+
+void Generator::build_file_evidence() {
+  world_.vt.set_file_count(world_.corpus.files.size());
+  for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
+    const auto& d = drafts_[f];
+    const FileId id{f};
+    switch (d.intended) {
+      case Verdict::kBenign:
+        if (rng_.bernoulli(profile_.benign_whitelist_share)) {
+          world_.whitelist.add(id);
+        } else {
+          world_.vt.put(id, avsim_.clean_report(
+                                d.first_time,
+                                20 + static_cast<std::int64_t>(
+                                         rng_.uniform(680))));
+        }
+        break;
+      case Verdict::kLikelyBenign:
+        world_.vt.put(id, avsim_.clean_report(
+                              d.first_time,
+                              static_cast<std::int64_t>(rng_.uniform(14))));
+        break;
+      case Verdict::kMalicious: {
+        const std::string_view family =
+            d.family == TruthTable::kNoFamily
+                ? std::string_view{}
+                : world_.corpus.family_names.at(d.family);
+        const double boost =
+            std::min(1.0, 0.25 + static_cast<double>(std::min(
+                                     d.prevalence, 20u)) /
+                               40.0 +
+                              rng_.uniform01() * 0.4);
+        world_.vt.put(id, avsim_.malicious_report(d.type, family,
+                                                  d.extractable, d.first_time,
+                                                  boost));
+        break;
+      }
+      case Verdict::kLikelyMalicious: {
+        const std::string_view family =
+            d.family == TruthTable::kNoFamily
+                ? std::string_view{}
+                : world_.corpus.family_names.at(d.family);
+        world_.vt.put(id, avsim_.likely_malicious_report(d.type, family,
+                                                         d.first_time));
+        break;
+      }
+      case Verdict::kUnknown:
+        break;  // no evidence, by definition
+    }
+  }
+}
+
+void Generator::compute_signer_prefixes() {
+  const double monthly_files =
+      static_cast<double>(profile_.total_files) * profile_.scale /
+      static_cast<double>(model::kNumCollectionMonths);
+  // Only files with the full "benign"/"malicious" verdict reach the rule
+  // learner, so the active-prefix sizing must use the labeled fractions
+  // (2.3% / 9.9%), and every active signer should average >= ~6 labeled
+  // files per month so a month with zero sightings is a sub-percent event.
+  const double benign_frac = 0.023;
+  const double benign_monthly_signed =
+      monthly_files * benign_frac * profile_.signing.benign_signed;
+  benign_signer_prefix_ = std::clamp<std::size_t>(
+      static_cast<std::size_t>(benign_monthly_signed / 6.0), 10,
+      world_.benign_signer_pool.size());
+  const double mal_frac = 0.099;
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t) {
+    const double monthly_signed = monthly_files * mal_frac *
+                                  profile_.malware_type_pct[t] *
+                                  profile_.signing.signed_pct[t];
+    // The active window must stay at a third of the pool so the monthly
+    // churn rotation actually replaces signers.
+    const std::size_t pool = world_.type_signer_pool[t].size();
+    const std::size_t hi = std::max<std::size_t>(2, pool / 3);
+    type_signer_prefix_[t] = std::clamp<std::size_t>(
+        static_cast<std::size_t>(monthly_signed / 6.0), std::min<std::size_t>(2, hi), hi);
+  }
+}
+
+Dataset Generator::run() {
+  build_cat_samplers();
+  compute_signer_prefixes();
+  draft_files();
+  for (std::uint32_t f = 0; f < drafts_.size(); ++f)
+    materialize_file(f, drafts_[f]);
+  resolve_events();
+  add_decoys();
+  finalize_corpus();
+  build_file_evidence();
+
+  Dataset out;
+  out.corpus = std::move(world_.corpus);
+  out.truth = std::move(world_.truth);
+  out.whitelist = std::move(world_.whitelist);
+  out.vt = std::move(world_.vt);
+  out.collection_stats = collection_stats_;
+  out.profile = profile_;
+  return out;
+}
+
+}  // namespace
+
+Dataset generate_dataset(const CalibrationProfile& profile) {
+  Generator generator(profile);
+  return generator.run();
+}
+
+}  // namespace longtail::synth

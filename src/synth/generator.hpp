@@ -1,0 +1,40 @@
+// End-to-end dataset generation.
+//
+// `generate_dataset` builds the world (pools, machines, processes),
+// drafts the file population month by month (verdict class, hidden
+// nature/type/family, prevalence, metadata, hosting domains), assembles
+// the raw agent event stream — including malicious-process follow-up
+// downloads attached to previously-infected machines, which produce the
+// infection-transition dynamics of Fig. 5 — replays it through the
+// collection server's reporting rules (§II-A), and materializes the
+// ground-truth evidence (whitelists + simulated VT scans).
+//
+// Everything is deterministic in `profile.seed`.
+#pragma once
+
+#include "groundtruth/vt.hpp"
+#include "groundtruth/whitelist.hpp"
+#include "synth/calibration.hpp"
+#include "synth/truth.hpp"
+#include "telemetry/collection.hpp"
+#include "telemetry/corpus.hpp"
+
+namespace longtail::synth {
+
+struct Dataset {
+  telemetry::Corpus corpus;
+  TruthTable truth;
+  groundtruth::Whitelist whitelist;
+  groundtruth::VtDatabase vt;
+  telemetry::CollectionStats collection_stats;
+  CalibrationProfile profile;
+};
+
+Dataset generate_dataset(const CalibrationProfile& profile);
+
+// Convenience: the paper profile at the given scale.
+inline Dataset generate_dataset(double scale = 0.10) {
+  return generate_dataset(paper_calibration(scale));
+}
+
+}  // namespace longtail::synth

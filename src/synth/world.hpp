@@ -1,0 +1,101 @@
+// World construction: the static population the event generator samples
+// from — signer/CA/packer pools, the domain catalogue with Alexa ranks and
+// list flags, the machine park, the benign process catalogue (browsers,
+// Windows, Java, Acrobat Reader, other) and the malicious/unknown process
+// pools, each with metadata and ground-truth evidence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "groundtruth/avsim.hpp"
+#include "groundtruth/vt.hpp"
+#include "groundtruth/whitelist.hpp"
+#include "model/event.hpp"
+#include "model/ids.hpp"
+#include "model/labels.hpp"
+#include "synth/calibration.hpp"
+#include "synth/truth.hpp"
+#include "telemetry/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace longtail::synth {
+
+struct MachineProfile {
+  model::BrowserKind browser = model::BrowserKind::kInternetExplorer;
+  float activity = 1.0f;  // relative event-sampling weight
+  float risk = 1.0f;      // multiplier for malicious-event sampling
+};
+
+// Half-open range of process ids [begin, end).
+struct ProcRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  [[nodiscard]] std::uint32_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool contains(model::ProcessId p) const noexcept {
+    return p.raw() >= begin && p.raw() < end;
+  }
+};
+
+struct World {
+  CalibrationProfile profile;
+
+  // Entity tables (processes, domains, name pools filled; files/urls/events
+  // are added later by the event generator).
+  telemetry::Corpus corpus;
+  TruthTable truth;                 // process_* columns filled
+  groundtruth::Whitelist whitelist; // process entries filled
+  groundtruth::VtDatabase vt;       // process reports filled
+
+  // Machines.
+  std::vector<MachineProfile> machines;
+  util::DiscreteSampler machine_sampler_plain;  // weight = activity
+  util::DiscreteSampler machine_sampler_risky;  // weight = activity * risk
+  // Heavy-downloader concentration: unknown (long-tail) files land mostly
+  // on machines that download a lot, which keeps the fraction of machines
+  // touching unknown files near the paper's 69% instead of saturating.
+  util::DiscreteSampler machine_sampler_heavy;  // weight = activity^2.5 * risk
+
+  // Signers. Pools hold signer-name ids ordered by popularity (Zipf head
+  // first); `signer_ca` maps every signer to its issuing CA.
+  std::vector<model::SignerId> benign_signer_pool;  // benign + shared
+  std::array<std::vector<model::SignerId>, model::kNumMalwareTypes>
+      type_signer_pool;  // per malicious type (shared + exclusive)
+  std::vector<model::CaId> signer_ca;
+  model::SignerId windows_signer;  // "Microsoft Windows"
+  std::array<model::SignerId, model::kNumBrowserKinds> browser_signer{};
+  model::SignerId java_signer, acrobat_signer;
+
+  // Packers.
+  std::vector<model::PackerId> benign_packer_pool;     // shared + benign-only
+  std::vector<model::PackerId> malicious_packer_pool;  // shared + mal-only
+
+  // Domains by hosting role.
+  std::vector<model::DomainId> mixed_domains, vendor_domains,
+      dedicated_domains, fakeav_domains, adware_domains, update_domains,
+      tail_domains;
+
+  // Benign process catalogue.
+  std::array<ProcRange, model::kNumBrowserKinds> browser_procs{};
+  ProcRange windows_procs, java_procs, acrobat_procs, other_procs;
+  // Malicious processes by type, popularity-ordered.
+  std::array<std::vector<model::ProcessId>, model::kNumMalwareTypes>
+      malproc_pool;
+  // Processes with no (or weak) ground truth.
+  std::vector<model::ProcessId> unknown_procs;
+
+  // Families (ids into corpus.family_names), popularity-ordered.
+  std::vector<std::uint32_t> family_ids;
+
+  [[nodiscard]] std::uint32_t num_machines() const noexcept {
+    return static_cast<std::uint32_t>(machines.size());
+  }
+};
+
+// Builds the world. `avsim` is used to materialize VT evidence for
+// malicious/unknown processes.
+World build_world(const CalibrationProfile& profile, util::Rng& rng,
+                  groundtruth::AvSimulator& avsim);
+
+}  // namespace longtail::synth

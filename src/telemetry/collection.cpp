@@ -1,0 +1,36 @@
+#include "telemetry/collection.hpp"
+
+#include <cassert>
+
+namespace longtail::telemetry {
+
+std::vector<model::DownloadEvent> CollectionServer::filter(
+    std::span<const model::DownloadEvent> raw,
+    std::span<const model::UrlMeta> url_meta) {
+  std::vector<model::DownloadEvent> accepted;
+  accepted.reserve(raw.size());
+
+  for (const model::DownloadEvent& e : raw) {
+    if (!e.executed) {
+      ++stats_.dropped_not_executed;
+      continue;
+    }
+    assert(e.url.raw() < url_meta.size());
+    const model::DomainId domain = url_meta[e.url.raw()].domain;
+    if (policy_.whitelisted_domains.contains(domain)) {
+      ++stats_.dropped_whitelisted_url;
+      continue;
+    }
+    auto& machines = machines_per_file_[e.file];
+    if (!machines.contains(e.machine) && machines.size() >= policy_.sigma) {
+      ++stats_.dropped_prevalence_cap;
+      continue;
+    }
+    machines.insert(e.machine);
+    ++stats_.accepted;
+    accepted.push_back(e);
+  }
+  return accepted;
+}
+
+}  // namespace longtail::telemetry

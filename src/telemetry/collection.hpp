@@ -1,0 +1,79 @@
+// The collection-server reporting rules of §II-A.
+//
+// Each monitored machine runs a software agent (SA) that observes every
+// web-based download; the agent reports an event to the collection server
+// (CS) only if:
+//   1. the downloaded file was *executed* on the machine;
+//   2. the file's current prevalence (distinct machines seen so far, by
+//      hash) is below the threshold sigma (20 during the study);
+//   3. the download URL's domain is not on the collection whitelist
+//      (e.g. major-vendor software-update domains).
+//
+// `CollectionServer::filter` replays a raw agent stream through these rules
+// and returns the event list the vendor's dataset would contain, together
+// with drop counters so the filtering behaviour itself is testable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "model/event.hpp"
+#include "model/ids.hpp"
+
+namespace longtail::telemetry {
+
+struct CollectionPolicy {
+  // Prevalence reporting cap; the paper's sigma.
+  std::uint32_t sigma = 20;
+  // Domains whose downloads are never reported (software-update CDNs of
+  // major vendors, per §II-A).
+  std::unordered_set<model::DomainId> whitelisted_domains;
+};
+
+struct CollectionStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped_not_executed = 0;
+  std::uint64_t dropped_prevalence_cap = 0;
+  std::uint64_t dropped_whitelisted_url = 0;
+
+  [[nodiscard]] std::uint64_t total_seen() const noexcept {
+    return accepted + dropped_not_executed + dropped_prevalence_cap +
+           dropped_whitelisted_url;
+  }
+};
+
+class CollectionServer {
+ public:
+  explicit CollectionServer(CollectionPolicy policy)
+      : policy_(std::move(policy)) {}
+
+  // Replays `raw` (must be time-sorted) through the reporting rules.
+  // `url_domain` maps each UrlId to its DomainId.
+  [[nodiscard]] std::vector<model::DownloadEvent> filter(
+      std::span<const model::DownloadEvent> raw,
+      std::span<const model::UrlMeta> url_meta);
+
+  [[nodiscard]] const CollectionStats& stats() const noexcept {
+    return stats_;
+  }
+
+  // Distinct machines that downloaded `f` among *accepted* events, capped
+  // at sigma by construction.
+  [[nodiscard]] std::uint32_t reported_prevalence(model::FileId f) const {
+    auto it = machines_per_file_.find(f);
+    return it == machines_per_file_.end()
+               ? 0
+               : static_cast<std::uint32_t>(it->second.size());
+  }
+
+ private:
+  CollectionPolicy policy_;
+  CollectionStats stats_;
+  std::unordered_map<model::FileId, std::unordered_set<model::MachineId>>
+      machines_per_file_;
+};
+
+}  // namespace longtail::telemetry

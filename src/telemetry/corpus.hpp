@@ -1,0 +1,63 @@
+// The telemetry corpus: the complete set of download events reported to the
+// vendor's collection server, plus per-entity metadata tables.
+//
+// This mirrors the dataset of §II-A: events are 5-tuples referencing dense
+// entity tables. The corpus carries *no verdicts* — labeling is derived
+// separately from evidence (see groundtruth/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/event.hpp"
+#include "model/ids.hpp"
+#include "util/interner.hpp"
+
+namespace longtail::telemetry {
+
+struct Corpus {
+  // Time-sorted stream of reported download events.
+  std::vector<model::DownloadEvent> events;
+
+  // Entity metadata, indexed by the dense ids in the events.
+  std::vector<model::FileMeta> files;
+  std::vector<model::ProcessMeta> processes;
+  std::vector<model::UrlMeta> urls;
+  std::vector<model::DomainMeta> domains;
+
+  // Name pools. Ids in metadata index into these.
+  util::StringInterner domain_names;
+  util::StringInterner signer_names;
+  util::StringInterner ca_names;
+  util::StringInterner packer_names;
+  util::StringInterner family_names;
+  // On-disk executable names of downloading processes ("chrome.exe", ...)
+  util::StringInterner process_names;
+
+  // Total number of distinct monitored machines (machine ids are dense in
+  // [0, machine_count)).
+  std::uint32_t machine_count = 0;
+
+  [[nodiscard]] std::size_t num_events() const noexcept {
+    return events.size();
+  }
+  [[nodiscard]] std::size_t num_files() const noexcept { return files.size(); }
+  [[nodiscard]] std::size_t num_processes() const noexcept {
+    return processes.size();
+  }
+  [[nodiscard]] std::size_t num_urls() const noexcept { return urls.size(); }
+  [[nodiscard]] std::size_t num_domains() const noexcept {
+    return domains.size();
+  }
+
+  [[nodiscard]] std::string_view domain_of_url(model::UrlId u) const {
+    return domain_names.at(urls[u.raw()].domain.raw());
+  }
+
+  [[nodiscard]] std::string_view process_name(model::ProcessId p) const {
+    return process_names.at(processes[p.raw()].name);
+  }
+};
+
+}  // namespace longtail::telemetry

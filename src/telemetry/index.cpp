@@ -1,0 +1,75 @@
+#include "telemetry/index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace longtail::telemetry {
+
+CorpusIndex::CorpusIndex(const Corpus& corpus) : corpus_(&corpus) {
+  const auto& events = corpus.events;
+  assert(std::is_sorted(events.begin(), events.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.time < b.time;
+                        }));
+
+  const std::size_t nf = corpus.files.size();
+  prevalence_.assign(nf, 0);
+  first_seen_.assign(nf, std::numeric_limits<model::Timestamp>::max());
+  last_seen_.assign(nf, std::numeric_limits<model::Timestamp>::min());
+
+  // Distinct machines per file. Prevalence is capped upstream at sigma, so
+  // these sets stay tiny.
+  std::unordered_map<model::FileId, std::unordered_set<model::MachineId>>
+      file_machines;
+  file_machines.reserve(nf);
+
+  std::vector<std::uint32_t> machine_counts(corpus.machine_count + 1, 0);
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    file_machines[e.file].insert(e.machine);
+    auto& fs = first_seen_[e.file.raw()];
+    fs = std::min(fs, e.time);
+    auto& ls = last_seen_[e.file.raw()];
+    ls = std::max(ls, e.time);
+    ++machine_counts[e.machine.raw()];
+  }
+
+  observed_files_.reserve(file_machines.size());
+  for (const auto& [f, machines] : file_machines) {
+    prevalence_[f.raw()] = static_cast<std::uint32_t>(machines.size());
+    observed_files_.push_back(f);
+  }
+  std::sort(observed_files_.begin(), observed_files_.end());
+
+  // Per-machine event lists via counting sort: offsets then fill.
+  machine_offsets_.assign(corpus.machine_count + 1, 0);
+  for (std::uint32_t m = 0; m < corpus.machine_count; ++m)
+    machine_offsets_[m + 1] = machine_offsets_[m] + machine_counts[m];
+  machine_event_idx_.resize(events.size());
+  {
+    std::vector<std::size_t> cursor(machine_offsets_.begin(),
+                                    machine_offsets_.end() - 1);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto m = events[i].machine.raw();
+      machine_event_idx_[cursor[m]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  active_machines_ = 0;
+  for (std::uint32_t m = 0; m < corpus.machine_count; ++m)
+    if (machine_counts[m] > 0) ++active_machines_;
+
+  // Month offsets over the time-sorted event stream.
+  month_offsets_.assign(model::kNumCalendarMonths + 1, 0);
+  for (std::size_t m = 0; m <= model::kNumCalendarMonths; ++m) {
+    const model::Timestamp boundary = model::kMonthStart[m];
+    const auto it = std::lower_bound(
+        events.begin(), events.end(), boundary,
+        [](const auto& ev, model::Timestamp t) { return ev.time < t; });
+    month_offsets_[m] = static_cast<std::uint32_t>(it - events.begin());
+  }
+}
+
+}  // namespace longtail::telemetry

@@ -1,0 +1,73 @@
+// Derived indexes over a Corpus. Built once, queried by every analysis
+// module: per-file prevalence and first/last-seen, per-machine event
+// timelines, per-domain machine/file sets, and per-month slices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "model/event.hpp"
+#include "model/time.hpp"
+#include "telemetry/corpus.hpp"
+
+namespace longtail::telemetry {
+
+class CorpusIndex {
+ public:
+  explicit CorpusIndex(const Corpus& corpus);
+
+  // --- files ---------------------------------------------------------
+  // Prevalence = number of distinct machines that downloaded the file
+  // across all accepted events (capped at sigma upstream).
+  [[nodiscard]] std::uint32_t prevalence(model::FileId f) const {
+    return prevalence_[f.raw()];
+  }
+  [[nodiscard]] model::Timestamp first_seen(model::FileId f) const {
+    return first_seen_[f.raw()];
+  }
+  [[nodiscard]] model::Timestamp last_seen(model::FileId f) const {
+    return last_seen_[f.raw()];
+  }
+  // Files with at least one event.
+  [[nodiscard]] const std::vector<model::FileId>& observed_files() const {
+    return observed_files_;
+  }
+
+  // --- machines ------------------------------------------------------
+  // Indexes (into corpus.events) of this machine's events, time-sorted.
+  [[nodiscard]] std::span<const std::uint32_t> machine_events(
+      model::MachineId m) const {
+    const auto b = machine_offsets_[m.raw()];
+    const auto e = machine_offsets_[m.raw() + 1];
+    return {machine_event_idx_.data() + b, e - b};
+  }
+  [[nodiscard]] std::uint32_t num_active_machines() const {
+    return active_machines_;
+  }
+
+  // --- months --------------------------------------------------------
+  // Event index range [begin, end) for a calendar month; events are
+  // time-sorted in the corpus.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> month_range(
+      model::Month m) const {
+    const auto i = static_cast<std::size_t>(m);
+    return {month_offsets_[i], month_offsets_[i + 1]};
+  }
+
+  [[nodiscard]] const Corpus& corpus() const noexcept { return *corpus_; }
+
+ private:
+  const Corpus* corpus_;
+  std::vector<std::uint32_t> prevalence_;
+  std::vector<model::Timestamp> first_seen_;
+  std::vector<model::Timestamp> last_seen_;
+  std::vector<model::FileId> observed_files_;
+  std::vector<std::size_t> machine_offsets_;
+  std::vector<std::uint32_t> machine_event_idx_;
+  std::vector<std::uint32_t> month_offsets_;
+  std::uint32_t active_machines_ = 0;
+};
+
+}  // namespace longtail::telemetry

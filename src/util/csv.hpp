@@ -1,0 +1,59 @@
+// Minimal delimited-text writing/reading used by the corpus exporter and
+// the figure dumps. Handles quoting for the CSV dialect; the TSV dialect
+// rejects embedded tabs/newlines instead (entity names never contain
+// them).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace longtail::util {
+
+class DelimitedWriter {
+ public:
+  // `delimiter` is ',' for CSV or '\t' for TSV.
+  DelimitedWriter(const std::string& path, char delimiter);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    write_row({to_cell(cells)...});
+  }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(std::string_view s) { return std::string(s); }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(T value) {
+    return std::to_string(value);
+  }
+
+  [[nodiscard]] std::string escape(const std::string& cell) const;
+
+  std::ofstream out_;
+  char delimiter_;
+};
+
+// Reads a delimited file line by line. No embedded-newline support (the
+// exporter never produces it).
+class DelimitedReader {
+ public:
+  DelimitedReader(const std::string& path, char delimiter);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(in_); }
+
+  // Returns false at end of file.
+  bool read_row(std::vector<std::string>& cells);
+
+ private:
+  std::ifstream in_;
+  char delimiter_;
+};
+
+}  // namespace longtail::util

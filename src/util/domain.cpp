@@ -1,0 +1,72 @@
+#include "util/domain.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace longtail::util {
+
+namespace {
+
+// Compact public-suffix list: the generic TLDs plus every multi-label
+// suffix needed for the domains in the paper (com.br, co.uk, co.vu, …).
+// Sorted for binary search.
+constexpr std::array<std::string_view, 44> kSuffixes = {
+    "biz",    "br",     "cc",      "co",      "co.jp",  "co.kr", "co.uk",
+    "co.vu",  "com",    "com.au",  "com.br",  "com.cn", "com.mx",
+    "com.tr", "com.tw", "de",      "edu",     "fr",     "gov",   "in",
+    "info",   "io",     "it",      "jp",      "kr",     "me",    "mx",
+    "net",    "net.br", "nl",      "org",     "org.br", "org.uk",
+    "pl",     "pw",     "ru",      "tv",      "tw",     "ua",    "uk",
+    "us",     "vu",     "ws",      "xyz",
+};
+
+bool suffix_known(std::string_view s) noexcept {
+  return std::binary_search(kSuffixes.begin(), kSuffixes.end(), s);
+}
+
+}  // namespace
+
+std::string_view url_host(std::string_view url) noexcept {
+  if (const auto scheme = url.find("://"); scheme != std::string_view::npos)
+    url.remove_prefix(scheme + 3);
+  if (const auto at = url.find('@');
+      at != std::string_view::npos && at < url.find('/'))
+    url.remove_prefix(at + 1);
+  const auto end = url.find_first_of("/?#");
+  if (end != std::string_view::npos) url = url.substr(0, end);
+  if (const auto colon = url.rfind(':'); colon != std::string_view::npos &&
+                                         url.find(']') == std::string_view::npos)
+    url = url.substr(0, colon);
+  return url;
+}
+
+bool is_public_suffix(std::string_view suffix) noexcept {
+  return suffix_known(suffix);
+}
+
+std::string_view e2ld(std::string_view host) noexcept {
+  if (host.empty()) return host;
+  // Walk label boundaries from the right, find the longest known suffix.
+  std::size_t suffix_start = std::string_view::npos;
+  for (std::size_t pos = host.rfind('.'); pos != std::string_view::npos;
+       pos = (pos == 0) ? std::string_view::npos : host.rfind('.', pos - 1)) {
+    const std::string_view candidate = host.substr(pos + 1);
+    if (suffix_known(candidate)) suffix_start = pos + 1;
+    if (pos == 0) break;
+  }
+  if (suffix_known(host)) return host;  // host is itself a public suffix
+  if (suffix_start == std::string_view::npos) {
+    // Unknown TLD: fall back to last two labels.
+    const auto last = host.rfind('.');
+    if (last == std::string_view::npos) return host;
+    const auto prev = host.rfind('.', last - 1);
+    return prev == std::string_view::npos ? host : host.substr(prev + 1);
+  }
+  // One label to the left of the suffix.
+  if (suffix_start < 2) return host;
+  const auto label_end = suffix_start - 1;  // the '.' before the suffix
+  const auto prev = host.rfind('.', label_end - 1);
+  return prev == std::string_view::npos ? host : host.substr(prev + 1);
+}
+
+}  // namespace longtail::util

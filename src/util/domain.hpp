@@ -1,0 +1,32 @@
+// URL / domain utilities: parsing a URL into its host and extracting the
+// effective second-level domain (e2LD).
+//
+// The paper aggregates download URLs by e2LD (e.g. "dl.cdn.softonic.com" →
+// "softonic.com", "foo.baixaki.com.br" → "baixaki.com.br"). We implement
+// e2LD extraction over a compact public-suffix list covering the suffixes
+// that appear in the paper's tables plus the common generic/country TLDs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace longtail::util {
+
+// Extracts the host from a URL ("http://a.b.com:80/x?y" → "a.b.com").
+// Returns the input unchanged if it does not look like a URL.
+std::string_view url_host(std::string_view url) noexcept;
+
+// True if `suffix` is a registered public suffix ("com", "co.uk", …).
+bool is_public_suffix(std::string_view suffix) noexcept;
+
+// Effective second-level domain of a hostname: the public suffix plus one
+// label. "dl.softonic.com" → "softonic.com"; "x.y.co.uk" → "y.co.uk".
+// A bare public suffix or empty host is returned unchanged.
+std::string_view e2ld(std::string_view host) noexcept;
+
+// Convenience: e2LD straight from a URL.
+inline std::string_view url_e2ld(std::string_view url) noexcept {
+  return e2ld(url_host(url));
+}
+
+}  // namespace longtail::util

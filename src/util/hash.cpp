@@ -1,0 +1,30 @@
+#include "util/hash.hpp"
+
+#include "util/rng.hpp"
+
+namespace longtail::util {
+
+Digest digest_of(std::string_view label) noexcept {
+  const std::uint64_t a = fnv1a64(label);
+  const std::uint64_t b = fnv1a64(label, a ^ 0x9E3779B97F4A7C15ULL);
+  return Digest{a, b};
+}
+
+Digest digest_of(std::uint64_t kind, std::uint64_t ordinal) noexcept {
+  std::uint64_t s = kind * 0xD6E8FEB86659FD93ULL + ordinal;
+  const std::uint64_t hi = splitmix64(s);
+  const std::uint64_t lo = splitmix64(s);
+  return Digest{hi, lo};
+}
+
+std::string to_hex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kHex[(d.hi >> (i * 4)) & 0xF];
+    out[static_cast<std::size_t>(31 - i)] = kHex[(d.lo >> (i * 4)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace longtail::util

@@ -1,0 +1,53 @@
+// Hashing helpers: FNV-1a for string keys and synthetic content digests.
+//
+// Real telemetry identifies files and processes by their SHA digest. Our
+// synthetic world gives every artifact a `Digest` — a 128-bit value rendered
+// as 32 hex characters — that behaves like a content hash: stable, unique,
+// and meaningless to the analysis code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace longtail::util {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// 128-bit synthetic content digest.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const Digest&, const Digest&) = default;
+  friend constexpr auto operator<=>(const Digest&, const Digest&) = default;
+};
+
+// Derive a digest from an arbitrary label (e.g. "file:12345:seed").
+Digest digest_of(std::string_view label) noexcept;
+
+// Derive a digest from two integers (entity kind tag + ordinal), mixed so
+// consecutive ordinals produce unrelated digests.
+Digest digest_of(std::uint64_t kind, std::uint64_t ordinal) noexcept;
+
+// 32 lowercase hex characters.
+std::string to_hex(const Digest& d);
+
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * kFnvPrime));
+  }
+};
+
+}  // namespace longtail::util

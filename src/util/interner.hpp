@@ -1,0 +1,62 @@
+// String interning: maps strings (signer names, packer names, domains…) to
+// dense 32-bit ids and back. Dense ids keep feature vectors and analysis
+// tables compact and make equality checks O(1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace longtail::util {
+
+class StringInterner {
+ public:
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+
+  // Returns the id for `s`, inserting it if unseen.
+  std::uint32_t intern(std::string_view s) {
+    if (auto it = ids_.find(s); it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  // Returns the id for `s` if present, std::nullopt otherwise.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::string_view s) const {
+    if (auto it = ids_.find(s); it != ids_.end()) return it->second;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string_view at(std::uint32_t id) const {
+    return strings_.at(id);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct TransparentEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  // The map stores its own string copies (keys are std::string), so vector
+  // reallocation in strings_ cannot dangle anything.
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t, TransparentHash, TransparentEq>
+      ids_;
+};
+
+}  // namespace longtail::util

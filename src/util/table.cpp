@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace longtail::util {
+
+std::string with_commas(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string pct(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, value);
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if ((c < '0' || c > '9') && c != '.' && c != ',' && c != '%' && c != '-' &&
+        c != '+' && c != 'x')
+      return false;
+  return true;
+}
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out.push_back('|');
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      out.push_back(' ');
+      if (looks_numeric(cell)) {
+        out.append(pad, ' ');
+        out.append(cell);
+      } else {
+        out.append(cell);
+        out.append(pad, ' ');
+      }
+      out.append(" |");
+    }
+    out.push_back('\n');
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep.push_back('+');
+  }
+  sep.push_back('\n');
+
+  std::string out = sep;
+  emit_row(headers_, out);
+  out += sep;
+  for (const auto& row : rows_) emit_row(row, out);
+  out += sep;
+  return out;
+}
+
+std::string banner(const std::string& title) {
+  std::string line(title.size() + 4, '=');
+  return line + "\n= " + title + " =\n" + line + "\n";
+}
+
+}  // namespace longtail::util

@@ -1,0 +1,40 @@
+// Plain-text table rendering for the benchmark harness. Each bench binary
+// reproduces one of the paper's tables/figures and prints it with this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace longtail::util {
+
+// Formats n with thousands separators: 1234567 → "1,234,567".
+std::string with_commas(std::uint64_t n);
+
+// Formats a percentage with the given number of decimals: "12.3%".
+std::string pct(double value, int decimals = 1);
+
+// Formats a double with fixed decimals.
+std::string fixed(double value, int decimals = 2);
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Renders with column alignment; numeric-looking cells right-align.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A one-line section banner used by bench binaries.
+std::string banner(const std::string& title);
+
+}  // namespace longtail::util

@@ -1,0 +1,235 @@
+// Unit tests for the analysis modules over a tiny hand-built corpus with
+// exactly known expected values (the integration tests in
+// analysis_test.cpp cover the generated corpus; these pin the arithmetic).
+#include <gtest/gtest.h>
+
+#include "analysis/domains.hpp"
+#include "analysis/malproc.hpp"
+#include "analysis/monthly.hpp"
+#include "analysis/prevalence.hpp"
+#include "analysis/processes.hpp"
+#include "analysis/signers.hpp"
+#include "analysis/transitions.hpp"
+#include "groundtruth/vt.hpp"
+
+namespace longtail::analysis {
+namespace {
+
+using model::DownloadEvent;
+using model::FileId;
+using model::MachineId;
+using model::ProcessId;
+using model::UrlId;
+using model::Verdict;
+
+// A corpus with:
+//   files: 0 benign (signed, signer 0), 1 malicious dropper (signed,
+//          signer 0), 2 unknown (unsigned), 3 malicious adware (signer 1)
+//   processes: 0 benign browser (Chrome), 1 malicious dropper process
+//   domains: 0 "hosting.com" rank 100, 1 "evil.in" unranked
+//   machines: 0..2
+struct Fixture {
+  telemetry::Corpus corpus;
+  groundtruth::Whitelist whitelist;
+  groundtruth::VtDatabase vt;
+  std::unique_ptr<AnnotatedCorpus> annotated;
+
+  Fixture() {
+    corpus.machine_count = 3;
+    corpus.files.resize(4);
+    const auto signer0 =
+        model::SignerId{corpus.signer_names.intern("GoodCo")};
+    const auto signer1 =
+        model::SignerId{corpus.signer_names.intern("AdCo")};
+    const auto ca = model::CaId{corpus.ca_names.intern("some-ca")};
+    corpus.files[0].is_signed = true;
+    corpus.files[0].signer = signer0;
+    corpus.files[0].ca = ca;
+    corpus.files[1].is_signed = true;
+    corpus.files[1].signer = signer0;
+    corpus.files[1].ca = ca;
+    corpus.files[3].is_signed = true;
+    corpus.files[3].signer = signer1;
+    corpus.files[3].ca = ca;
+
+    corpus.processes.resize(2);
+    corpus.processes[0].category = model::ProcessCategory::kBrowser;
+    corpus.processes[0].browser = model::BrowserKind::kChrome;
+    corpus.processes[0].name = corpus.process_names.intern("chrome.exe");
+    corpus.processes[1].category = model::ProcessCategory::kOther;
+    corpus.processes[1].name = corpus.process_names.intern("badstuff.exe");
+
+    corpus.domains.resize(2);
+    corpus.domain_names.intern("hosting.com");
+    corpus.domain_names.intern("evil.in");
+    corpus.domains[0].alexa_rank = 100;
+    corpus.domains[1].alexa_rank = 0;
+    corpus.urls.push_back({model::DomainId{0}, 100});
+    corpus.urls.push_back({model::DomainId{1}, 0});
+
+    // Evidence: file 0 + process 0 whitelisted; files 1 and 3 + process 1
+    // detected by a trusted engine.
+    whitelist.add(FileId{0});
+    whitelist.add(ProcessId{0});
+    groundtruth::VtReport dropper;
+    dropper.detections.push_back({2, "TROJ_DLOADR.ABC"});
+    vt.put(FileId{1}, dropper);
+    vt.put(ProcessId{1}, dropper);
+    groundtruth::VtReport adware;
+    adware.detections.push_back({0, "Adware:Win32/Hotbar.a"});
+    vt.put(FileId{3}, adware);
+
+    const auto day = model::kSecondsPerDay;
+    auto ev = [](std::uint32_t f, std::uint32_t m, std::uint32_t p,
+                 std::uint32_t u, model::Timestamp t) {
+      return DownloadEvent{FileId{f}, MachineId{m}, ProcessId{p}, UrlId{u},
+                           t};
+    };
+    corpus.events = {
+        ev(0, 0, 0, 0, 1 * day),        // benign via browser, hosting.com
+        ev(1, 0, 0, 1, 2 * day),        // dropper via browser, evil.in
+        ev(3, 0, 1, 1, 4 * day),        // adware via malicious process
+        ev(2, 1, 0, 0, 10 * day),       // unknown via browser
+        ev(0, 2, 0, 0, 40 * day),       // benign on machine 2 (February)
+        ev(1, 2, 0, 1, 45 * day),       // dropper on machine 2 (February)
+    };
+    annotated = std::make_unique<AnnotatedCorpus>(
+        annotate(corpus, whitelist, vt));
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(AnalysisUnit, VerdictsAndTypes) {
+  const auto& a = *fixture().annotated;
+  EXPECT_EQ(a.verdict(FileId{0}), Verdict::kBenign);
+  EXPECT_EQ(a.verdict(FileId{1}), Verdict::kMalicious);
+  EXPECT_EQ(a.verdict(FileId{2}), Verdict::kUnknown);
+  EXPECT_EQ(a.type_of(FileId{1}), model::MalwareType::kDropper);
+  EXPECT_EQ(a.type_of(FileId{3}), model::MalwareType::kAdware);
+  EXPECT_EQ(a.type_of(ProcessId{1}), model::MalwareType::kDropper);
+}
+
+TEST(AnalysisUnit, MonthlySummaryCountsDistinctEntities) {
+  const auto summary = monthly_summary(*fixture().annotated);
+  const auto& jan = summary.months[0];
+  EXPECT_EQ(jan.events, 4u);
+  EXPECT_EQ(jan.machines, 2u);
+  EXPECT_EQ(jan.files, 4u);
+  EXPECT_DOUBLE_EQ(jan.file_benign, 25.0);
+  EXPECT_DOUBLE_EQ(jan.file_malicious, 50.0);
+  const auto& feb = summary.months[1];
+  EXPECT_EQ(feb.events, 2u);
+  EXPECT_EQ(feb.machines, 1u);
+  EXPECT_EQ(feb.files, 2u);
+  EXPECT_EQ(summary.overall.events, 6u);
+  EXPECT_EQ(summary.overall.machines, 3u);
+}
+
+TEST(AnalysisUnit, PrevalenceCounts) {
+  const auto dist = prevalence_distributions(*fixture().annotated);
+  // Files 0 and 1 have prevalence 2; files 2 and 3 prevalence 1.
+  EXPECT_DOUBLE_EQ(dist.all.at(1), 0.5);
+  EXPECT_DOUBLE_EQ(dist.all.at(2), 1.0);
+  EXPECT_DOUBLE_EQ(dist.prevalence_one_fraction, 0.5);
+}
+
+TEST(AnalysisUnit, TypeBreakdown) {
+  const auto breakdown = type_breakdown(*fixture().annotated);
+  EXPECT_DOUBLE_EQ(
+      breakdown[static_cast<std::size_t>(model::MalwareType::kDropper)],
+      50.0);
+  EXPECT_DOUBLE_EQ(
+      breakdown[static_cast<std::size_t>(model::MalwareType::kAdware)],
+      50.0);
+}
+
+TEST(AnalysisUnit, DomainPopularity) {
+  const auto pop = domain_popularity(*fixture().annotated, 10);
+  // hosting.com: machines {0,1,2}; evil.in: machines {0,2}.
+  ASSERT_EQ(pop.overall.size(), 2u);
+  EXPECT_EQ(pop.overall[0].first, "hosting.com");
+  EXPECT_EQ(pop.overall[0].second, 3u);
+  EXPECT_EQ(pop.overall[1].first, "evil.in");
+  EXPECT_EQ(pop.overall[1].second, 2u);
+  // Malicious downloads only from evil.in.
+  ASSERT_EQ(pop.malicious.size(), 1u);
+  EXPECT_EQ(pop.malicious[0].first, "evil.in");
+}
+
+TEST(AnalysisUnit, SigningRates) {
+  const auto rates = signing_rates(*fixture().annotated);
+  EXPECT_EQ(rates.benign.files, 1u);
+  EXPECT_DOUBLE_EQ(rates.benign.signed_pct, 100.0);
+  EXPECT_EQ(rates.unknown.files, 1u);
+  EXPECT_DOUBLE_EQ(rates.unknown.signed_pct, 0.0);
+  EXPECT_EQ(rates.malicious.files, 2u);
+  EXPECT_DOUBLE_EQ(rates.malicious.signed_pct, 100.0);
+}
+
+TEST(AnalysisUnit, SignerOverlap) {
+  const auto overlap = signer_overlap(*fixture().annotated);
+  // GoodCo signs both the benign file and the dropper; AdCo only adware.
+  EXPECT_EQ(overlap.total.signers, 2u);
+  EXPECT_EQ(overlap.total.common_with_benign, 1u);
+  const auto& droppers = overlap.per_type[static_cast<std::size_t>(
+      model::MalwareType::kDropper)];
+  EXPECT_EQ(droppers.signers, 1u);
+  EXPECT_EQ(droppers.common_with_benign, 1u);
+}
+
+TEST(AnalysisUnit, BenignProcessBehavior) {
+  const auto rows = benign_process_behavior(*fixture().annotated);
+  const auto& browsers =
+      rows[static_cast<std::size_t>(model::ProcessCategory::kBrowser)];
+  EXPECT_EQ(browsers.processes, 1u);
+  EXPECT_EQ(browsers.machines, 3u);
+  EXPECT_EQ(browsers.benign_files, 1u);
+  EXPECT_EQ(browsers.malicious_files, 1u);
+  EXPECT_EQ(browsers.unknown_files, 1u);
+  // Machines 0 and 2 downloaded the dropper via the browser: 2/3 infected.
+  EXPECT_NEAR(browsers.infected_machines_pct, 200.0 / 3.0, 1e-9);
+}
+
+TEST(AnalysisUnit, MaliciousProcessBehavior) {
+  const auto behavior = malicious_process_behavior(*fixture().annotated);
+  const auto& droppers = behavior.per_type[static_cast<std::size_t>(
+      model::MalwareType::kDropper)];
+  EXPECT_EQ(droppers.processes, 1u);
+  EXPECT_EQ(droppers.malicious_files, 1u);  // the adware download
+  EXPECT_DOUBLE_EQ(
+      droppers.type_pct[static_cast<std::size_t>(
+          model::MalwareType::kAdware)],
+      100.0);
+}
+
+TEST(AnalysisUnit, Transitions) {
+  const auto curves = transition_analysis(*fixture().annotated, 10);
+  // Machine 0: dropper at day 2, adware at day 4 — but adware is excluded
+  // from "other malware", so no transition for machine 0's dropper.
+  // Machine 2: dropper at day 45, nothing later.
+  EXPECT_EQ(curves.dropper.initiator_machines, 2u);
+  EXPECT_EQ(curves.dropper.transitioned, 0u);
+  // Machine 1's only download is unknown: benign control has machine 0?
+  // Machine 0's first event is benign at day 1 with no prior malware ->
+  // initiator; it downloads the dropper (other malware) at day 2.
+  EXPECT_EQ(curves.benign.initiator_machines, 2u);  // machines 0 and 2
+  EXPECT_EQ(curves.benign.transitioned, 2u);
+  // Machine 0 transitions after 1 day; machine 2 after 5 days.
+  EXPECT_DOUBLE_EQ(curves.benign.at_day(1), 0.5);
+  EXPECT_DOUBLE_EQ(curves.benign.at_day(5), 1.0);
+}
+
+TEST(AnalysisUnit, UnknownDownloads) {
+  const auto unknowns = unknown_downloads_by_category(*fixture().annotated);
+  EXPECT_EQ(unknowns.total, 1u);
+  EXPECT_EQ(unknowns.by_category[static_cast<std::size_t>(
+                model::ProcessCategory::kBrowser)],
+            1u);
+}
+
+}  // namespace
+}  // namespace longtail::analysis

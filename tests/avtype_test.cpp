@@ -1,0 +1,200 @@
+#include "avtype/avtype.hpp"
+
+#include <gtest/gtest.h>
+
+#include "groundtruth/avsim.hpp"
+
+namespace longtail::avtype {
+namespace {
+
+using groundtruth::VtReport;
+using model::MalwareType;
+
+VtReport report_with(std::initializer_list<groundtruth::EngineDetection> dets) {
+  VtReport r;
+  r.detections = dets;
+  return r;
+}
+
+TEST(InterpretLabel, PaperExamples) {
+  // §II-C worked example 1: these four labels must produce banker x3 +
+  // dropper x1.
+  EXPECT_EQ(interpret_label("Trojan.Zbot"), MalwareType::kBanker);
+  EXPECT_EQ(interpret_label("Downloader-FYH!6C7411D1C043"),
+            MalwareType::kDropper);
+  EXPECT_EQ(interpret_label("Trojan-Spy.Win32.Zbot.ruxa"),
+            MalwareType::kBanker);
+  EXPECT_EQ(interpret_label("PWS:Win32/Zbot"), MalwareType::kBanker);
+  // §II-C worked example 2.
+  EXPECT_EQ(interpret_label("Trojan-Downloader.Win32.Agent.heqj"),
+            MalwareType::kDropper);
+  EXPECT_EQ(interpret_label("Artemis!DEC3771868CB"), MalwareType::kUndefined);
+  // The paper's TROJ_FAKEAV.SMU1 example.
+  EXPECT_EQ(interpret_label("TROJ_FAKEAV.SMU1"), MalwareType::kFakeAv);
+}
+
+TEST(InterpretLabel, KeywordPriorities) {
+  // Specific keywords beat the generic trojan bucket.
+  EXPECT_EQ(interpret_label("TrojanDownloader:Win32/Agent.ab"),
+            MalwareType::kDropper);
+  EXPECT_EQ(interpret_label("TrojanSpy:Win32/Keylogger.a"),
+            MalwareType::kSpyware);
+  EXPECT_EQ(interpret_label("not-a-virus:AdWare.Win32.Agent.x"),
+            MalwareType::kAdware);
+  EXPECT_EQ(interpret_label("not-a-virus:WebToolbar.Win32.Agent.x"),
+            MalwareType::kPup);
+  EXPECT_EQ(interpret_label("Backdoor.Win32.Agent.y"), MalwareType::kBot);
+  EXPECT_EQ(interpret_label("W32.Family.Worm"), MalwareType::kWorm);
+  EXPECT_EQ(interpret_label("Trojan-Ransom.Win32.Foo.a"),
+            MalwareType::kRansomware);
+  EXPECT_EQ(interpret_label("SoftwareBundler:Win32/Prepscram"),
+            MalwareType::kPup);
+}
+
+TEST(InterpretLabel, GenericLabelsAreUndefined) {
+  EXPECT_EQ(interpret_label("Artemis!AAAA"), MalwareType::kUndefined);
+  EXPECT_EQ(interpret_label("Unrecognized.Thing"), MalwareType::kUndefined);
+}
+
+TEST(InterpretLabel, PlainTrojanIsTrojan) {
+  EXPECT_EQ(interpret_label("Trojan.Win32.Agent.abcd"), MalwareType::kTrojan);
+  EXPECT_EQ(interpret_label("TROJ_AGENT.SMA"), MalwareType::kTrojan);
+}
+
+TEST(InterpretLabel, TypeGenericLabelsAreUndefined) {
+  // Generic forms with no behaviour information map to undefined even
+  // though they contain the string "trojan" (Table II's undefined bucket).
+  EXPECT_EQ(interpret_label("TROJ_GEN.R002C0"), MalwareType::kUndefined);
+  EXPECT_EQ(interpret_label("Trojan.Gen.2"), MalwareType::kUndefined);
+  EXPECT_EQ(interpret_label("Trojan:Win32/Dynamer!ac"),
+            MalwareType::kUndefined);
+  EXPECT_EQ(interpret_label("UDS:DangerousObject.Multi.Generic"),
+            MalwareType::kUndefined);
+}
+
+TEST(TypeExtractor, PaperVotingExample) {
+  // Symantec=Trojan.Zbot, McAfee=Downloader-FYH, Kaspersky=Trojan-Spy Zbot,
+  // Microsoft=PWS Zbot -> banker by voting.
+  const auto r = report_with({
+      {1, "Trojan.Zbot"},
+      {4, "Downloader-FYH!6C7411D1C043"},
+      {3, "Trojan-Spy.Win32.Zbot.ruxa"},
+      {0, "PWS:Win32/Zbot"},
+  });
+  const auto result = TypeExtractor().derive(r);
+  EXPECT_EQ(result.type, MalwareType::kBanker);
+  EXPECT_EQ(result.resolution, Resolution::kVoting);
+}
+
+TEST(TypeExtractor, PaperSpecificityExample) {
+  // Kaspersky dropper vs McAfee Artemis -> dropper via specificity.
+  const auto r = report_with({
+      {3, "Trojan-Downloader.Win32.Agent.heqj"},
+      {4, "Artemis!DEC3771868CB"},
+  });
+  const auto result = TypeExtractor().derive(r);
+  EXPECT_EQ(result.type, MalwareType::kDropper);
+  EXPECT_EQ(result.resolution, Resolution::kSpecificity);
+}
+
+TEST(TypeExtractor, BankerBeatsTrojanBySpecificity) {
+  const auto r = report_with({
+      {0, "PWS:Win32/Banker.a"},
+      {1, "Trojan.Gen.2"},
+  });
+  const auto result = TypeExtractor().derive(r);
+  EXPECT_EQ(result.type, MalwareType::kBanker);
+  EXPECT_EQ(result.resolution, Resolution::kSpecificity);
+}
+
+TEST(TypeExtractor, UnanimousAgreement) {
+  const auto r = report_with({
+      {0, "Adware:Win32/Hotbar"},
+      {2, "ADW_HOTBAR"},
+  });
+  const auto result = TypeExtractor().derive(r);
+  EXPECT_EQ(result.type, MalwareType::kAdware);
+  EXPECT_EQ(result.resolution, Resolution::kUnanimous);
+}
+
+TEST(TypeExtractor, SingleVoteIsUnanimous) {
+  const auto r = report_with({{2, "RANSOM_CRYPWALL.A"}});
+  const auto result = TypeExtractor().derive(r);
+  EXPECT_EQ(result.type, MalwareType::kRansomware);
+  EXPECT_EQ(result.resolution, Resolution::kUnanimous);
+}
+
+TEST(TypeExtractor, NonLeadingEnginesAreIgnored) {
+  const auto r = report_with({
+      {20, "Gen:Variant.Zbot.123"},   // untrusted engine: ignored
+      {0, "Worm:Win32/Allaple.a"},
+  });
+  const auto result = TypeExtractor().derive(r);
+  EXPECT_EQ(result.type, MalwareType::kWorm);
+  EXPECT_EQ(result.resolution, Resolution::kUnanimous);
+}
+
+TEST(TypeExtractor, NoLeadingDetectionsIsUndefined) {
+  const auto r = report_with({{30, "Gen:Variant.Graftor.55"}});
+  const auto result = TypeExtractor().derive(r);
+  EXPECT_EQ(result.type, MalwareType::kUndefined);
+  EXPECT_EQ(result.resolution, Resolution::kNoLeadingLabel);
+}
+
+TEST(TypeExtractor, ManualOracleConsultedOnUnresolvableTie) {
+  // bot vs worm: equal votes, equal specificity -> manual.
+  const auto r = report_with({
+      {0, "Backdoor:Win32/Simda.a"},
+      {1, "W32.Koobface.Worm"},
+  });
+  bool consulted = false;
+  TypeExtractor extractor([&](std::span<const MalwareType> tied) {
+    consulted = true;
+    EXPECT_EQ(tied.size(), 2u);
+    return MalwareType::kBot;
+  });
+  const auto result = extractor.derive(r);
+  EXPECT_TRUE(consulted);
+  EXPECT_EQ(result.type, MalwareType::kBot);
+  EXPECT_EQ(result.resolution, Resolution::kManual);
+}
+
+TEST(TypeExtractor, TypeStatsRecordsBreakdown) {
+  TypeStats stats;
+  stats.record(Resolution::kUnanimous);
+  stats.record(Resolution::kUnanimous);
+  stats.record(Resolution::kVoting);
+  stats.record(Resolution::kManual);
+  EXPECT_EQ(stats.unanimous, 2u);
+  EXPECT_EQ(stats.voting, 1u);
+  EXPECT_EQ(stats.manual, 1u);
+  EXPECT_EQ(stats.resolved_total(), 4u);
+}
+
+// Property sweep: every generated leading-engine label for a specific type
+// interprets back to that type (or its family override), never to a random
+// third type.
+class GrammarRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GrammarRoundTrip, LabelInterpretsToTrueType) {
+  const auto engine = static_cast<std::uint16_t>(std::get<0>(GetParam()));
+  const auto type = static_cast<MalwareType>(std::get<1>(GetParam()));
+  if (type == MalwareType::kUndefined) GTEST_SKIP();
+  // Family chosen with no override entry.
+  const auto label =
+      groundtruth::render_engine_label(engine, type, "firseria", true, 77);
+  EXPECT_EQ(interpret_label(label), type) << label;
+  const auto label_nofam =
+      groundtruth::render_engine_label(engine, type, "", false, 78);
+  EXPECT_EQ(interpret_label(label_nofam), type) << label_nofam;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLeadingEnginesAndTypes, GrammarRoundTrip,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Range(0, static_cast<int>(
+                                               model::kNumMalwareTypes))));
+
+}  // namespace
+}  // namespace longtail::avtype

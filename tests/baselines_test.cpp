@@ -1,0 +1,90 @@
+#include "baselines/reputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace longtail::baselines {
+namespace {
+
+const core::LongtailPipeline& pipeline() {
+  static const core::LongtailPipeline p =
+      core::LongtailPipeline::generate(0.04);
+  return p;
+}
+
+model::Timestamp train_end() {
+  return model::month_begin(model::Month::kMay);
+}
+
+TEST(PrevalenceReputation, AbstainsOnSingletonFiles) {
+  const auto& a = pipeline().annotated();
+  const PrevalenceReputation baseline(a, train_end());
+  std::size_t checked = 0;
+  for (const auto file : a.index.observed_files()) {
+    if (a.index.prevalence(file) != 1) continue;
+    EXPECT_EQ(baseline.classify(a, file), BaselineVerdict::kAbstain);
+    if (++checked >= 200) break;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(PrevalenceReputation, DecidesSomePopularFiles) {
+  const auto& a = pipeline().annotated();
+  const PrevalenceReputation baseline(a, train_end());
+  std::uint64_t decided = 0;
+  for (const auto file : a.index.observed_files()) {
+    if (a.index.prevalence(file) < 3) continue;
+    decided += baseline.classify(a, file) != BaselineVerdict::kAbstain;
+  }
+  EXPECT_GT(decided, 0u);
+}
+
+TEST(PrevalenceReputation, EvaluationCoverageIsPartial) {
+  // The paper's point: low-prevalence files dominate, so machine-
+  // reputation coverage is a small fraction of the labeled set.
+  const auto& a = pipeline().annotated();
+  const PrevalenceReputation baseline(a, train_end());
+  const auto eval = evaluate_baseline(baseline, a, train_end(),
+                                      model::month_end(model::Month::kMay));
+  EXPECT_GT(eval.abstained, eval.decided_malicious + eval.decided_benign);
+}
+
+TEST(UrlReputation, AbstainsOnUnseenDomains) {
+  const auto& a = pipeline().annotated();
+  const UrlReputation baseline(a, train_end());
+  // A file id outside the corpus has no domain history.
+  EXPECT_EQ(baseline.classify(a, model::FileId{0xFFFFFF}),
+            BaselineVerdict::kAbstain);
+}
+
+TEST(UrlReputation, MixedHostingHurtsPrecision) {
+  // Domain reputation decides more files than machine reputation (domains
+  // repeat far more than file hashes) but pays for the mixed hosting the
+  // paper documents: its FP rate exceeds the rule system's.
+  const auto& a = pipeline().annotated();
+  const UrlReputation baseline(a, train_end());
+  const auto eval = evaluate_baseline(baseline, a, train_end(),
+                                      model::month_end(model::Month::kMay));
+  EXPECT_GT(eval.decided_malicious + eval.decided_benign, 0u);
+
+  const auto exp = pipeline().run_rule_experiment(model::Month::kApril,
+                                                  model::Month::kMay);
+  const auto rules_eval = core::LongtailPipeline::evaluate_tau(exp, 0.001);
+  EXPECT_GE(eval.fp_rate(), rules_eval.eval.fp_rate());
+}
+
+TEST(BaselineEval, RateArithmetic) {
+  BaselineEval e;
+  e.decided_malicious = 10;
+  e.true_positives = 6;
+  e.decided_benign = 20;
+  e.false_positives = 1;
+  e.abstained = 70;
+  EXPECT_DOUBLE_EQ(e.detection_rate(), 60.0);
+  EXPECT_DOUBLE_EQ(e.fp_rate(), 5.0);
+  EXPECT_DOUBLE_EQ(e.coverage(100), 30.0);
+}
+
+}  // namespace
+}  // namespace longtail::baselines

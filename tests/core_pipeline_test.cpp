@@ -1,0 +1,108 @@
+// End-to-end tests of the LongtailPipeline: the §VI experiment workflow
+// must reproduce the paper's accuracy envelope on the synthetic corpus.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::core {
+namespace {
+
+const LongtailPipeline& pipeline() {
+  static const LongtailPipeline p = LongtailPipeline::generate(0.08);
+  return p;
+}
+
+const RuleExperiment& experiment() {
+  static const RuleExperiment e = pipeline().run_rule_experiment(
+      model::Month::kMarch, model::Month::kApril);
+  return e;
+}
+
+TEST(Pipeline, GeneratesAndAnnotates) {
+  const auto& p = pipeline();
+  EXPECT_GT(p.dataset().corpus.events.size(), 0u);
+  EXPECT_EQ(p.annotated().labels.file_verdicts.size(),
+            p.dataset().corpus.files.size());
+}
+
+TEST(Pipeline, ExperimentProducesRules) {
+  const auto& e = experiment();
+  EXPECT_GT(e.all_rules.size(), 10u);
+  EXPECT_FALSE(e.data.train.empty());
+  EXPECT_FALSE(e.data.test.empty());
+  EXPECT_FALSE(e.data.unknowns.empty());
+}
+
+TEST(Pipeline, PaperAccuracyEnvelopeAtTauTenthPercent) {
+  const auto eval = LongtailPipeline::evaluate_tau(experiment(), 0.001);
+  // Paper: TP > 95%, FP < 0.32% for tau = 0.1%.
+  EXPECT_GT(eval.eval.tp_rate(), 93.0);
+  EXPECT_LT(eval.eval.fp_rate(), 1.5);
+  EXPECT_GT(eval.eval.matched_malicious, 100u);
+}
+
+TEST(Pipeline, UnknownExpansionInPaperBand) {
+  const auto eval = LongtailPipeline::evaluate_tau(experiment(), 0.001);
+  // Paper: 22-38% of unknowns match the rules; most labels are malicious.
+  EXPECT_GT(eval.expansion.matched_pct(), 15.0);
+  EXPECT_LT(eval.expansion.matched_pct(), 55.0);
+  EXPECT_GT(eval.expansion.labeled_malicious, eval.expansion.labeled_benign);
+}
+
+TEST(Pipeline, TauZeroSelectsSubset) {
+  const auto strict = LongtailPipeline::evaluate_tau(experiment(), 0.0);
+  const auto loose = LongtailPipeline::evaluate_tau(experiment(), 0.001);
+  EXPECT_LE(strict.selected.total, loose.selected.total);
+  EXPECT_LE(strict.selected.total, experiment().all_rules.size());
+}
+
+TEST(Pipeline, RuleCompositionHasBothClasses) {
+  const auto eval = LongtailPipeline::evaluate_tau(experiment(), 0.001);
+  EXPECT_GT(eval.selected.benign_rules, 0u);
+  EXPECT_GT(eval.selected.malicious_rules, 0u);
+  EXPECT_EQ(eval.selected.benign_rules + eval.selected.malicious_rules,
+            eval.selected.total);
+}
+
+TEST(Pipeline, SignerFeatureDominatesRules) {
+  // §VII: the file-signer feature appears in ~75% of rules; rules are
+  // mostly single-condition.
+  const auto selected = rules::select_rules(experiment().all_rules, 0.001);
+  const auto usage = rules::feature_usage(selected);
+  EXPECT_GT(usage.pct[static_cast<std::size_t>(
+                features::Feature::kFileSigner)],
+            50.0);
+  EXPECT_GT(usage.single_condition_pct, 50.0);
+}
+
+TEST(Pipeline, RejectionNeverIncreasesFalsePositives) {
+  // The paper's argument for conflict rejection: compared to majority
+  // vote, rejecting conflicts cannot produce more FPs.
+  const auto reject = LongtailPipeline::evaluate_tau(
+      experiment(), 0.001, rules::ConflictPolicy::kReject);
+  const auto vote = LongtailPipeline::evaluate_tau(
+      experiment(), 0.001, rules::ConflictPolicy::kMajorityVote);
+  EXPECT_LE(reject.eval.false_positives, vote.eval.false_positives);
+}
+
+TEST(Pipeline, EveryMonthPairWorks) {
+  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
+    const auto exp = pipeline().run_rule_experiment(
+        static_cast<model::Month>(m), static_cast<model::Month>(m + 1));
+    const auto eval = LongtailPipeline::evaluate_tau(exp, 0.001);
+    EXPECT_GT(eval.selected.total, 0u) << m;
+    EXPECT_GT(eval.eval.tp_rate(), 90.0) << m;
+    EXPECT_LT(eval.eval.fp_rate(), 3.0) << m;
+  }
+}
+
+TEST(Pipeline, HumanReadableRuleRendering) {
+  const auto selected = rules::select_rules(experiment().all_rules, 0.001);
+  ASSERT_FALSE(selected.empty());
+  const auto text = selected.front().to_string(experiment().space);
+  EXPECT_EQ(text.rfind("IF ", 0), 0u);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace longtail::core

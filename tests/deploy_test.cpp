@@ -1,0 +1,80 @@
+#include "deploy/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace longtail::deploy {
+namespace {
+
+const core::LongtailPipeline& pipeline() {
+  static const core::LongtailPipeline p =
+      core::LongtailPipeline::generate(0.04);
+  return p;
+}
+
+std::vector<MonthlyDeployStats> run_mode(bool as_of) {
+  OnlineConfig config;
+  config.labels_as_of_training_time = as_of;
+  OnlineLabeler labeler(pipeline().dataset(), pipeline().annotated(), config);
+  return labeler.run();
+}
+
+TEST(OnlineLabeler, CoversEveryDeployMonth) {
+  const auto months = run_mode(true);
+  ASSERT_EQ(months.size(), model::kNumCollectionMonths - 1);
+  for (const auto& m : months) {
+    EXPECT_GT(m.events, 0u);
+    EXPECT_EQ(m.events, m.decided_malicious + m.decided_benign + m.rejected +
+                            m.unmatched);
+  }
+}
+
+TEST(OnlineLabeler, OperationalTrainsOnFewerLabels) {
+  const auto retrospective = run_mode(false);
+  const auto operational = run_mode(true);
+  ASSERT_EQ(retrospective.size(), operational.size());
+  for (std::size_t m = 0; m < retrospective.size(); ++m) {
+    // Labels knowable at retraining time are a subset of the final ones.
+    EXPECT_LE(operational[m].training_instances,
+              retrospective[m].training_instances);
+  }
+}
+
+TEST(OnlineLabeler, OperationalDecidesFewerDownloads) {
+  const auto retrospective = run_mode(false);
+  const auto operational = run_mode(true);
+  std::uint64_t retro_decided = 0, op_decided = 0;
+  for (std::size_t m = 0; m < retrospective.size(); ++m) {
+    retro_decided += retrospective[m].decided_malicious;
+    op_decided += operational[m].decided_malicious;
+  }
+  EXPECT_LT(op_decided, retro_decided);
+  EXPECT_GT(op_decided, 0u);
+}
+
+TEST(OnlineLabeler, PrecisionSurvivesOperationalLabels) {
+  // Less coverage, but the decisions that are made stay precise.
+  const auto operational = run_mode(true);
+  for (const auto& m : operational) {
+    if (m.final_malicious_decided < 50) continue;  // skip thin months
+    EXPECT_GT(m.tp_rate(), 85.0);
+    EXPECT_LT(m.fp_rate(), 2.0);
+  }
+}
+
+TEST(OnlineLabeler, RetrospectiveMatchesPipelineExperiment) {
+  // With final labels, the online replay should roughly agree with the
+  // offline RuleExperiment on the same month pair.
+  const auto retrospective = run_mode(false);
+  const auto exp = pipeline().run_rule_experiment(model::Month::kMarch,
+                                                  model::Month::kApril);
+  const auto eval = core::LongtailPipeline::evaluate_tau(exp, 0.001);
+  // Deploy month April is index 2 (Feb=0).
+  const auto& april = retrospective[2];
+  EXPECT_GT(april.rules_active, eval.selected.total / 2);
+  EXPECT_GT(april.tp_rate(), 95.0);
+}
+
+}  // namespace
+}  // namespace longtail::deploy

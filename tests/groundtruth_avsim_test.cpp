@@ -1,0 +1,105 @@
+#include "groundtruth/avsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "groundtruth/labeler.hpp"
+
+namespace longtail::groundtruth {
+namespace {
+
+using model::MalwareType;
+
+TEST(AvSim, MaliciousReportAlwaysHasTrustedDetection) {
+  AvSimulator sim({}, 99);
+  for (int i = 0; i < 200; ++i) {
+    const auto r = sim.malicious_report(MalwareType::kTrojan, "zbot", true, 0,
+                                        /*detect_boost=*/0.0);
+    bool trusted = false;
+    for (const auto& d : r.detections) trusted |= is_trusted(d.engine);
+    EXPECT_TRUE(trusted);
+  }
+}
+
+TEST(AvSim, MaliciousReportLabelsAsMaliciousByLabeler) {
+  AvSimulator sim({}, 7);
+  Labeler labeler;
+  for (int i = 0; i < 100; ++i) {
+    const auto r =
+        sim.malicious_report(MalwareType::kDropper, "somoto", true, 0, 0.5);
+    EXPECT_EQ(labeler.verdict(false, r), model::Verdict::kMalicious);
+  }
+}
+
+TEST(AvSim, LikelyMaliciousReportHasNoTrustedDetections) {
+  AvSimulator sim({}, 13);
+  Labeler labeler;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = sim.likely_malicious_report(MalwareType::kAdware, "", 0);
+    for (const auto& d : r.detections) EXPECT_FALSE(is_trusted(d.engine));
+    EXPECT_EQ(labeler.verdict(false, r), model::Verdict::kLikelyMalicious);
+  }
+}
+
+TEST(AvSim, CleanReportSpans) {
+  AvSimulator sim({}, 17);
+  const auto r = sim.clean_report(1000, 30);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.scan_span_days(), 30);
+}
+
+TEST(AvSim, DetectBoostIncreasesEngineCount) {
+  AvSimulator sim_low({}, 19), sim_high({}, 19);
+  std::size_t low = 0, high = 0;
+  for (int i = 0; i < 200; ++i) {
+    low += sim_low.malicious_report(MalwareType::kBot, "vobfus", true, 0, 0.0)
+               .detections.size();
+    high += sim_high.malicious_report(MalwareType::kBot, "vobfus", true, 0, 1.0)
+                .detections.size();
+  }
+  EXPECT_GT(high, low);
+}
+
+TEST(AvSim, FirstScanNotBeforeObservation) {
+  AvSimulator sim({}, 23);
+  for (int i = 0; i < 50; ++i) {
+    const auto r = sim.malicious_report(MalwareType::kWorm, "", false,
+                                        5000, 0.5);
+    EXPECT_GE(r.first_scan, 5000);
+    EXPECT_GT(r.last_scan, r.first_scan);
+  }
+}
+
+TEST(RenderEngineLabel, LeadingGrammarsCarryTypeKeywords) {
+  // TrendMicro fakeav labels look like the paper's TROJ_FAKEAV.SMU1.
+  const auto tm = render_engine_label(
+      static_cast<std::uint16_t>(LeadingEngine::kTrendMicro),
+      MalwareType::kFakeAv, "", false, 42);
+  EXPECT_NE(tm.find("TROJ_FAKEAV"), std::string::npos) << tm;
+
+  const auto ms = render_engine_label(
+      static_cast<std::uint16_t>(LeadingEngine::kMicrosoft),
+      MalwareType::kBanker, "zbot", true, 42);
+  EXPECT_NE(ms.find("PWS"), std::string::npos) << ms;
+  EXPECT_NE(ms.find("Zbot"), std::string::npos) << ms;
+
+  const auto kasp = render_engine_label(
+      static_cast<std::uint16_t>(LeadingEngine::kKaspersky),
+      MalwareType::kDropper, "agentx", false, 42);
+  EXPECT_NE(kasp.find("Trojan-Downloader"), std::string::npos) << kasp;
+}
+
+TEST(RenderEngineLabel, McAfeeGenericIsArtemis) {
+  const auto label = render_engine_label(
+      static_cast<std::uint16_t>(LeadingEngine::kMcAfee),
+      MalwareType::kUndefined, "", false, 7);
+  EXPECT_EQ(label.rfind("Artemis!", 0), 0u) << label;
+}
+
+TEST(RenderEngineLabel, DeterministicForSameSalt) {
+  const auto a = render_engine_label(1, MalwareType::kTrojan, "zbot", true, 5);
+  const auto b = render_engine_label(1, MalwareType::kTrojan, "zbot", true, 5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace longtail::groundtruth

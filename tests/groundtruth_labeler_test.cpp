@@ -1,0 +1,142 @@
+#include "groundtruth/labeler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::groundtruth {
+namespace {
+
+using model::Verdict;
+
+VtReport detection_by(std::uint16_t engine) {
+  VtReport r;
+  r.first_scan = 0;
+  r.last_scan = 720 * model::kSecondsPerDay;
+  r.detections.push_back({engine, "Trojan.Gen"});
+  return r;
+}
+
+TEST(Labeler, WhitelistedIsBenignRegardlessOfVt) {
+  Labeler labeler;
+  EXPECT_EQ(labeler.verdict(true, std::nullopt), Verdict::kBenign);
+  // Whitelist wins even with a (noisy) detection present.
+  EXPECT_EQ(labeler.verdict(true, detection_by(0)), Verdict::kBenign);
+}
+
+TEST(Labeler, NoEvidenceIsUnknown) {
+  Labeler labeler;
+  EXPECT_EQ(labeler.verdict(false, std::nullopt), Verdict::kUnknown);
+}
+
+TEST(Labeler, CleanLongSpanIsBenign) {
+  Labeler labeler;
+  VtReport r;
+  r.first_scan = 0;
+  r.last_scan = 100 * model::kSecondsPerDay;
+  EXPECT_EQ(labeler.verdict(false, r), Verdict::kBenign);
+}
+
+TEST(Labeler, CleanShortSpanIsLikelyBenign) {
+  Labeler labeler;
+  VtReport r;
+  r.first_scan = 0;
+  r.last_scan = 13 * model::kSecondsPerDay;
+  EXPECT_EQ(labeler.verdict(false, r), Verdict::kLikelyBenign);
+}
+
+TEST(Labeler, FourteenDaySpanBoundaryIsBenign) {
+  Labeler labeler;
+  VtReport r;
+  r.first_scan = 0;
+  r.last_scan = 14 * model::kSecondsPerDay;
+  EXPECT_EQ(labeler.verdict(false, r), Verdict::kBenign);
+}
+
+TEST(Labeler, TrustedDetectionIsMalicious) {
+  Labeler labeler;
+  for (std::uint16_t e = 0; e < kNumTrustedEngines; ++e)
+    EXPECT_EQ(labeler.verdict(false, detection_by(e)), Verdict::kMalicious)
+        << engine_name(e);
+}
+
+TEST(Labeler, OnlyUntrustedDetectionIsLikelyMalicious) {
+  Labeler labeler;
+  for (std::uint16_t e = kNumTrustedEngines; e < kNumEngines; e += 7)
+    EXPECT_EQ(labeler.verdict(false, detection_by(e)),
+              Verdict::kLikelyMalicious)
+        << engine_name(e);
+}
+
+TEST(Labeler, MixedDetectionsAreMalicious) {
+  Labeler labeler;
+  VtReport r = detection_by(25);
+  r.detections.push_back({2, "TROJ_GEN.R002"});
+  EXPECT_EQ(labeler.verdict(false, r), Verdict::kMalicious);
+}
+
+TEST(Labeler, AsOfHidesFutureSignatures) {
+  Labeler labeler;
+  VtReport r;
+  r.first_scan = 10 * model::kSecondsPerDay;
+  r.last_scan = 720 * model::kSecondsPerDay;
+  r.detections.push_back({0, "Trojan.Gen", 100 * model::kSecondsPerDay});
+
+  // Before the first scan: VT has no record at all.
+  EXPECT_EQ(labeler.verdict_as_of(false, r, 5 * model::kSecondsPerDay),
+            model::Verdict::kUnknown);
+  // Scanned but the signature does not exist yet: clean short span.
+  EXPECT_EQ(labeler.verdict_as_of(false, r, 12 * model::kSecondsPerDay),
+            model::Verdict::kLikelyBenign);
+  // Clean long span: the premature "benign" trap.
+  EXPECT_EQ(labeler.verdict_as_of(false, r, 60 * model::kSecondsPerDay),
+            model::Verdict::kBenign);
+  // After the signature lands: malicious.
+  EXPECT_EQ(labeler.verdict_as_of(false, r, 150 * model::kSecondsPerDay),
+            model::Verdict::kMalicious);
+  // Whitelist always wins.
+  EXPECT_EQ(labeler.verdict_as_of(true, r, 0), model::Verdict::kBenign);
+}
+
+TEST(Labeler, AsOfAtFinalTimeMatchesPlainVerdict) {
+  Labeler labeler;
+  VtReport r;
+  r.first_scan = 0;
+  r.last_scan = 720 * model::kSecondsPerDay;
+  r.detections.push_back({3, "Backdoor.Win32.Agent.a",
+                          30 * model::kSecondsPerDay});
+  EXPECT_EQ(labeler.verdict_as_of(false, r, r.last_scan),
+            labeler.verdict(false, r));
+}
+
+TEST(VtReportAsOf, TruncatesDetectionsAndSpan) {
+  VtReport r;
+  r.first_scan = 0;
+  r.last_scan = 100 * model::kSecondsPerDay;
+  r.detections.push_back({0, "a", 10 * model::kSecondsPerDay});
+  r.detections.push_back({1, "b", 50 * model::kSecondsPerDay});
+  const auto early = r.as_of(20 * model::kSecondsPerDay);
+  EXPECT_EQ(early.detections.size(), 1u);
+  EXPECT_EQ(early.scan_span_days(), 20);
+  const auto late = r.as_of(200 * model::kSecondsPerDay);
+  EXPECT_EQ(late.detections.size(), 2u);
+  EXPECT_EQ(late.scan_span_days(), 100);
+}
+
+TEST(Labeler, LabelAllCoversFilesAndProcesses) {
+  Labeler labeler;
+  Whitelist wl;
+  wl.add(model::FileId{0});
+  wl.add(model::ProcessId{1});
+  VtDatabase vt;
+  vt.set_file_count(3);
+  vt.set_process_count(2);
+  vt.put(model::FileId{1}, detection_by(0));
+  const LabelSet labels = labeler.label_all(3, 2, wl, vt);
+  EXPECT_EQ(labels.of(model::FileId{0}), Verdict::kBenign);
+  EXPECT_EQ(labels.of(model::FileId{1}), Verdict::kMalicious);
+  EXPECT_EQ(labels.of(model::FileId{2}), Verdict::kUnknown);
+  EXPECT_EQ(labels.of(model::ProcessId{0}), Verdict::kUnknown);
+  EXPECT_EQ(labels.of(model::ProcessId{1}), Verdict::kBenign);
+}
+
+}  // namespace
+}  // namespace longtail::groundtruth

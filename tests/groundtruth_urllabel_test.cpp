@@ -1,0 +1,68 @@
+#include "groundtruth/urllabel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::groundtruth {
+namespace {
+
+using model::DomainMeta;
+using model::UrlMeta;
+
+TEST(UrlLabeler, BenignRequiresAlexaAndCuratedWhitelist) {
+  UrlLabeler labeler;
+  UrlMeta url{model::DomainId{0}, 500};
+  DomainMeta alexa_and_whitelist{.alexa_rank = 500,
+                                 .on_curated_whitelist = true};
+  EXPECT_EQ(labeler.label(url, alexa_and_whitelist), UrlVerdict::kBenign);
+
+  DomainMeta alexa_only{.alexa_rank = 500};
+  EXPECT_EQ(labeler.label(url, alexa_only), UrlVerdict::kUnknown);
+
+  DomainMeta whitelist_only{.alexa_rank = 0, .on_curated_whitelist = true};
+  EXPECT_EQ(labeler.label(url, whitelist_only), UrlVerdict::kUnknown);
+}
+
+TEST(UrlLabeler, MaliciousRequiresGsbAndPrivateBlacklist) {
+  UrlLabeler labeler;
+  UrlMeta url{model::DomainId{0}, 0};
+  DomainMeta both{.on_gsb = true, .on_private_blacklist = true};
+  EXPECT_EQ(labeler.label(url, both), UrlVerdict::kMalicious);
+
+  DomainMeta gsb_only{.on_gsb = true};
+  EXPECT_EQ(labeler.label(url, gsb_only), UrlVerdict::kUnknown);
+
+  DomainMeta bl_only{.on_private_blacklist = true};
+  EXPECT_EQ(labeler.label(url, bl_only), UrlVerdict::kUnknown);
+}
+
+TEST(UrlLabeler, AlexaCutoffEnforced) {
+  UrlLabeler labeler(/*alexa_cutoff=*/1000);
+  UrlMeta url{model::DomainId{0}, 0};
+  DomainMeta in{.alexa_rank = 1000, .on_curated_whitelist = true};
+  EXPECT_EQ(labeler.label(url, in), UrlVerdict::kBenign);
+  DomainMeta out{.alexa_rank = 1001, .on_curated_whitelist = true};
+  EXPECT_EQ(labeler.label(url, out), UrlVerdict::kUnknown);
+}
+
+TEST(UrlLabeler, UnrankedDomainNeverBenign) {
+  UrlLabeler labeler;
+  UrlMeta url{model::DomainId{0}, 0};
+  DomainMeta unranked{.alexa_rank = 0, .on_curated_whitelist = true};
+  EXPECT_EQ(labeler.label(url, unranked), UrlVerdict::kUnknown);
+}
+
+TEST(UrlLabeler, LabelAllMapsEveryUrl) {
+  UrlLabeler labeler;
+  std::vector<UrlMeta> urls = {UrlMeta{model::DomainId{0}, 0},
+                               UrlMeta{model::DomainId{1}, 0}};
+  std::vector<DomainMeta> domains = {
+      DomainMeta{.alexa_rank = 10, .on_curated_whitelist = true},
+      DomainMeta{.on_gsb = true, .on_private_blacklist = true}};
+  const auto verdicts = labeler.label_all(urls, domains);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0], UrlVerdict::kBenign);
+  EXPECT_EQ(verdicts[1], UrlVerdict::kMalicious);
+}
+
+}  // namespace
+}  // namespace longtail::groundtruth

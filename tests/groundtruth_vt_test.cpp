@@ -1,0 +1,74 @@
+#include "groundtruth/vt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "groundtruth/engines.hpp"
+
+namespace longtail::groundtruth {
+namespace {
+
+TEST(VtReport, CleanAndSpan) {
+  VtReport r;
+  r.first_scan = 0;
+  r.last_scan = 30 * model::kSecondsPerDay;
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.scan_span_days(), 30);
+  r.detections.push_back({0, "Trojan.Gen"});
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(VtDatabase, MissingEntriesAreEmpty) {
+  VtDatabase db;
+  EXPECT_FALSE(db.query(model::FileId{7}).has_value());
+  EXPECT_FALSE(db.query(model::ProcessId{7}).has_value());
+}
+
+TEST(VtDatabase, PutGrowsAutomatically) {
+  VtDatabase db;
+  VtReport r;
+  r.first_scan = 5;
+  db.put(model::FileId{100}, r);
+  ASSERT_TRUE(db.query(model::FileId{100}).has_value());
+  EXPECT_EQ(db.query(model::FileId{100})->first_scan, 5);
+  EXPECT_FALSE(db.query(model::FileId{99}).has_value());
+}
+
+TEST(VtDatabase, SetCountIsGrowOnly) {
+  VtDatabase db;
+  VtReport r;
+  r.first_scan = 9;
+  db.put(model::FileId{5}, r);
+  db.set_file_count(3);  // smaller: must not discard
+  ASSERT_TRUE(db.query(model::FileId{5}).has_value());
+  db.set_file_count(100);
+  EXPECT_TRUE(db.query(model::FileId{5}).has_value());
+  EXPECT_FALSE(db.query(model::FileId{99}).has_value());
+}
+
+TEST(VtDatabase, FileAndProcessSpacesAreSeparate) {
+  VtDatabase db;
+  VtReport r;
+  r.first_scan = 1;
+  db.put(model::FileId{0}, r);
+  EXPECT_FALSE(db.query(model::ProcessId{0}).has_value());
+}
+
+TEST(Engines, RosterStructure) {
+  EXPECT_EQ(kNumLeadingEngines, 5);
+  EXPECT_EQ(kNumTrustedEngines, 10);
+  EXPECT_GT(kNumEngines, 40);  // "more than 50 AV engines" territory
+  // Leading five are the paper's type-extraction engines.
+  EXPECT_EQ(engine_name(0), "Microsoft");
+  EXPECT_EQ(engine_name(1), "Symantec");
+  EXPECT_EQ(engine_name(2), "TrendMicro");
+  EXPECT_EQ(engine_name(3), "Kaspersky");
+  EXPECT_EQ(engine_name(4), "McAfee");
+  for (std::uint16_t e = 0; e < kNumEngines; ++e) {
+    EXPECT_EQ(is_leading(e), e < kNumLeadingEngines);
+    EXPECT_EQ(is_trusted(e), e < kNumTrustedEngines);
+    EXPECT_FALSE(engine_name(e).empty());
+  }
+}
+
+}  // namespace
+}  // namespace longtail::groundtruth

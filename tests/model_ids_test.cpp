@@ -1,0 +1,68 @@
+#include "model/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+#include "model/event.hpp"
+
+namespace longtail::model {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  FileId f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_EQ(f.raw(), FileId::kInvalidValue);
+}
+
+TEST(Ids, ExplicitConstructionIsValid) {
+  FileId f{42};
+  EXPECT_TRUE(f.valid());
+  EXPECT_EQ(f.raw(), 42u);
+}
+
+TEST(Ids, ComparisonOperators) {
+  EXPECT_EQ(FileId{1}, FileId{1});
+  EXPECT_NE(FileId{1}, FileId{2});
+  EXPECT_LT(FileId{1}, FileId{2});
+}
+
+TEST(Ids, DistinctTagTypesDoNotMix) {
+  // FileId and MachineId are unrelated types; assigning one to the other
+  // must not compile. (Checked statically.)
+  static_assert(!std::is_convertible_v<FileId, MachineId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, FileId>);
+}
+
+TEST(Ids, HashSpreadsDenseIds) {
+  std::unordered_set<std::size_t> buckets;
+  std::hash<FileId> hasher;
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    buckets.insert(hasher(FileId{i}) % 4096);
+  // Fibonacci hashing should spread 1000 dense ids over most buckets.
+  EXPECT_GT(buckets.size(), 700u);
+}
+
+TEST(Ids, UsableInHashContainers) {
+  std::unordered_set<MachineId> set;
+  for (std::uint32_t i = 0; i < 100; ++i) set.insert(MachineId{i});
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(MachineId{50}));
+}
+
+TEST(Event, DefaultsToExecuted) {
+  DownloadEvent e{};
+  EXPECT_TRUE(e.executed);
+}
+
+TEST(Meta, InvalidIdsWhenUnsigned) {
+  FileMeta meta;
+  EXPECT_FALSE(meta.is_signed);
+  EXPECT_FALSE(meta.signer.valid());
+  EXPECT_FALSE(meta.ca.valid());
+  EXPECT_FALSE(meta.packer.valid());
+}
+
+}  // namespace
+}  // namespace longtail::model

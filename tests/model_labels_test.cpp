@@ -1,0 +1,52 @@
+#include "model/labels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::model {
+namespace {
+
+TEST(Labels, VerdictNames) {
+  EXPECT_EQ(to_string(Verdict::kBenign), "benign");
+  EXPECT_EQ(to_string(Verdict::kLikelyMalicious), "likely-malicious");
+  EXPECT_EQ(to_string(Verdict::kUnknown), "unknown");
+}
+
+TEST(Labels, MalwareTypeNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumMalwareTypes; ++i) {
+    const auto t = static_cast<MalwareType>(i);
+    const auto parsed = malware_type_from_string(to_string(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(Labels, UnknownTypeStringParsesToNullopt) {
+  EXPECT_FALSE(malware_type_from_string("notatype").has_value());
+}
+
+TEST(Labels, SpecificityOrderingMatchesPaper) {
+  // §II-C: banker is more specific than trojan; dropper more specific than
+  // a generic Artemis (undefined) label.
+  EXPECT_GT(specificity(MalwareType::kBanker), specificity(MalwareType::kTrojan));
+  EXPECT_GT(specificity(MalwareType::kDropper),
+            specificity(MalwareType::kUndefined));
+  EXPECT_GT(specificity(MalwareType::kRansomware),
+            specificity(MalwareType::kTrojan));
+  // undefined is the least specific of all.
+  for (std::size_t i = 0; i + 1 < kNumMalwareTypes; ++i)
+    EXPECT_GE(specificity(static_cast<MalwareType>(i)),
+              specificity(MalwareType::kUndefined));
+}
+
+TEST(Labels, ProcessCategoryNames) {
+  EXPECT_EQ(to_string(ProcessCategory::kBrowser), "Browsers");
+  EXPECT_EQ(to_string(ProcessCategory::kAcrobatReader), "Acrobat Reader");
+}
+
+TEST(Labels, BrowserNames) {
+  EXPECT_EQ(to_string(BrowserKind::kInternetExplorer), "IE");
+  EXPECT_EQ(to_string(BrowserKind::kChrome), "Chrome");
+}
+
+}  // namespace
+}  // namespace longtail::model

@@ -1,0 +1,48 @@
+#include "model/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::model {
+namespace {
+
+TEST(Time, MonthStartsAreMonotonic) {
+  for (std::size_t m = 0; m < kNumCalendarMonths; ++m)
+    EXPECT_LT(kMonthStart[m], kMonthStart[m + 1]);
+}
+
+TEST(Time, JanuaryStartsAtZero) {
+  EXPECT_EQ(month_begin(Month::kJanuary), 0);
+  EXPECT_EQ(month_end(Month::kJanuary), 31 * kSecondsPerDay);
+}
+
+TEST(Time, February2014Has28Days) {
+  EXPECT_EQ(month_end(Month::kFebruary) - month_begin(Month::kFebruary),
+            28 * kSecondsPerDay);
+}
+
+TEST(Time, MonthOfRoundTrips) {
+  for (std::size_t m = 0; m < kNumCalendarMonths; ++m) {
+    const auto month = static_cast<Month>(m);
+    EXPECT_EQ(month_of(month_begin(month)), month);
+    EXPECT_EQ(month_of(month_end(month) - 1), month);
+  }
+}
+
+TEST(Time, DayOf) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_of(kSecondsPerDay), 1);
+}
+
+TEST(Time, Names) {
+  EXPECT_EQ(month_name(Month::kJanuary), "January");
+  EXPECT_EQ(month_abbrev(Month::kAugust), "Aug");
+}
+
+TEST(Time, TotalSpanIs243Days) {
+  // Jan(31)+Feb(28)+Mar(31)+Apr(30)+May(31)+Jun(30)+Jul(31)+Aug(31) = 243.
+  EXPECT_EQ(kMonthStart[kNumCalendarMonths], 243 * kSecondsPerDay);
+}
+
+}  // namespace
+}  // namespace longtail::model

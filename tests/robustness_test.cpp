@@ -1,0 +1,132 @@
+// Robustness tests: hostile or malformed inputs must fail cleanly —
+// parsers throw typed errors, extractors return "no result", and nothing
+// crashes on arbitrary bytes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "avclass/avclass.hpp"
+#include "avtype/avtype.hpp"
+#include "telemetry/io.hpp"
+#include "util/domain.hpp"
+#include "util/rng.hpp"
+
+namespace longtail {
+namespace {
+
+std::string random_bytes(util::Rng& rng, std::size_t max_len) {
+  std::string out;
+  const auto len = rng.uniform(max_len);
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(static_cast<char>(rng.uniform(256)));
+  return out;
+}
+
+TEST(Robustness, AvTypeInterpretsArbitraryBytes) {
+  util::Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const auto label = random_bytes(rng, 64);
+    // Must not crash; any MalwareType is acceptable.
+    const auto type = avtype::interpret_label(label);
+    EXPECT_LE(static_cast<std::size_t>(type), model::kNumMalwareTypes);
+  }
+}
+
+TEST(Robustness, AvClassTokenizesArbitraryBytes) {
+  util::Rng rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    const auto label = random_bytes(rng, 64);
+    const auto tokens = avclass::FamilyExtractor::candidate_tokens(label);
+    for (const auto& token : tokens) {
+      EXPECT_GE(token.size(), 4u);
+      for (const char c : token) EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+  }
+}
+
+TEST(Robustness, TypeExtractorOnRandomReports) {
+  util::Rng rng(107);
+  const avtype::TypeExtractor extractor;
+  for (int i = 0; i < 500; ++i) {
+    groundtruth::VtReport report;
+    const auto n = rng.uniform(6);
+    for (std::size_t d = 0; d < n; ++d)
+      report.detections.push_back(
+          {static_cast<std::uint16_t>(rng.uniform(48)),
+           random_bytes(rng, 48)});
+    const auto result = extractor.derive(report);
+    EXPECT_LE(static_cast<std::size_t>(result.type),
+              model::kNumMalwareTypes);
+  }
+}
+
+TEST(Robustness, E2ldOnArbitraryBytes) {
+  util::Rng rng(109);
+  for (int i = 0; i < 2000; ++i) {
+    const auto host = random_bytes(rng, 48);
+    const auto result = util::e2ld(host);
+    // Result is always a view into (or equal to) the input.
+    EXPECT_LE(result.size(), host.size());
+  }
+}
+
+class CorpusImportErrors : public ::testing::Test {
+ protected:
+  std::string dir_ = [] {
+    const auto d =
+        std::filesystem::temp_directory_path() / "longtail_robust_io";
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d.string();
+  }();
+
+  void write(const char* name, const std::string& content) {
+    std::ofstream out(dir_ + "/" + name);
+    out << content;
+  }
+};
+
+TEST_F(CorpusImportErrors, MissingMetaThrows) {
+  EXPECT_THROW(telemetry::import_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(CorpusImportErrors, MalformedIntegerThrows) {
+  write("meta.tsv", "machine_count\nnot_a_number\n");
+  EXPECT_THROW(telemetry::import_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(CorpusImportErrors, TruncatedRowThrows) {
+  write("meta.tsv", "machine_count\n3\n");
+  write("domain_names.tsv", "id\tname\n0\ta.com\n");
+  write("signers.tsv", "id\tname\n");
+  write("cas.tsv", "id\tname\n");
+  write("packers.tsv", "id\tname\n");
+  write("families.tsv", "id\tname\n");
+  write("domains.tsv", "id\talexa_rank\tgsb\tblacklist\twhitelist\n0\t5\n");
+  EXPECT_THROW(telemetry::import_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(CorpusImportErrors, InternerIdMismatchThrows) {
+  write("meta.tsv", "machine_count\n3\n");
+  write("domain_names.tsv", "id\tname\n7\ta.com\n");  // id should be 0
+  EXPECT_THROW(telemetry::import_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(CorpusImportErrors, BadDigestThrows) {
+  write("meta.tsv", "machine_count\n1\n");
+  write("domain_names.tsv", "id\tname\n");
+  write("signers.tsv", "id\tname\n");
+  write("cas.tsv", "id\tname\n");
+  write("packers.tsv", "id\tname\n");
+  write("families.tsv", "id\tname\n");
+  write("domains.tsv", "id\talexa_rank\tgsb\tblacklist\twhitelist\n");
+  write("urls.tsv", "id\tdomain\talexa_rank\n");
+  write("files.tsv",
+        "id\tsha\tsize\tsigned\tsigner\tca\tpacked\tpacker\n"
+        "0\tnothex\t10\t0\t-\t-\t0\t-\n");
+  EXPECT_THROW(telemetry::import_corpus(dir_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace longtail

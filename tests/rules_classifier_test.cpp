@@ -1,0 +1,136 @@
+#include "rules/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::rules {
+namespace {
+
+using features::Feature;
+using features::FeatureVector;
+
+FeatureVector with_signer(std::uint32_t signer) {
+  FeatureVector x;
+  x.values[static_cast<std::size_t>(Feature::kFileSigner)] = signer;
+  return x;
+}
+
+Rule rule(std::uint32_t signer, bool malicious, std::uint32_t coverage = 10,
+          std::uint32_t errors = 0) {
+  Rule r;
+  r.conditions = {{Feature::kFileSigner, signer}};
+  r.predict_malicious = malicious;
+  r.coverage = coverage;
+  r.errors = errors;
+  return r;
+}
+
+TEST(Rule, MatchesConjunction) {
+  Rule r;
+  r.conditions = {{Feature::kFileSigner, 1}, {Feature::kFilePacker, 2}};
+  FeatureVector x;
+  x.values[static_cast<std::size_t>(Feature::kFileSigner)] = 1;
+  x.values[static_cast<std::size_t>(Feature::kFilePacker)] = 2;
+  EXPECT_TRUE(r.matches(x));
+  x.values[static_cast<std::size_t>(Feature::kFilePacker)] = 3;
+  EXPECT_FALSE(r.matches(x));
+}
+
+TEST(Rule, EmptyConditionsMatchEverything) {
+  Rule r;
+  EXPECT_TRUE(r.matches(FeatureVector{}));
+}
+
+TEST(Rule, ErrorRate) {
+  EXPECT_DOUBLE_EQ(rule(1, true, 100, 5).error_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(rule(1, true, 0, 0).error_rate(), 0.0);
+}
+
+TEST(Rule, HumanReadableRendering) {
+  features::FeatureSpace space;
+  const auto signer_id = space.intern(Feature::kFileSigner, "SecureInstall");
+  Rule r;
+  r.conditions = {{Feature::kFileSigner, signer_id}};
+  r.predict_malicious = true;
+  r.coverage = 51;
+  const auto text = r.to_string(space);
+  // The paper's rule 1): IF (file's signer is "SecureInstall") -> malicious
+  EXPECT_NE(text.find("file's signer"), std::string::npos);
+  EXPECT_NE(text.find("SecureInstall"), std::string::npos);
+  EXPECT_NE(text.find("malicious"), std::string::npos);
+}
+
+TEST(SelectRules, FiltersByErrorRate) {
+  const std::vector<Rule> rules = {rule(1, true, 100, 0),
+                                   rule(2, true, 1000, 1),
+                                   rule(3, false, 100, 30)};
+  EXPECT_EQ(select_rules(rules, 0.0).size(), 1u);
+  EXPECT_EQ(select_rules(rules, 0.001).size(), 2u);
+  EXPECT_EQ(select_rules(rules, 0.5).size(), 3u);
+}
+
+TEST(SelectRules, MonotoneInTau) {
+  std::vector<Rule> rules;
+  for (std::uint32_t i = 0; i < 20; ++i) rules.push_back(rule(i, true, 100, i));
+  std::size_t prev = 0;
+  for (const double tau : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    const auto n = select_rules(rules, tau).size();
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(RuleSetStats, CountsComposition) {
+  const std::vector<Rule> rules = {rule(1, true), rule(2, false),
+                                   rule(3, false)};
+  const auto stats = rule_set_stats(rules);
+  EXPECT_EQ(stats.total, 3u);
+  EXPECT_EQ(stats.malicious_rules, 1u);
+  EXPECT_EQ(stats.benign_rules, 2u);
+}
+
+TEST(RuleClassifier, BasicDecisions) {
+  const RuleClassifier c({rule(1, true), rule(2, false)});
+  EXPECT_EQ(c.classify(with_signer(1)), Decision::kMalicious);
+  EXPECT_EQ(c.classify(with_signer(2)), Decision::kBenign);
+  EXPECT_EQ(c.classify(with_signer(9)), Decision::kNoMatch);
+}
+
+TEST(RuleClassifier, ConflictIsRejected) {
+  // Two rules on the same signer with opposite predictions.
+  const RuleClassifier c({rule(1, true), rule(1, false)});
+  EXPECT_EQ(c.classify(with_signer(1)), Decision::kRejected);
+}
+
+TEST(RuleClassifier, MajorityVotePolicy) {
+  const RuleClassifier c({rule(1, true), rule(1, true), rule(1, false)},
+                         ConflictPolicy::kMajorityVote);
+  EXPECT_EQ(c.classify(with_signer(1)), Decision::kMalicious);
+}
+
+TEST(RuleClassifier, MajorityVoteTieRejected) {
+  const RuleClassifier c({rule(1, true), rule(1, false)},
+                         ConflictPolicy::kMajorityVote);
+  EXPECT_EQ(c.classify(with_signer(1)), Decision::kRejected);
+}
+
+TEST(RuleClassifier, DecisionListFirstMatchWins) {
+  const RuleClassifier c({rule(1, false), rule(1, true)},
+                         ConflictPolicy::kDecisionList);
+  EXPECT_EQ(c.classify(with_signer(1)), Decision::kBenign);
+}
+
+TEST(RuleClassifier, MatchingRulesReturnsIndexes) {
+  const RuleClassifier c({rule(1, true), rule(2, false), rule(1, false)});
+  const auto matches = c.matching_rules(with_signer(1));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], 0u);
+  EXPECT_EQ(matches[1], 2u);
+}
+
+TEST(RuleClassifier, EmptyRuleSetNeverMatches) {
+  const RuleClassifier c({});
+  EXPECT_EQ(c.classify(with_signer(1)), Decision::kNoMatch);
+}
+
+}  // namespace
+}  // namespace longtail::rules

@@ -1,0 +1,125 @@
+#include "rules/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::rules {
+namespace {
+
+using features::Feature;
+using features::FeatureVector;
+using features::Instance;
+
+FeatureVector with_signer(std::uint32_t signer) {
+  FeatureVector x;
+  x.values[static_cast<std::size_t>(Feature::kFileSigner)] = signer;
+  return x;
+}
+
+Rule rule(std::uint32_t signer, bool malicious) {
+  Rule r;
+  r.conditions = {{Feature::kFileSigner, signer}};
+  r.predict_malicious = malicious;
+  r.coverage = 10;
+  return r;
+}
+
+Instance inst(std::uint32_t signer, bool malicious) {
+  return Instance{with_signer(signer), malicious, {}};
+}
+
+TEST(Evaluate, CountsConfusionMatrix) {
+  const RuleClassifier c({rule(1, true), rule(2, false)});
+  const std::vector<Instance> test = {
+      inst(1, true),   // TP
+      inst(1, true),   // TP
+      inst(1, false),  // FP
+      inst(2, false),  // TN
+      inst(2, true),   // FN
+      inst(9, true),   // unmatched
+  };
+  const auto r = evaluate(c, test);
+  EXPECT_EQ(r.true_positives, 2u);
+  EXPECT_EQ(r.false_positives, 1u);
+  EXPECT_EQ(r.true_negatives, 1u);
+  EXPECT_EQ(r.false_negatives, 1u);
+  EXPECT_EQ(r.unmatched, 1u);
+  EXPECT_EQ(r.matched_malicious, 3u);
+  EXPECT_EQ(r.matched_benign, 2u);
+  EXPECT_NEAR(r.tp_rate(), 100.0 * 2 / 3, 1e-9);
+  EXPECT_NEAR(r.fp_rate(), 100.0 * 1 / 2, 1e-9);
+}
+
+TEST(Evaluate, RejectedSamplesExcludedFromRates) {
+  const RuleClassifier c({rule(1, true), rule(1, false)});
+  const std::vector<Instance> test = {inst(1, true), inst(1, false)};
+  const auto r = evaluate(c, test);
+  EXPECT_EQ(r.rejected, 2u);
+  EXPECT_EQ(r.matched_malicious, 0u);
+  EXPECT_EQ(r.matched_benign, 0u);
+  EXPECT_DOUBLE_EQ(r.tp_rate(), 0.0);
+}
+
+TEST(Evaluate, FpRulesIdentified) {
+  const RuleClassifier c({rule(1, true), rule(2, true), rule(3, false)});
+  const std::vector<Instance> test = {
+      inst(1, false),  // FP caused by rule 0
+      inst(2, false),  // FP caused by rule 1
+      inst(2, false),  // same rule again
+  };
+  const auto r = evaluate(c, test);
+  EXPECT_EQ(r.false_positives, 3u);
+  EXPECT_EQ(r.fp_rules.size(), 2u);
+  EXPECT_TRUE(r.fp_rules.contains(0));
+  EXPECT_TRUE(r.fp_rules.contains(1));
+}
+
+TEST(ExpandUnknowns, CountsLabels) {
+  const RuleClassifier c({rule(1, true), rule(2, false), rule(3, true),
+                          rule(3, false)});
+  const std::vector<Instance> unknowns = {
+      inst(1, false),  // -> malicious
+      inst(1, false),  // -> malicious
+      inst(2, false),  // -> benign
+      inst(3, false),  // conflict -> rejected
+      inst(9, false),  // no match
+  };
+  const auto r = expand_unknowns(c, unknowns);
+  EXPECT_EQ(r.total_unknowns, 5u);
+  EXPECT_EQ(r.labeled_malicious, 2u);
+  EXPECT_EQ(r.labeled_benign, 1u);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_EQ(r.matched(), 3u);
+  EXPECT_NEAR(r.matched_pct(), 60.0, 1e-9);
+}
+
+TEST(ExpandUnknowns, EmptyInput) {
+  const RuleClassifier c({rule(1, true)});
+  const auto r = expand_unknowns(c, {});
+  EXPECT_EQ(r.total_unknowns, 0u);
+  EXPECT_DOUBLE_EQ(r.matched_pct(), 0.0);
+}
+
+TEST(FeatureUsage, ComputesShares) {
+  Rule r1 = rule(1, true);  // file signer only
+  Rule r2;                  // signer + packer
+  r2.conditions = {{Feature::kFileSigner, 2}, {Feature::kFilePacker, 1}};
+  Rule r3;                  // process type only
+  r3.conditions = {{Feature::kProcessType, 4}};
+  const std::vector<Rule> rules = {r1, r2, r3};
+  const auto usage = feature_usage(rules);
+  EXPECT_NEAR(usage.pct[static_cast<std::size_t>(Feature::kFileSigner)],
+              100.0 * 2 / 3, 1e-9);
+  EXPECT_NEAR(usage.pct[static_cast<std::size_t>(Feature::kFilePacker)],
+              100.0 / 3, 1e-9);
+  EXPECT_NEAR(usage.pct[static_cast<std::size_t>(Feature::kProcessType)],
+              100.0 / 3, 1e-9);
+  EXPECT_NEAR(usage.single_condition_pct, 100.0 * 2 / 3, 1e-9);
+}
+
+TEST(FeatureUsage, EmptyRuleSet) {
+  const auto usage = feature_usage({});
+  EXPECT_DOUBLE_EQ(usage.single_condition_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace longtail::rules

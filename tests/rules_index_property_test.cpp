@@ -1,0 +1,90 @@
+// Property test guarding the RuleClassifier's first-condition index: on
+// random rule sets and feature vectors, the indexed matcher must agree
+// exactly with a naive scan over every rule.
+#include <gtest/gtest.h>
+
+#include "rules/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace longtail::rules {
+namespace {
+
+using features::Feature;
+using features::FeatureVector;
+
+FeatureVector random_vector(util::Rng& rng, std::uint32_t cardinality) {
+  FeatureVector x;
+  for (std::size_t f = 0; f < features::kNumFeatures; ++f)
+    x.values[f] = static_cast<std::uint32_t>(rng.uniform(cardinality));
+  return x;
+}
+
+std::vector<Rule> random_rules(util::Rng& rng, std::size_t count,
+                               std::uint32_t cardinality) {
+  std::vector<Rule> rules;
+  for (std::size_t i = 0; i < count; ++i) {
+    Rule rule;
+    const auto n_conditions = rng.uniform(4);  // 0..3 (0 = catch-all)
+    for (std::size_t c = 0; c < n_conditions; ++c)
+      rule.conditions.push_back(
+          {static_cast<Feature>(rng.uniform(features::kNumFeatures)),
+           static_cast<std::uint32_t>(rng.uniform(cardinality))});
+    rule.predict_malicious = rng.bernoulli(0.5);
+    rule.coverage = 10;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<std::uint32_t> naive_matches(const std::vector<Rule>& rules,
+                                         const FeatureVector& x) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < rules.size(); ++i)
+    if (rules[i].matches(x)) out.push_back(i);
+  return out;
+}
+
+Decision naive_classify(const std::vector<Rule>& rules,
+                        const FeatureVector& x, ConflictPolicy policy) {
+  const auto matches = naive_matches(rules, x);
+  if (matches.empty()) return Decision::kNoMatch;
+  if (policy == ConflictPolicy::kDecisionList)
+    return rules[matches.front()].predict_malicious ? Decision::kMalicious
+                                                    : Decision::kBenign;
+  std::uint32_t benign = 0, malicious = 0;
+  for (const auto i : matches)
+    ++(rules[i].predict_malicious ? malicious : benign);
+  if (policy == ConflictPolicy::kReject) {
+    if (benign > 0 && malicious > 0) return Decision::kRejected;
+    return malicious > 0 ? Decision::kMalicious : Decision::kBenign;
+  }
+  if (benign == malicious) return Decision::kRejected;
+  return malicious > benign ? Decision::kMalicious : Decision::kBenign;
+}
+
+class IndexEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalence, MatchesNaiveScan) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  // Small cardinality forces frequent collisions and catch-all rules.
+  const std::uint32_t cardinality = 3 + static_cast<std::uint32_t>(
+                                            rng.uniform(6));
+  const auto rules = random_rules(rng, 40 + rng.uniform(100), cardinality);
+
+  for (const auto policy :
+       {ConflictPolicy::kReject, ConflictPolicy::kMajorityVote,
+        ConflictPolicy::kDecisionList}) {
+    const RuleClassifier classifier(rules, policy);
+    for (int i = 0; i < 300; ++i) {
+      const auto x = random_vector(rng, cardinality);
+      ASSERT_EQ(classifier.matching_rules(x), naive_matches(rules, x));
+      ASSERT_EQ(classifier.classify(x), naive_classify(rules, x, policy));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRuleSets, IndexEquivalence,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace longtail::rules

@@ -1,0 +1,215 @@
+#include "rules/part.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace longtail::rules {
+namespace {
+
+using features::Feature;
+using features::FeatureVector;
+using features::Instance;
+
+FeatureVector vec(std::uint32_t signer, std::uint32_t packer = 0,
+                  std::uint32_t proc_type = 0) {
+  FeatureVector x;
+  x.values[static_cast<std::size_t>(Feature::kFileSigner)] = signer;
+  x.values[static_cast<std::size_t>(Feature::kFilePacker)] = packer;
+  x.values[static_cast<std::size_t>(Feature::kProcessType)] = proc_type;
+  return x;
+}
+
+Instance inst(bool malicious, std::uint32_t signer, std::uint32_t packer = 0,
+              std::uint32_t proc_type = 0) {
+  return Instance{vec(signer, packer, proc_type), malicious, {}};
+}
+
+// A dataset where signer perfectly separates the classes.
+std::vector<Instance> separable_by_signer() {
+  std::vector<Instance> data;
+  for (int i = 0; i < 30; ++i) data.push_back(inst(true, 1));
+  for (int i = 0; i < 25; ++i) data.push_back(inst(true, 2));
+  for (int i = 0; i < 30; ++i) data.push_back(inst(false, 3));
+  for (int i = 0; i < 20; ++i) data.push_back(inst(false, 4));
+  return data;
+}
+
+TEST(PessimisticError, IncreasesWithConfidenceDemand) {
+  // Smaller confidence value = more pessimism = higher bound.
+  EXPECT_GT(pessimistic_error_rate(0, 10, 0.10),
+            pessimistic_error_rate(0, 10, 0.40));
+}
+
+TEST(PessimisticError, ZeroErrorsStillHaveNonzeroBound) {
+  EXPECT_GT(pessimistic_error_rate(0, 5, 0.25), 0.0);
+  EXPECT_LT(pessimistic_error_rate(0, 5, 0.25), 1.0);
+}
+
+TEST(PessimisticError, ShrinksWithSampleSize) {
+  EXPECT_GT(pessimistic_error_rate(0, 3, 0.25),
+            pessimistic_error_rate(0, 300, 0.25));
+  EXPECT_GT(pessimistic_error_rate(5, 50, 0.25),
+            pessimistic_error_rate(50, 500, 0.25));
+}
+
+TEST(PessimisticError, AtLeastObservedRate) {
+  EXPECT_GE(pessimistic_error_rate(10, 40, 0.25), 0.25);
+}
+
+TEST(PartLearner, LearnsSeparableDataPerfectly) {
+  const auto data = separable_by_signer();
+  const auto rules = PartLearner().learn(data);
+  ASSERT_FALSE(rules.empty());
+  // Every instance must be classified correctly by the first matching
+  // rule (decision-list reading of PART's output).
+  for (const auto& instance : data) {
+    bool matched = false;
+    for (const auto& rule : rules) {
+      if (!rule.matches(instance.x)) continue;
+      EXPECT_EQ(rule.predict_malicious, instance.malicious);
+      matched = true;
+      break;
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST(PartLearner, RulesUseTheDiscriminativeFeature) {
+  const auto rules = PartLearner().learn(separable_by_signer());
+  for (const auto& rule : rules) {
+    if (rule.conditions.empty()) continue;  // default rule
+    for (const auto& c : rule.conditions)
+      EXPECT_EQ(c.feature, Feature::kFileSigner);
+  }
+}
+
+TEST(PartLearner, FirstRuleCoversLargestGroup) {
+  // PART extracts the max-coverage leaf first: signer 1 (30 malicious) or
+  // signer 3 (30 benign).
+  const auto rules = PartLearner().learn(separable_by_signer());
+  ASSERT_FALSE(rules.empty());
+  EXPECT_GE(rules.front().coverage, 25u);
+}
+
+TEST(PartLearner, EmptyDataYieldsNoRules) {
+  EXPECT_TRUE(PartLearner().learn({}).empty());
+}
+
+TEST(PartLearner, PureDataYieldsSingleDefaultRule) {
+  std::vector<Instance> data;
+  for (int i = 0; i < 20; ++i) data.push_back(inst(true, 1));
+  const auto rules = PartLearner().learn(data);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules[0].predict_malicious);
+  EXPECT_EQ(rules[0].coverage, 20u);
+  EXPECT_EQ(rules[0].errors, 0u);
+}
+
+TEST(PartLearner, StatsAreScoredOnFullTrainingSet) {
+  // A rule's coverage/errors must reflect the whole training window, not
+  // the residue it was extracted from (set semantics for tau selection).
+  auto data = separable_by_signer();
+  // Add noise: two benign instances under signer 1.
+  data.push_back(inst(false, 1));
+  data.push_back(inst(false, 1));
+  const auto rules = PartLearner().learn(data);
+  for (const auto& rule : rules) {
+    std::uint32_t coverage = 0, errors = 0;
+    for (const auto& instance : data) {
+      if (!rule.matches(instance.x)) continue;
+      ++coverage;
+      if (instance.malicious != rule.predict_malicious) ++errors;
+    }
+    EXPECT_EQ(rule.coverage, coverage) << rule.to_string({});
+    EXPECT_EQ(rule.errors, errors);
+  }
+}
+
+TEST(PartLearner, MaxRulesCapRespected) {
+  util::Rng rng(99);
+  std::vector<Instance> data;
+  // Many tiny pure groups -> many potential rules.
+  for (std::uint32_t s = 0; s < 200; ++s)
+    for (int i = 0; i < 5; ++i) data.push_back(inst(s % 2 == 0, s + 10));
+  PartConfig config;
+  config.max_rules = 7;
+  const auto rules = PartLearner(config).learn(data);
+  EXPECT_LE(rules.size(), 7u);
+}
+
+TEST(PartLearner, DeterministicAcrossRuns) {
+  const auto data = separable_by_signer();
+  const auto a = PartLearner().learn(data);
+  const auto b = PartLearner().learn(data);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].conditions, b[i].conditions);
+    EXPECT_EQ(a[i].predict_malicious, b[i].predict_malicious);
+  }
+}
+
+TEST(PartLearner, MultiFeatureConjunction) {
+  // Signer 1 is malicious only when packed with packer 7.
+  std::vector<Instance> data;
+  for (int i = 0; i < 20; ++i) data.push_back(inst(true, 1, 7));
+  for (int i = 0; i < 20; ++i) data.push_back(inst(false, 1, 8));
+  for (int i = 0; i < 20; ++i) data.push_back(inst(false, 2, 7));
+  const auto rules = PartLearner().learn(data);
+  // Whatever the rule order, classification must be perfect.
+  for (const auto& instance : data) {
+    for (const auto& rule : rules) {
+      if (!rule.matches(instance.x)) continue;
+      EXPECT_EQ(rule.predict_malicious, instance.malicious);
+      break;
+    }
+  }
+}
+
+// Property sweep over random noisy datasets: the learner must terminate,
+// produce rules whose recorded statistics are exact, and classify at least
+// as well as the majority class on training data (via decision-list
+// reading).
+class PartProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartProperty, InvariantsHoldOnRandomData) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Instance> data;
+  const auto n = 200 + rng.uniform(400);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto signer = static_cast<std::uint32_t>(rng.uniform(12));
+    const auto packer = static_cast<std::uint32_t>(rng.uniform(4));
+    // Class correlates with signer, with 15% noise.
+    bool malicious = signer < 6;
+    if (rng.bernoulli(0.15)) malicious = !malicious;
+    data.push_back(inst(malicious, signer, packer));
+  }
+
+  const auto rules = PartLearner().learn(data);
+  ASSERT_FALSE(rules.empty());
+
+  std::uint64_t correct = 0, majority = 0, malicious_total = 0;
+  for (const auto& instance : data) {
+    malicious_total += instance.malicious;
+    for (const auto& rule : rules) {
+      if (!rule.matches(instance.x)) continue;
+      correct += rule.predict_malicious == instance.malicious;
+      break;
+    }
+  }
+  majority = std::max(malicious_total, data.size() - malicious_total);
+  EXPECT_GE(correct, majority);
+
+  for (const auto& rule : rules) {
+    EXPECT_LE(rule.errors, rule.coverage);
+    std::uint32_t coverage = 0;
+    for (const auto& instance : data) coverage += rule.matches(instance.x);
+    EXPECT_EQ(rule.coverage, coverage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatasets, PartProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace longtail::rules

@@ -1,0 +1,128 @@
+#include "rules/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace longtail::rules {
+namespace {
+
+using features::Feature;
+using features::FeatureVector;
+using features::Instance;
+
+FeatureVector vec(std::uint32_t signer, std::uint32_t packer = 0) {
+  FeatureVector x;
+  x.values[static_cast<std::size_t>(Feature::kFileSigner)] = signer;
+  x.values[static_cast<std::size_t>(Feature::kFilePacker)] = packer;
+  return x;
+}
+
+Instance inst(bool malicious, std::uint32_t signer, std::uint32_t packer = 0) {
+  return Instance{vec(signer, packer), malicious, {}};
+}
+
+std::vector<Instance> separable() {
+  std::vector<Instance> data;
+  for (int i = 0; i < 25; ++i) data.push_back(inst(true, 1));
+  for (int i = 0; i < 25; ++i) data.push_back(inst(true, 2));
+  for (int i = 0; i < 25; ++i) data.push_back(inst(false, 3));
+  for (int i = 0; i < 25; ++i) data.push_back(inst(false, 4));
+  return data;
+}
+
+TEST(DecisionTree, ClassifiesSeparableDataPerfectly) {
+  const auto data = separable();
+  const auto tree = DecisionTree::build(data);
+  for (const auto& instance : data)
+    EXPECT_EQ(tree.classify(instance.x), instance.malicious);
+}
+
+TEST(DecisionTree, EmptyDataYieldsBenignStub) {
+  const auto tree = DecisionTree::build({});
+  EXPECT_FALSE(tree.classify(vec(1)));
+}
+
+TEST(DecisionTree, PureDataIsASingleLeaf) {
+  std::vector<Instance> data;
+  for (int i = 0; i < 10; ++i) data.push_back(inst(true, 1));
+  const auto tree = DecisionTree::build(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_TRUE(tree.classify(vec(99)));
+}
+
+TEST(DecisionTree, UnseenValuesFallToMajority) {
+  std::vector<Instance> data;
+  for (int i = 0; i < 40; ++i) data.push_back(inst(true, 1));
+  for (int i = 0; i < 10; ++i) data.push_back(inst(false, 2));
+  const auto tree = DecisionTree::build(data);
+  // Signer 77 never seen: majority at the split node is malicious.
+  EXPECT_TRUE(tree.classify(vec(77)));
+}
+
+TEST(DecisionTree, PruningCollapsesNoise) {
+  // Class is 90% malicious regardless of feature values: the pruned tree
+  // should be (nearly) a single leaf rather than memorizing noise.
+  util::Rng rng(3);
+  std::vector<Instance> data;
+  for (int i = 0; i < 400; ++i)
+    data.push_back(inst(!rng.bernoulli(0.1),
+                        static_cast<std::uint32_t>(rng.uniform(20)),
+                        static_cast<std::uint32_t>(rng.uniform(4))));
+  const auto tree = DecisionTree::build(data);
+  EXPECT_LE(tree.node_count(), 25u);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  util::Rng rng(5);
+  std::vector<Instance> data;
+  for (int i = 0; i < 500; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.uniform(8));
+    const auto p = static_cast<std::uint32_t>(rng.uniform(8));
+    data.push_back(inst((s + p) % 2 == 0, s, p));
+  }
+  TreeConfig config;
+  config.max_depth = 1;
+  const auto tree = DecisionTree::build(data, config);
+  EXPECT_LE(tree.depth(), 1u);
+}
+
+TEST(DecisionTree, RenderingMentionsFeatures) {
+  features::FeatureSpace space;
+  const auto s1 = space.intern(Feature::kFileSigner, "EvilCorp");
+  const auto s2 = space.intern(Feature::kFileSigner, "GoodCorp");
+  std::vector<Instance> data;
+  for (int i = 0; i < 20; ++i) data.push_back(inst(true, s1));
+  for (int i = 0; i < 20; ++i) data.push_back(inst(false, s2));
+  const auto tree = DecisionTree::build(data);
+  const auto text = tree.to_string(space);
+  EXPECT_NE(text.find("file's signer"), std::string::npos);
+  EXPECT_NE(text.find("EvilCorp"), std::string::npos);
+}
+
+// The paper's §VI-D claim: the pruned PART rule set with rejection yields
+// fewer false positives than classifying every sample with the full tree.
+TEST(DecisionTree, PaperClaimRuleSetBeatsTreeOnFalsePositives) {
+  static const core::LongtailPipeline pipeline =
+      core::LongtailPipeline::generate(0.05);
+  const auto exp = pipeline.run_rule_experiment(model::Month::kMarch,
+                                                model::Month::kApril);
+
+  const auto tree = DecisionTree::build(exp.data.train);
+  std::uint64_t tree_fp = 0, tree_benign = 0;
+  for (const auto& instance : exp.data.test) {
+    if (instance.malicious) continue;
+    ++tree_benign;
+    tree_fp += tree.classify(instance.x);
+  }
+
+  const auto eval = core::LongtailPipeline::evaluate_tau(exp, 0.001);
+  const double tree_fp_rate =
+      100.0 * static_cast<double>(tree_fp) / static_cast<double>(tree_benign);
+  EXPECT_LE(eval.eval.fp_rate(), tree_fp_rate + 1e-9);
+}
+
+}  // namespace
+}  // namespace longtail::rules

@@ -1,0 +1,235 @@
+// End-to-end properties of the synthetic dataset generator. These tests
+// pin the calibration contract: the hidden truth is internally consistent,
+// evidence round-trips through the labeler to the intended verdicts, and
+// the headline marginals stay near the paper's values.
+#include "synth/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/annotated.hpp"
+#include "groundtruth/labeler.hpp"
+#include "telemetry/index.hpp"
+
+namespace longtail::synth {
+namespace {
+
+constexpr double kScale = 0.03;
+
+const Dataset& dataset() {
+  static const Dataset ds = generate_dataset(kScale);
+  return ds;
+}
+
+TEST(Generator, TablesAreConsistentlySized) {
+  const auto& ds = dataset();
+  EXPECT_EQ(ds.truth.file_nature.size(), ds.corpus.files.size());
+  EXPECT_EQ(ds.truth.file_type.size(), ds.corpus.files.size());
+  EXPECT_EQ(ds.truth.file_intended.size(), ds.corpus.files.size());
+  EXPECT_EQ(ds.truth.process_nature.size(), ds.corpus.processes.size());
+  EXPECT_GT(ds.corpus.machine_count, 0u);
+}
+
+TEST(Generator, EventsAreTimeSortedAndInRange) {
+  const auto& ds = dataset();
+  model::Timestamp prev = 0;
+  for (const auto& e : ds.corpus.events) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    EXPECT_LT(e.time, model::kMonthStart[model::kNumCalendarMonths]);
+    EXPECT_LT(e.file.raw(), ds.corpus.files.size());
+    EXPECT_LT(e.machine.raw(), ds.corpus.machine_count);
+    EXPECT_LT(e.process.raw(), ds.corpus.processes.size());
+    EXPECT_LT(e.url.raw(), ds.corpus.urls.size());
+    EXPECT_TRUE(e.executed);  // collection server filtered the rest
+  }
+}
+
+TEST(Generator, UrlsReferenceValidDomains) {
+  const auto& ds = dataset();
+  for (const auto& u : ds.corpus.urls)
+    EXPECT_LT(u.domain.raw(), ds.corpus.domains.size());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = generate_dataset(0.01);
+  const auto b = generate_dataset(0.01);
+  ASSERT_EQ(a.corpus.events.size(), b.corpus.events.size());
+  for (std::size_t i = 0; i < a.corpus.events.size(); i += 97) {
+    EXPECT_EQ(a.corpus.events[i].file, b.corpus.events[i].file);
+    EXPECT_EQ(a.corpus.events[i].machine, b.corpus.events[i].machine);
+    EXPECT_EQ(a.corpus.events[i].time, b.corpus.events[i].time);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  auto profile = paper_calibration(0.01);
+  profile.seed = 424242;
+  const auto a = generate_dataset(profile);
+  const auto b = generate_dataset(0.01);
+  ASSERT_EQ(a.corpus.files.size(), b.corpus.files.size());
+  std::size_t same = 0, checked = 0;
+  for (std::size_t i = 0; i < a.corpus.events.size() &&
+                          i < b.corpus.events.size();
+       i += 101) {
+    ++checked;
+    same += a.corpus.events[i].machine == b.corpus.events[i].machine;
+  }
+  EXPECT_LT(same, checked / 2);
+}
+
+TEST(Generator, LabelerRoundTripsIntendedVerdicts) {
+  const auto& ds = dataset();
+  const groundtruth::Labeler labeler;
+  const auto labels = labeler.label_all(ds.corpus.files.size(),
+                                        ds.corpus.processes.size(),
+                                        ds.whitelist, ds.vt);
+  for (std::size_t f = 0; f < ds.corpus.files.size(); ++f)
+    ASSERT_EQ(labels.file_verdicts[f], ds.truth.file_intended[f]) << f;
+  for (std::size_t p = 0; p < ds.corpus.processes.size(); ++p)
+    ASSERT_EQ(labels.process_verdicts[p], ds.truth.process_intended[p]) << p;
+}
+
+TEST(Generator, HeadlineMarginalsNearPaper) {
+  const auto& ds = dataset();
+  const groundtruth::Labeler labeler;
+  const auto labels = labeler.label_all(ds.corpus.files.size(),
+                                        ds.corpus.processes.size(),
+                                        ds.whitelist, ds.vt);
+  std::array<std::uint64_t, model::kNumVerdicts> counts{};
+  for (const auto v : labels.file_verdicts)
+    ++counts[static_cast<std::size_t>(v)];
+  const auto total = static_cast<double>(ds.corpus.files.size());
+  // Paper: 2.3% / 2.5% / 9.9% / 2.3% / 83%.
+  EXPECT_NEAR(100 * counts[0] / total, 2.3, 0.5);
+  EXPECT_NEAR(100 * counts[1] / total, 2.5, 0.5);
+  EXPECT_NEAR(100 * counts[2] / total, 9.9, 1.0);
+  EXPECT_NEAR(100 * counts[3] / total, 2.3, 0.5);
+  EXPECT_NEAR(100 * counts[4] / total, 83.0, 2.0);
+}
+
+TEST(Generator, PrevalenceIsCappedAtSigma) {
+  const auto& ds = dataset();
+  const telemetry::CorpusIndex index(ds.corpus);
+  for (const auto f : index.observed_files())
+    EXPECT_LE(index.prevalence(f), ds.profile.sigma);
+}
+
+TEST(Generator, LongTailShape) {
+  const auto& ds = dataset();
+  const telemetry::CorpusIndex index(ds.corpus);
+  std::uint64_t ones = 0;
+  for (const auto f : index.observed_files())
+    ones += index.prevalence(f) == 1;
+  const double fraction =
+      static_cast<double>(ones) /
+      static_cast<double>(index.observed_files().size());
+  // Paper: ~90% of files have prevalence 1.
+  EXPECT_GT(fraction, 0.82);
+  EXPECT_LT(fraction, 0.95);
+}
+
+TEST(Generator, CollectionStatsShowFiltering) {
+  const auto& ds = dataset();
+  EXPECT_GT(ds.collection_stats.accepted, 0u);
+  EXPECT_GT(ds.collection_stats.dropped_not_executed, 0u);
+  EXPECT_GT(ds.collection_stats.dropped_whitelisted_url, 0u);
+  EXPECT_EQ(ds.collection_stats.accepted, ds.corpus.events.size());
+}
+
+TEST(Generator, MaliciousFilesHaveTrustedDetections) {
+  const auto& ds = dataset();
+  std::size_t checked = 0;
+  for (std::uint32_t f = 0; f < ds.corpus.files.size() && checked < 500; ++f) {
+    if (ds.truth.file_intended[f] != model::Verdict::kMalicious) continue;
+    ++checked;
+    const auto& report = ds.vt.query(model::FileId{f});
+    ASSERT_TRUE(report.has_value());
+    bool trusted = false;
+    for (const auto& det : report->detections)
+      trusted |= groundtruth::is_trusted(det.engine);
+    EXPECT_TRUE(trusted);
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(Generator, UnknownFilesHaveNoEvidence) {
+  const auto& ds = dataset();
+  std::size_t checked = 0;
+  for (std::uint32_t f = 0; f < ds.corpus.files.size() && checked < 500; ++f) {
+    if (ds.truth.file_intended[f] != model::Verdict::kUnknown) continue;
+    ++checked;
+    EXPECT_FALSE(ds.vt.query(model::FileId{f}).has_value());
+    EXPECT_FALSE(ds.whitelist.contains(model::FileId{f}));
+  }
+}
+
+TEST(Generator, SignerPoolsRespectClassStructure) {
+  // A signer seen on labeled-benign files and a signer seen on
+  // labeled-malicious files overlap only via the shared pool; measure that
+  // the overlap exists but is partial (Table VII's structure).
+  const auto& ds = dataset();
+  std::unordered_set<std::uint32_t> benign_signers, malicious_signers;
+  for (std::uint32_t f = 0; f < ds.corpus.files.size(); ++f) {
+    const auto& meta = ds.corpus.files[f];
+    if (!meta.is_signed) continue;
+    if (ds.truth.file_intended[f] == model::Verdict::kBenign)
+      benign_signers.insert(meta.signer.raw());
+    else if (ds.truth.file_intended[f] == model::Verdict::kMalicious)
+      malicious_signers.insert(meta.signer.raw());
+  }
+  std::size_t common = 0;
+  for (const auto s : malicious_signers) common += benign_signers.contains(s);
+  EXPECT_GT(common, 0u);
+  EXPECT_LT(common, malicious_signers.size());
+}
+
+TEST(Generator, FakeavFilesRouteToSocialEngineeringDomains) {
+  // Table V's shape is generative: fakeav files must be served mostly by
+  // the fakeav/dedicated domain pools, not by the benign vendors.
+  const auto& ds = dataset();
+  const analysis::AnnotatedCorpus a = analysis::annotate(
+      ds.corpus, ds.whitelist, ds.vt);
+  std::uint64_t fakeav_events = 0, on_whitelisted_vendor = 0;
+  for (const auto& e : ds.corpus.events) {
+    if (ds.truth.file_intended[e.file.raw()] != model::Verdict::kMalicious)
+      continue;
+    if (ds.truth.file_type[e.file.raw()] != model::MalwareType::kFakeAv)
+      continue;
+    ++fakeav_events;
+    const auto& domain =
+        ds.corpus.domains[ds.corpus.urls[e.url.raw()].domain.raw()];
+    on_whitelisted_vendor += domain.on_curated_whitelist;
+  }
+  ASSERT_GT(fakeav_events, 20u);
+  EXPECT_LT(static_cast<double>(on_whitelisted_vendor) /
+                static_cast<double>(fakeav_events),
+            0.35);
+}
+
+TEST(Generator, BenignFilesAvoidBlacklistedDomains) {
+  const auto& ds = dataset();
+  std::uint64_t benign_events = 0, on_blacklisted = 0;
+  for (const auto& e : ds.corpus.events) {
+    if (ds.truth.file_intended[e.file.raw()] != model::Verdict::kBenign)
+      continue;
+    ++benign_events;
+    const auto& domain =
+        ds.corpus.domains[ds.corpus.urls[e.url.raw()].domain.raw()];
+    on_blacklisted += domain.on_private_blacklist;
+  }
+  ASSERT_GT(benign_events, 100u);
+  EXPECT_LT(static_cast<double>(on_blacklisted) /
+                static_cast<double>(benign_events),
+            0.10);
+}
+
+TEST(Generator, ScaleControlsSize) {
+  const auto small = generate_dataset(0.01);
+  EXPECT_GT(dataset().corpus.events.size(),
+            2 * small.corpus.events.size());
+}
+
+}  // namespace
+}  // namespace longtail::synth

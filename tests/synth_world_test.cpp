@@ -1,0 +1,178 @@
+#include "synth/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/names.hpp"
+
+namespace longtail::synth {
+namespace {
+
+World& world() {
+  static World w = [] {
+    const auto profile = paper_calibration(0.02);
+    util::Rng rng(profile.seed);
+    groundtruth::AvSimulator avsim({}, 7);
+    return build_world(profile, rng, avsim);
+  }();
+  return w;
+}
+
+TEST(World, SignerPoolsPopulated) {
+  const auto& w = world();
+  EXPECT_GT(w.benign_signer_pool.size(), 10u);
+  for (const auto& pool : w.type_signer_pool) EXPECT_FALSE(pool.empty());
+}
+
+TEST(World, EverySignerHasACa) {
+  const auto& w = world();
+  for (const auto signer : w.benign_signer_pool)
+    EXPECT_TRUE(w.signer_ca[signer.raw()].valid());
+  for (const auto& pool : w.type_signer_pool)
+    for (const auto signer : pool)
+      EXPECT_TRUE(w.signer_ca[signer.raw()].valid());
+}
+
+TEST(World, CuratedSignersPresent) {
+  const auto& w = world();
+  EXPECT_TRUE(w.corpus.signer_names.find("Somoto Ltd.").has_value());
+  EXPECT_TRUE(w.corpus.signer_names.find("TeamViewer").has_value());
+  EXPECT_TRUE(w.corpus.signer_names.find("Softonic International").has_value());
+  EXPECT_TRUE(w.corpus.signer_names.find("Microsoft Windows").has_value());
+}
+
+TEST(World, CuratedDomainsPresent) {
+  const auto& w = world();
+  EXPECT_TRUE(w.corpus.domain_names.find("softonic.com").has_value());
+  EXPECT_TRUE(w.corpus.domain_names.find("mediafire.com").has_value());
+  EXPECT_TRUE(w.corpus.domain_names.find("5k-stopadware2014.in").has_value());
+  EXPECT_TRUE(w.corpus.domain_names.find("media-watch-app.com").has_value());
+}
+
+TEST(World, DomainRolesHaveExpectedFlags) {
+  const auto& w = world();
+  // Mixed-hosting domains are whitelisted with good Alexa ranks.
+  for (std::size_t i = 0; i < 5 && i < w.mixed_domains.size(); ++i) {
+    const auto& meta = w.corpus.domains[w.mixed_domains[i].raw()];
+    EXPECT_TRUE(meta.on_curated_whitelist);
+    EXPECT_GT(meta.alexa_rank, 0u);
+  }
+  // Update-CDN domains exist for the collection whitelist.
+  EXPECT_FALSE(w.update_domains.empty());
+}
+
+TEST(World, BrowserProcessRangesDisjointAndLabeled) {
+  const auto& w = world();
+  for (std::size_t b = 0; b < model::kNumBrowserKinds; ++b) {
+    const auto& range = w.browser_procs[b];
+    ASSERT_GT(range.size(), 0u);
+    for (auto p = range.begin; p < range.end; ++p) {
+      EXPECT_EQ(w.corpus.processes[p].category,
+                model::ProcessCategory::kBrowser);
+      EXPECT_EQ(static_cast<std::size_t>(w.corpus.processes[p].browser), b);
+      EXPECT_EQ(w.truth.process_intended[p], model::Verdict::kBenign);
+      EXPECT_TRUE(w.whitelist.contains(model::ProcessId{p}));
+    }
+  }
+}
+
+TEST(World, WindowsProcessesSignedByMicrosoftWindows) {
+  const auto& w = world();
+  for (auto p = w.windows_procs.begin; p < w.windows_procs.end; ++p) {
+    EXPECT_TRUE(w.corpus.processes[p].is_signed);
+    EXPECT_EQ(w.corpus.processes[p].signer, w.windows_signer);
+  }
+}
+
+TEST(World, MalprocPoolsCarryType) {
+  const auto& w = world();
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t) {
+    for (const auto p : w.malproc_pool[t]) {
+      EXPECT_EQ(w.truth.process_nature[p.raw()], Nature::kMalicious);
+      EXPECT_EQ(static_cast<std::size_t>(w.truth.process_type[p.raw()]), t);
+      EXPECT_EQ(w.truth.process_intended[p.raw()],
+                model::Verdict::kMalicious);
+      // Malicious processes have VT evidence.
+      EXPECT_TRUE(w.vt.query(p).has_value());
+    }
+  }
+}
+
+TEST(World, MachineParkHasBrowserMix) {
+  const auto& w = world();
+  std::array<std::uint64_t, model::kNumBrowserKinds> counts{};
+  for (const auto& m : w.machines)
+    ++counts[static_cast<std::size_t>(m.browser)];
+  // IE and Chrome dominate (Table XI machine shares).
+  const auto ie =
+      counts[static_cast<std::size_t>(model::BrowserKind::kInternetExplorer)];
+  const auto chrome =
+      counts[static_cast<std::size_t>(model::BrowserKind::kChrome)];
+  const auto safari =
+      counts[static_cast<std::size_t>(model::BrowserKind::kSafari)];
+  EXPECT_GT(ie, safari * 20);
+  EXPECT_GT(chrome, safari * 20);
+}
+
+TEST(World, ChromeMachinesRiskierThanIe) {
+  const auto& w = world();
+  double chrome_risk = 0, ie_risk = 0;
+  std::uint64_t chrome_n = 0, ie_n = 0;
+  for (const auto& m : w.machines) {
+    if (m.browser == model::BrowserKind::kChrome) {
+      chrome_risk += m.risk;
+      ++chrome_n;
+    } else if (m.browser == model::BrowserKind::kInternetExplorer) {
+      ie_risk += m.risk;
+      ++ie_n;
+    }
+  }
+  EXPECT_GT(chrome_risk / static_cast<double>(chrome_n),
+            ie_risk / static_cast<double>(ie_n));
+}
+
+TEST(Names, FillerGeneratorsProduceValidNames) {
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto company = synth_company_name(rng);
+    EXPECT_GE(company.size(), 4u);
+    const auto domain = synth_domain_name(rng);
+    EXPECT_NE(domain.find('.'), std::string::npos);
+    const auto family = synth_family_name(rng);
+    EXPECT_GE(family.size(), 4u);
+    for (const char c : family) EXPECT_TRUE(c >= 'a' && c <= 'z') << family;
+    const auto packer = synth_packer_name(rng);
+    EXPECT_NE(packer.find("Pack"), std::string::npos);
+  }
+}
+
+TEST(Calibration, ScaledHasFloorOfOne) {
+  const auto profile = paper_calibration(0.0001);
+  EXPECT_EQ(profile.scaled(9), 1u);
+  EXPECT_EQ(profile.scaled(0), 1u);
+}
+
+TEST(Calibration, TypePctSumsToOne) {
+  const auto profile = paper_calibration();
+  double sum = 0;
+  for (const auto p : profile.malware_type_pct) sum += p;
+  EXPECT_NEAR(sum, 1.0, 0.01);
+  for (const auto& row : profile.mal_procs) {
+    double row_sum = 0;
+    for (const auto p : row.malicious_type_pct) row_sum += p;
+    EXPECT_NEAR(row_sum, 1.0, 0.02) << to_string(row.type);
+  }
+}
+
+TEST(Calibration, MonthsMatchPaperTotals) {
+  const auto profile = paper_calibration();
+  std::uint64_t machines = 0, events = 0;
+  for (const auto& m : profile.months) {
+    machines += m.machines;
+    events += m.events;
+  }
+  EXPECT_EQ(events, 2'995'337u);  // Table I monthly sum
+  EXPECT_GT(machines, profile.total_machines);  // months double-count
+}
+
+}  // namespace
+}  // namespace longtail::synth

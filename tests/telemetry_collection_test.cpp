@@ -1,0 +1,115 @@
+#include "telemetry/collection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace longtail::telemetry {
+namespace {
+
+using model::DownloadEvent;
+using model::DomainId;
+using model::FileId;
+using model::MachineId;
+using model::ProcessId;
+using model::UrlId;
+using model::UrlMeta;
+
+DownloadEvent make_event(std::uint32_t file, std::uint32_t machine,
+                         std::uint32_t url, model::Timestamp t,
+                         bool executed = true) {
+  return DownloadEvent{FileId{file}, MachineId{machine}, ProcessId{0},
+                       UrlId{url}, t, executed};
+}
+
+std::vector<UrlMeta> two_urls() {
+  return {UrlMeta{DomainId{0}, 0}, UrlMeta{DomainId{1}, 0}};
+}
+
+TEST(CollectionServer, AcceptsExecutedEvents) {
+  CollectionServer server({.sigma = 20, .whitelisted_domains = {}});
+  const std::vector<DownloadEvent> raw = {make_event(0, 0, 0, 10)};
+  const auto urls = two_urls();
+  const auto out = server.filter(raw, urls);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(server.stats().accepted, 1u);
+}
+
+TEST(CollectionServer, DropsNonExecutedDownloads) {
+  CollectionServer server({.sigma = 20, .whitelisted_domains = {}});
+  const std::vector<DownloadEvent> raw = {
+      make_event(0, 0, 0, 10, /*executed=*/false),
+      make_event(0, 1, 0, 20, /*executed=*/true)};
+  const auto urls = two_urls();
+  const auto out = server.filter(raw, urls);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(server.stats().dropped_not_executed, 1u);
+}
+
+TEST(CollectionServer, DropsWhitelistedDomains) {
+  CollectionServer server(
+      {.sigma = 20, .whitelisted_domains = {DomainId{1}}});
+  const std::vector<DownloadEvent> raw = {make_event(0, 0, 0, 10),
+                                          make_event(1, 0, 1, 20)};
+  const auto urls = two_urls();
+  const auto out = server.filter(raw, urls);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].url, (UrlId{0}));
+  EXPECT_EQ(server.stats().dropped_whitelisted_url, 1u);
+}
+
+TEST(CollectionServer, EnforcesPrevalenceCap) {
+  CollectionServer server({.sigma = 3, .whitelisted_domains = {}});
+  std::vector<DownloadEvent> raw;
+  for (std::uint32_t m = 0; m < 10; ++m)
+    raw.push_back(make_event(0, m, 0, 10 + m));
+  const auto urls = two_urls();
+  const auto out = server.filter(raw, urls);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(server.stats().dropped_prevalence_cap, 7u);
+  EXPECT_EQ(server.reported_prevalence(FileId{0}), 3u);
+}
+
+TEST(CollectionServer, RepeatMachineDoesNotCountTwiceTowardCap) {
+  CollectionServer server({.sigma = 2, .whitelisted_domains = {}});
+  // Machine 0 downloads the file twice; then machines 1 and 2 try.
+  const std::vector<DownloadEvent> raw = {
+      make_event(0, 0, 0, 1), make_event(0, 0, 0, 2), make_event(0, 1, 0, 3),
+      make_event(0, 2, 0, 4)};
+  const auto urls = two_urls();
+  const auto out = server.filter(raw, urls);
+  // Events from machines {0,0,1} accepted; machine 2 pushed past sigma=2.
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(server.reported_prevalence(FileId{0}), 2u);
+}
+
+TEST(CollectionServer, SigmaTwentyMatchesPaperSetting) {
+  CollectionServer server({.sigma = 20, .whitelisted_domains = {}});
+  std::vector<DownloadEvent> raw;
+  for (std::uint32_t m = 0; m < 100; ++m)
+    raw.push_back(make_event(0, m, 0, m));
+  const auto urls = two_urls();
+  EXPECT_EQ(server.filter(raw, urls).size(), 20u);
+}
+
+TEST(CollectionServer, CapIsPerFile) {
+  CollectionServer server({.sigma = 1, .whitelisted_domains = {}});
+  const std::vector<DownloadEvent> raw = {
+      make_event(0, 0, 0, 1), make_event(1, 1, 0, 2), make_event(2, 2, 0, 3)};
+  const auto urls = two_urls();
+  EXPECT_EQ(server.filter(raw, urls).size(), 3u);
+}
+
+TEST(CollectionServer, StatsTotalSeen) {
+  CollectionServer server({.sigma = 1, .whitelisted_domains = {DomainId{1}}});
+  const std::vector<DownloadEvent> raw = {
+      make_event(0, 0, 0, 1, false), make_event(0, 1, 1, 2),
+      make_event(0, 2, 0, 3), make_event(0, 3, 0, 4)};
+  const auto urls = two_urls();
+  (void)server.filter(raw, urls);
+  EXPECT_EQ(server.stats().total_seen(), 4u);
+  EXPECT_EQ(server.stats().accepted, 1u);
+}
+
+}  // namespace
+}  // namespace longtail::telemetry

@@ -1,0 +1,63 @@
+#include "util/domain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::util {
+namespace {
+
+TEST(UrlHost, StripsSchemePathQuery) {
+  EXPECT_EQ(url_host("http://dl.softonic.com/path/file.exe?x=1"),
+            "dl.softonic.com");
+  EXPECT_EQ(url_host("https://mediafire.com"), "mediafire.com");
+  EXPECT_EQ(url_host("mediafire.com/file"), "mediafire.com");
+}
+
+TEST(UrlHost, StripsPortAndUserInfo) {
+  EXPECT_EQ(url_host("http://user@host.example.com:8080/x"),
+            "host.example.com");
+}
+
+TEST(E2ld, SimpleComDomain) {
+  EXPECT_EQ(e2ld("softonic.com"), "softonic.com");
+  EXPECT_EQ(e2ld("dl.cdn.softonic.com"), "softonic.com");
+}
+
+TEST(E2ld, MultiLabelPublicSuffix) {
+  EXPECT_EQ(e2ld("baixaki.com.br"), "baixaki.com.br");
+  EXPECT_EQ(e2ld("www.baixaki.com.br"), "baixaki.com.br");
+  EXPECT_EQ(e2ld("a.b.example.co.uk"), "example.co.uk");
+  // co.vu appears in the paper's Table V.
+  EXPECT_EQ(e2ld("evil.something.co.vu"), "something.co.vu");
+}
+
+TEST(E2ld, CountryTlds) {
+  EXPECT_EQ(e2ld("wipmsc.ru"), "wipmsc.ru");
+  EXPECT_EQ(e2ld("cdn.wipmsc.ru"), "wipmsc.ru");
+  EXPECT_EQ(e2ld("webantiviruspro-fr.pw"), "webantiviruspro-fr.pw");
+  EXPECT_EQ(e2ld("5k-stopadware2014.in"), "5k-stopadware2014.in");
+}
+
+TEST(E2ld, BarePublicSuffixReturnedUnchanged) {
+  EXPECT_EQ(e2ld("com"), "com");
+  EXPECT_EQ(e2ld("co.uk"), "co.uk");
+}
+
+TEST(E2ld, SingleLabelHost) { EXPECT_EQ(e2ld("localhost"), "localhost"); }
+
+TEST(E2ld, UnknownTldFallsBackToLastTwoLabels) {
+  EXPECT_EQ(e2ld("a.b.c.unknowntld"), "c.unknowntld");
+}
+
+TEST(UrlE2ld, EndToEnd) {
+  EXPECT_EQ(url_e2ld("http://dl7.files-info.com/get?id=9"), "files-info.com");
+  EXPECT_EQ(url_e2ld("https://cdn.rackcdn.com/obj/1"), "rackcdn.com");
+}
+
+TEST(PublicSuffix, KnownAndUnknown) {
+  EXPECT_TRUE(is_public_suffix("com"));
+  EXPECT_TRUE(is_public_suffix("com.br"));
+  EXPECT_FALSE(is_public_suffix("softonic.com"));
+}
+
+}  // namespace
+}  // namespace longtail::util

@@ -1,0 +1,60 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace longtail::util {
+namespace {
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), kFnvOffset);
+  // "a" -> well-known value.
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(Fnv1a, DifferentStringsDifferentHashes) {
+  EXPECT_NE(fnv1a64("softonic.com"), fnv1a64("mediafire.com"));
+}
+
+TEST(Digest, StableForSameInput) {
+  EXPECT_EQ(digest_of("file:1"), digest_of("file:1"));
+  EXPECT_EQ(digest_of(3, 17), digest_of(3, 17));
+}
+
+TEST(Digest, DistinctForDifferentInputs) {
+  EXPECT_NE(digest_of("file:1"), digest_of("file:2"));
+  EXPECT_NE(digest_of(1, 5), digest_of(2, 5));
+  EXPECT_NE(digest_of(1, 5), digest_of(1, 6));
+}
+
+TEST(Digest, ConsecutiveOrdinalsLookUnrelated) {
+  std::unordered_set<std::string> hexes;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    hexes.insert(to_hex(digest_of(1, i)));
+  EXPECT_EQ(hexes.size(), 1000u);
+}
+
+TEST(Digest, HexIs32LowercaseChars) {
+  const auto hex = to_hex(digest_of("x"));
+  EXPECT_EQ(hex.size(), 32u);
+  for (char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+}
+
+TEST(Digest, HexRoundTripsBits) {
+  const Digest d{0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
+  EXPECT_EQ(to_hex(d), "0123456789abcdeffedcba9876543210");
+}
+
+TEST(DigestHasher, UsableInHashSet) {
+  std::unordered_set<Digest, DigestHasher> set;
+  for (std::uint64_t i = 0; i < 100; ++i) set.insert(digest_of(2, i));
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(digest_of(2, 50)));
+  EXPECT_FALSE(set.contains(digest_of(2, 1000)));
+}
+
+}  // namespace
+}  // namespace longtail::util

@@ -1,0 +1,56 @@
+#include "util/interner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::util {
+namespace {
+
+TEST(StringInterner, InternReturnsDenseIds) {
+  StringInterner in;
+  EXPECT_EQ(in.intern("alpha"), 0u);
+  EXPECT_EQ(in.intern("beta"), 1u);
+  EXPECT_EQ(in.intern("gamma"), 2u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(StringInterner, InternIsIdempotent) {
+  StringInterner in;
+  const auto a = in.intern("Somoto Ltd.");
+  EXPECT_EQ(in.intern("Somoto Ltd."), a);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(StringInterner, AtRoundTrips) {
+  StringInterner in;
+  const auto id = in.intern("softonic.com");
+  EXPECT_EQ(in.at(id), "softonic.com");
+}
+
+TEST(StringInterner, FindDoesNotInsert) {
+  StringInterner in;
+  in.intern("present");
+  EXPECT_TRUE(in.find("present").has_value());
+  EXPECT_FALSE(in.find("absent").has_value());
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(StringInterner, ManyStringsSurviveRehash) {
+  StringInterner in;
+  for (int i = 0; i < 10000; ++i)
+    in.intern("signer-" + std::to_string(i));
+  for (int i = 0; i < 10000; ++i) {
+    const auto id = in.find("signer-" + std::to_string(i));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(in.at(*id), "signer-" + std::to_string(i));
+  }
+}
+
+TEST(StringInterner, EmptyStringIsValidKey) {
+  StringInterner in;
+  const auto id = in.intern("");
+  EXPECT_EQ(in.at(id), "");
+  EXPECT_EQ(in.intern(""), id);
+}
+
+}  // namespace
+}  // namespace longtail::util

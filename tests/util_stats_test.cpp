@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace longtail::util {
+namespace {
+
+TEST(EmpiricalCdf, BasicFractions) {
+  EmpiricalCdf cdf;
+  for (double x : {1.0, 1.0, 2.0, 3.0}) cdf.add(x);
+  cdf.finalize();
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, AddNWeighting) {
+  EmpiricalCdf cdf;
+  cdf.add_n(1.0, 90);
+  cdf.add_n(5.0, 10);
+  cdf.finalize();
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.9);
+}
+
+TEST(EmpiricalCdf, EmptyCdfIsZero) {
+  EmpiricalCdf cdf;
+  cdf.finalize();
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.empty());
+}
+
+TEST(EmpiricalCdf, QuantileInterpolates) {
+  EmpiricalCdf cdf;
+  for (double x : {0.0, 10.0}) cdf.add(x);
+  cdf.finalize();
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdf, SeriesEvaluatesGrid) {
+  EmpiricalCdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  cdf.finalize();
+  const auto s = cdf.series({1.0, 2.0, 4.0});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(s[1].second, 0.5);
+  EXPECT_DOUBLE_EQ(s[2].second, 1.0);
+}
+
+TEST(TopK, OrdersByCountThenKey) {
+  TopK<std::string> top;
+  top.add("b", 5);
+  top.add("a", 5);
+  top.add("c", 9);
+  top.add("d", 1);
+  const auto result = top.top(3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].first, "c");
+  EXPECT_EQ(result[1].first, "a");  // tie broken by key
+  EXPECT_EQ(result[2].first, "b");
+}
+
+TEST(TopK, AccumulatesCounts) {
+  TopK<int> top;
+  top.add(7);
+  top.add(7);
+  top.add(7, 3);
+  EXPECT_EQ(top.count(7), 5u);
+  EXPECT_EQ(top.count(8), 0u);
+  EXPECT_EQ(top.distinct(), 1u);
+}
+
+TEST(TopK, TopSmallerThanK) {
+  TopK<int> top;
+  top.add(1);
+  EXPECT_EQ(top.top(10).size(), 1u);
+}
+
+TEST(Percent, HandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(percent(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+}
+
+}  // namespace
+}  // namespace longtail::util

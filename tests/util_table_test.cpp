@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace longtail::util {
+namespace {
+
+TEST(WithCommas, Formats) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1139183), "1,139,183");
+  EXPECT_EQ(with_commas(3073863), "3,073,863");
+}
+
+TEST(Pct, Formats) {
+  EXPECT_EQ(pct(12.34), "12.3%");
+  EXPECT_EQ(pct(0.0), "0.0%");
+  EXPECT_EQ(pct(99.99, 2), "99.99%");
+}
+
+TEST(Fixed, Formats) {
+  EXPECT_EQ(fixed(1.5), "1.50");
+  EXPECT_EQ(fixed(2.345, 1), "2.3");
+}
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"Domain", "# machines"});
+  t.add_row({"softonic.com", "64,300"});
+  t.add_row({"inbox.com", "49,481"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Domain"), std::string::npos);
+  EXPECT_NE(out.find("softonic.com"), std::string::npos);
+  EXPECT_NE(out.find("64,300"), std::string::npos);
+  // All rows present, framed by separators.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle) {
+  EXPECT_NE(banner("Table I").find("Table I"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace longtail::util

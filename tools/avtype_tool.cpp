@@ -1,0 +1,91 @@
+// avtype_tool — standalone behaviour-type extractor, mirroring the tool
+// the paper open-sourced (gitlab.com/pub-open/AVType).
+//
+// Reads one sample per line from stdin. Each line lists the AV detections
+// of one file as engine=label pairs separated by tabs:
+//
+//   Symantec=Trojan.Zbot\tMcAfee=Downloader-FYH!6C7411D1C043\tMicrosoft=PWS:Win32/Zbot
+//
+// Prints the derived behaviour type and the resolution rule that produced
+// it. Engines outside the five leading vendors are accepted and ignored,
+// as in the paper.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "avtype/avtype.hpp"
+#include "groundtruth/engines.hpp"
+
+namespace {
+
+using namespace longtail;
+
+std::optional<std::uint16_t> engine_index(std::string_view name) {
+  for (std::uint16_t e = 0; e < groundtruth::kNumEngines; ++e)
+    if (groundtruth::engine_name(e) == name) return e;
+  return std::nullopt;
+}
+
+const char* resolution_name(avtype::Resolution r) {
+  switch (r) {
+    case avtype::Resolution::kUnanimous: return "unanimous";
+    case avtype::Resolution::kVoting: return "voting";
+    case avtype::Resolution::kSpecificity: return "specificity";
+    case avtype::Resolution::kManual: return "manual";
+    case avtype::Resolution::kNoLeadingLabel: return "no-leading-label";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const avtype::TypeExtractor extractor;
+  avtype::TypeStats stats;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    groundtruth::VtReport report;
+    std::size_t start = 0;
+    bool bad = false;
+    while (start <= line.size()) {
+      const auto end = line.find('\t', start);
+      const auto field = line.substr(start, end - start);
+      const auto eq = field.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        bad = true;
+        break;
+      }
+      const auto engine = engine_index(field.substr(0, eq));
+      if (!engine) {
+        std::fprintf(stderr, "warning: unknown engine '%s' (skipped)\n",
+                     field.substr(0, eq).c_str());
+      } else {
+        report.detections.push_back({*engine, field.substr(eq + 1)});
+      }
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    if (bad || report.detections.empty()) {
+      std::printf("?\tinvalid-input\n");
+      continue;
+    }
+    const auto result = extractor.derive(report);
+    stats.record(result.resolution);
+    std::printf("%s\t%s\n", std::string(to_string(result.type)).c_str(),
+                resolution_name(result.resolution));
+  }
+
+  const auto total = stats.resolved_total() + stats.no_leading_label;
+  if (total > 0)
+    std::fprintf(stderr,
+                 "# %llu samples: unanimous %llu, voting %llu, specificity "
+                 "%llu, manual %llu, no-leading-label %llu\n",
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(stats.unanimous),
+                 static_cast<unsigned long long>(stats.voting),
+                 static_cast<unsigned long long>(stats.specificity),
+                 static_cast<unsigned long long>(stats.manual),
+                 static_cast<unsigned long long>(stats.no_leading_label));
+  return 0;
+}

@@ -1,0 +1,204 @@
+// longtail_cli — command-line front end to the library.
+//
+//   longtail_cli summary      [--scale S] [--seed N]
+//   longtail_cli rules        [--scale S] [--seed N] [--train Mon]
+//                             [--test Mon] [--tau T] [--max-rules K]
+//   longtail_cli expand       [--scale S] [--seed N] [--tau T]
+//   longtail_cli transitions  [--scale S] [--seed N]
+//   longtail_cli export       [--scale S] [--seed N] [--out DIR]
+//
+// Months are Jan..Jul. All output is plain text; `export` writes the TSV
+// corpus (see telemetry/io.hpp).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/longtail.hpp"
+#include "telemetry/io.hpp"
+
+namespace {
+
+using namespace longtail;
+
+struct Options {
+  std::string command;
+  double scale = 0.05;
+  std::uint64_t seed = 20140101;
+  model::Month train = model::Month::kMarch;
+  model::Month test = model::Month::kApril;
+  double tau = 0.001;
+  std::size_t max_rules = 20;
+  std::string out = "longtail_export";
+};
+
+std::optional<model::Month> parse_month(const std::string& s) {
+  for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m) {
+    const auto month = static_cast<model::Month>(m);
+    if (s == model::month_abbrev(month) || s == model::month_name(month))
+      return month;
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: longtail_cli <summary|rules|expand|transitions|export> "
+      "[--scale S] [--seed N]\n"
+      "                    [--train Mon] [--test Mon] [--tau T] "
+      "[--max-rules K] [--out DIR]\n");
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options opt;
+  opt.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--scale") {
+      opt.scale = std::atof(value.c_str());
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--tau") {
+      opt.tau = std::atof(value.c_str());
+    } else if (flag == "--max-rules") {
+      opt.max_rules = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--out") {
+      opt.out = value;
+    } else if (flag == "--train" || flag == "--test") {
+      const auto month = parse_month(value);
+      if (!month) {
+        std::fprintf(stderr, "unknown month '%s'\n", value.c_str());
+        return std::nullopt;
+      }
+      (flag == "--train" ? opt.train : opt.test) = *month;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  if (opt.scale <= 0 || opt.scale > 2.0) {
+    std::fprintf(stderr, "--scale must be in (0, 2]\n");
+    return std::nullopt;
+  }
+  return opt;
+}
+
+core::LongtailPipeline make_pipeline(const Options& opt) {
+  auto profile = synth::paper_calibration(opt.scale);
+  profile.seed = opt.seed;
+  std::printf("[longtail] scale %.2f, seed %llu\n\n", opt.scale,
+              static_cast<unsigned long long>(opt.seed));
+  return core::LongtailPipeline(profile);
+}
+
+int cmd_summary(const Options& opt) {
+  const auto pipeline = make_pipeline(opt);
+  const auto summary = analysis::monthly_summary(pipeline.annotated());
+  const auto& o = summary.overall;
+  std::printf(
+      "machines (active): %s\nevents:            %s\n"
+      "files:             %s  (benign %s, likely-benign %s, malicious %s, "
+      "likely-malicious %s, unknown %s)\nprocesses:         %s\n"
+      "urls:              %s  (benign %s, malicious %s)\n",
+      util::with_commas(o.machines).c_str(), util::with_commas(o.events).c_str(),
+      util::with_commas(o.files).c_str(), util::pct(o.file_benign).c_str(),
+      util::pct(o.file_likely_benign).c_str(),
+      util::pct(o.file_malicious).c_str(),
+      util::pct(o.file_likely_malicious).c_str(),
+      util::pct(100.0 - o.file_benign - o.file_likely_benign -
+                o.file_malicious - o.file_likely_malicious)
+          .c_str(),
+      util::with_commas(o.processes).c_str(), util::with_commas(o.urls).c_str(),
+      util::pct(o.url_benign).c_str(), util::pct(o.url_malicious).c_str());
+
+  const auto dist =
+      analysis::prevalence_distributions(pipeline.annotated());
+  std::printf("prevalence-1 files: %s\n",
+              util::pct(100 * dist.prevalence_one_fraction).c_str());
+  return 0;
+}
+
+int cmd_rules(const Options& opt) {
+  const auto pipeline = make_pipeline(opt);
+  const auto exp = pipeline.run_rule_experiment(opt.train, opt.test);
+  const auto eval = core::LongtailPipeline::evaluate_tau(exp, opt.tau);
+  std::printf(
+      "train %s (%zu labeled) -> %zu rules, %zu selected at tau=%.2f%%\n"
+      "test %s: TP %s over %s malicious, FP %s over %s benign, "
+      "%s rejected\n\n",
+      std::string(model::month_name(opt.train)).c_str(),
+      exp.data.train.size(), exp.all_rules.size(), eval.selected.total,
+      100 * opt.tau, std::string(model::month_name(opt.test)).c_str(),
+      util::pct(eval.eval.tp_rate(), 2).c_str(),
+      util::with_commas(eval.eval.matched_malicious).c_str(),
+      util::pct(eval.eval.fp_rate(), 2).c_str(),
+      util::with_commas(eval.eval.matched_benign).c_str(),
+      util::with_commas(eval.eval.rejected).c_str());
+
+  const auto selected = rules::select_rules(exp.all_rules, opt.tau);
+  std::size_t shown = 0;
+  for (const auto& rule : selected) {
+    if (shown++ >= opt.max_rules) {
+      std::printf("  ... (%zu more)\n", selected.size() - opt.max_rules);
+      break;
+    }
+    std::printf("  %s\n", rule.to_string(exp.space).c_str());
+  }
+  return 0;
+}
+
+int cmd_expand(const Options& opt) {
+  const auto pipeline = make_pipeline(opt);
+  std::printf("%-10s %10s %10s %10s %10s\n", "window", "unknowns", "matched",
+              "-> mal", "-> ben");
+  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
+    const auto exp = pipeline.run_rule_experiment(
+        static_cast<model::Month>(m), static_cast<model::Month>(m + 1));
+    const auto eval = core::LongtailPipeline::evaluate_tau(exp, opt.tau);
+    std::printf("%-3s-%-6s %10s %9.2f%% %10s %10s\n",
+                std::string(model::month_abbrev(exp.train_month)).c_str(),
+                std::string(model::month_abbrev(exp.test_month)).c_str(),
+                util::with_commas(eval.expansion.total_unknowns).c_str(),
+                eval.expansion.matched_pct(),
+                util::with_commas(eval.expansion.labeled_malicious).c_str(),
+                util::with_commas(eval.expansion.labeled_benign).c_str());
+  }
+  return 0;
+}
+
+int cmd_transitions(const Options& opt) {
+  const auto pipeline = make_pipeline(opt);
+  const auto curves = analysis::transition_analysis(pipeline.annotated());
+  std::printf("%6s %9s %9s %9s %9s\n", "day", "benign", "adware", "pup",
+              "dropper");
+  for (const std::size_t d : {0u, 1u, 3u, 5u, 10u, 20u, 30u})
+    std::printf("%6zu %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", d,
+                100 * curves.benign.at_day(d), 100 * curves.adware.at_day(d),
+                100 * curves.pup.at_day(d), 100 * curves.dropper.at_day(d));
+  return 0;
+}
+
+int cmd_export(const Options& opt) {
+  const auto pipeline = make_pipeline(opt);
+  telemetry::export_corpus(pipeline.dataset().corpus, opt.out);
+  std::printf("corpus written to %s/\n", opt.out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse(argc, argv);
+  if (!opt) return usage();
+  if (opt->command == "summary") return cmd_summary(*opt);
+  if (opt->command == "rules") return cmd_rules(*opt);
+  if (opt->command == "expand") return cmd_expand(*opt);
+  if (opt->command == "transitions") return cmd_transitions(*opt);
+  if (opt->command == "export") return cmd_export(*opt);
+  return usage();
+}
