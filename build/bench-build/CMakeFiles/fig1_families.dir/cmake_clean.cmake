@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_families"
+  "../bench/fig1_families.pdb"
+  "CMakeFiles/fig1_families.dir/fig1_families.cpp.o"
+  "CMakeFiles/fig1_families.dir/fig1_families.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

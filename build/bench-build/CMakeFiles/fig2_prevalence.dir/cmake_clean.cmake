@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_prevalence"
+  "../bench/fig2_prevalence.pdb"
+  "CMakeFiles/fig2_prevalence.dir/fig2_prevalence.cpp.o"
+  "CMakeFiles/fig2_prevalence.dir/fig2_prevalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_alexa_ranks"
+  "../bench/fig3_alexa_ranks.pdb"
+  "CMakeFiles/fig3_alexa_ranks.dir/fig3_alexa_ranks.cpp.o"
+  "CMakeFiles/fig3_alexa_ranks.dir/fig3_alexa_ranks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_alexa_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_common_signers"
+  "../bench/fig4_common_signers.pdb"
+  "CMakeFiles/fig4_common_signers.dir/fig4_common_signers.cpp.o"
+  "CMakeFiles/fig4_common_signers.dir/fig4_common_signers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_common_signers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_transitions"
+  "../bench/fig5_transitions.pdb"
+  "CMakeFiles/fig5_transitions.dir/fig5_transitions.cpp.o"
+  "CMakeFiles/fig5_transitions.dir/fig5_transitions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

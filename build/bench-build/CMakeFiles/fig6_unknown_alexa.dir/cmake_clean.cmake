@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_unknown_alexa"
+  "../bench/fig6_unknown_alexa.pdb"
+  "CMakeFiles/fig6_unknown_alexa.dir/fig6_unknown_alexa.cpp.o"
+  "CMakeFiles/fig6_unknown_alexa.dir/fig6_unknown_alexa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_unknown_alexa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_maturation"
+  "../bench/fig_maturation.pdb"
+  "CMakeFiles/fig_maturation.dir/fig_maturation.cpp.o"
+  "CMakeFiles/fig_maturation.dir/fig_maturation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_maturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_rules"
+  "../bench/perf_rules.pdb"
+  "CMakeFiles/perf_rules.dir/perf_rules.cpp.o"
+  "CMakeFiles/perf_rules.dir/perf_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table01_monthly"
+  "../bench/table01_monthly.pdb"
+  "CMakeFiles/table01_monthly.dir/table01_monthly.cpp.o"
+  "CMakeFiles/table01_monthly.dir/table01_monthly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_monthly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02_types"
+  "../bench/table02_types.pdb"
+  "CMakeFiles/table02_types.dir/table02_types.cpp.o"
+  "CMakeFiles/table02_types.dir/table02_types.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

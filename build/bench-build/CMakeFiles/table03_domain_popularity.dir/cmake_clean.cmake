@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03_domain_popularity"
+  "../bench/table03_domain_popularity.pdb"
+  "CMakeFiles/table03_domain_popularity.dir/table03_domain_popularity.cpp.o"
+  "CMakeFiles/table03_domain_popularity.dir/table03_domain_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_domain_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

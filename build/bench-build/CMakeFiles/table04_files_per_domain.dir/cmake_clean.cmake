@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04_files_per_domain"
+  "../bench/table04_files_per_domain.pdb"
+  "CMakeFiles/table04_files_per_domain.dir/table04_files_per_domain.cpp.o"
+  "CMakeFiles/table04_files_per_domain.dir/table04_files_per_domain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_files_per_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table04_files_per_domain.
+# This may be replaced when dependencies are built.

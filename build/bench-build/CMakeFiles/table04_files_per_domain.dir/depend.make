@@ -1,0 +1,2 @@
+# Empty dependencies file for table04_files_per_domain.
+# This may be replaced when dependencies are built.

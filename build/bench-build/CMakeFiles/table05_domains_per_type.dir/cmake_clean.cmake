@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table05_domains_per_type"
+  "../bench/table05_domains_per_type.pdb"
+  "CMakeFiles/table05_domains_per_type.dir/table05_domains_per_type.cpp.o"
+  "CMakeFiles/table05_domains_per_type.dir/table05_domains_per_type.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_domains_per_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

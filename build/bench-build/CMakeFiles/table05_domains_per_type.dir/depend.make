@@ -1,0 +1,2 @@
+# Empty dependencies file for table05_domains_per_type.
+# This may be replaced when dependencies are built.

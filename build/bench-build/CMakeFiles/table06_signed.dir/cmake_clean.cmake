@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06_signed"
+  "../bench/table06_signed.pdb"
+  "CMakeFiles/table06_signed.dir/table06_signed.cpp.o"
+  "CMakeFiles/table06_signed.dir/table06_signed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_signed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

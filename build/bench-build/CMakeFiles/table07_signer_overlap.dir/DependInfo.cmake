@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table07_signer_overlap.cpp" "bench-build/CMakeFiles/table07_signer_overlap.dir/table07_signer_overlap.cpp.o" "gcc" "bench-build/CMakeFiles/table07_signer_overlap.dir/table07_signer_overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/longtail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/longtail_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/longtail_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/longtail_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/longtail_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/longtail_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/longtail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/longtail_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/avtype/CMakeFiles/longtail_avtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/avclass/CMakeFiles/longtail_avclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundtruth/CMakeFiles/longtail_groundtruth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/longtail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table07_signer_overlap"
+  "../bench/table07_signer_overlap.pdb"
+  "CMakeFiles/table07_signer_overlap.dir/table07_signer_overlap.cpp.o"
+  "CMakeFiles/table07_signer_overlap.dir/table07_signer_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_signer_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

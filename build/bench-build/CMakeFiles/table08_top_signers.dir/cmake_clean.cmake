@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table08_top_signers"
+  "../bench/table08_top_signers.pdb"
+  "CMakeFiles/table08_top_signers.dir/table08_top_signers.cpp.o"
+  "CMakeFiles/table08_top_signers.dir/table08_top_signers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_top_signers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table09_exclusive_signers"
+  "../bench/table09_exclusive_signers.pdb"
+  "CMakeFiles/table09_exclusive_signers.dir/table09_exclusive_signers.cpp.o"
+  "CMakeFiles/table09_exclusive_signers.dir/table09_exclusive_signers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_exclusive_signers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10_benign_processes"
+  "../bench/table10_benign_processes.pdb"
+  "CMakeFiles/table10_benign_processes.dir/table10_benign_processes.cpp.o"
+  "CMakeFiles/table10_benign_processes.dir/table10_benign_processes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_benign_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

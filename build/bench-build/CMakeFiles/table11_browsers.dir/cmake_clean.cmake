@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table11_browsers"
+  "../bench/table11_browsers.pdb"
+  "CMakeFiles/table11_browsers.dir/table11_browsers.cpp.o"
+  "CMakeFiles/table11_browsers.dir/table11_browsers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table12_malicious_processes"
+  "../bench/table12_malicious_processes.pdb"
+  "CMakeFiles/table12_malicious_processes.dir/table12_malicious_processes.cpp.o"
+  "CMakeFiles/table12_malicious_processes.dir/table12_malicious_processes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_malicious_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

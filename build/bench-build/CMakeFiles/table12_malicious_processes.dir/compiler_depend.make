@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table12_malicious_processes.
+# This may be replaced when dependencies are built.

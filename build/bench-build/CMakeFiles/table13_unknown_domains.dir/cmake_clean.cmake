@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table13_unknown_domains"
+  "../bench/table13_unknown_domains.pdb"
+  "CMakeFiles/table13_unknown_domains.dir/table13_unknown_domains.cpp.o"
+  "CMakeFiles/table13_unknown_domains.dir/table13_unknown_domains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_unknown_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table14_unknown_processes"
+  "../bench/table14_unknown_processes.pdb"
+  "CMakeFiles/table14_unknown_processes.dir/table14_unknown_processes.cpp.o"
+  "CMakeFiles/table14_unknown_processes.dir/table14_unknown_processes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14_unknown_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

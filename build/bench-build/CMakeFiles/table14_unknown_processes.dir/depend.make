@@ -1,0 +1,2 @@
+# Empty dependencies file for table14_unknown_processes.
+# This may be replaced when dependencies are built.

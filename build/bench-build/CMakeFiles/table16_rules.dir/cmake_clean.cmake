@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table16_rules"
+  "../bench/table16_rules.pdb"
+  "CMakeFiles/table16_rules.dir/table16_rules.cpp.o"
+  "CMakeFiles/table16_rules.dir/table16_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table16_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

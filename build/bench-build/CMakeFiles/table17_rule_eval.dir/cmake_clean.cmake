@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table17_rule_eval"
+  "../bench/table17_rule_eval.pdb"
+  "CMakeFiles/table17_rule_eval.dir/table17_rule_eval.cpp.o"
+  "CMakeFiles/table17_rule_eval.dir/table17_rule_eval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table17_rule_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

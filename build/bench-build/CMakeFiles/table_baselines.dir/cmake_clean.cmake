@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_baselines"
+  "../bench/table_baselines.pdb"
+  "CMakeFiles/table_baselines.dir/table_baselines.cpp.o"
+  "CMakeFiles/table_baselines.dir/table_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

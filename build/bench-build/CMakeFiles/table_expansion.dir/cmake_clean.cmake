@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_expansion"
+  "../bench/table_expansion.pdb"
+  "CMakeFiles/table_expansion.dir/table_expansion.cpp.o"
+  "CMakeFiles/table_expansion.dir/table_expansion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_likely_labels"
+  "../bench/table_likely_labels.pdb"
+  "CMakeFiles/table_likely_labels.dir/table_likely_labels.cpp.o"
+  "CMakeFiles/table_likely_labels.dir/table_likely_labels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_likely_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_online_deployment"
+  "../bench/table_online_deployment.pdb"
+  "CMakeFiles/table_online_deployment.dir/table_online_deployment.cpp.o"
+  "CMakeFiles/table_online_deployment.dir/table_online_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_online_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

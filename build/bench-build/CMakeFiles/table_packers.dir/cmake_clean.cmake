@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_packers"
+  "../bench/table_packers.pdb"
+  "CMakeFiles/table_packers.dir/table_packers.cpp.o"
+  "CMakeFiles/table_packers.dir/table_packers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_packers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

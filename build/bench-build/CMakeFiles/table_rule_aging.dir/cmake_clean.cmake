@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_rule_aging"
+  "../bench/table_rule_aging.pdb"
+  "CMakeFiles/table_rule_aging.dir/table_rule_aging.cpp.o"
+  "CMakeFiles/table_rule_aging.dir/table_rule_aging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_rule_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_sigma_sweep"
+  "../bench/table_sigma_sweep.pdb"
+  "CMakeFiles/table_sigma_sweep.dir/table_sigma_sweep.cpp.o"
+  "CMakeFiles/table_sigma_sweep.dir/table_sigma_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sigma_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_training_window"
+  "../bench/table_training_window.pdb"
+  "CMakeFiles/table_training_window.dir/table_training_window.cpp.o"
+  "CMakeFiles/table_training_window.dir/table_training_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_training_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

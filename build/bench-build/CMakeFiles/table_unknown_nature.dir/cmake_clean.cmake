@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_unknown_nature"
+  "../bench/table_unknown_nature.pdb"
+  "CMakeFiles/table_unknown_nature.dir/table_unknown_nature.cpp.o"
+  "CMakeFiles/table_unknown_nature.dir/table_unknown_nature.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_unknown_nature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

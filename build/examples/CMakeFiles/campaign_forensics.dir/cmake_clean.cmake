@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_forensics.dir/campaign_forensics.cpp.o"
+  "CMakeFiles/campaign_forensics.dir/campaign_forensics.cpp.o.d"
+  "campaign_forensics"
+  "campaign_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_eval.dir/detector_eval.cpp.o"
+  "CMakeFiles/detector_eval.dir/detector_eval.cpp.o.d"
+  "detector_eval"
+  "detector_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_expansion.dir/label_expansion.cpp.o"
+  "CMakeFiles/label_expansion.dir/label_expansion.cpp.o.d"
+  "label_expansion"
+  "label_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

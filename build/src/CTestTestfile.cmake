@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("model")
+subdirs("telemetry")
+subdirs("synth")
+subdirs("groundtruth")
+subdirs("avclass")
+subdirs("avtype")
+subdirs("features")
+subdirs("rules")
+subdirs("baselines")
+subdirs("deploy")
+subdirs("analysis")
+subdirs("core")

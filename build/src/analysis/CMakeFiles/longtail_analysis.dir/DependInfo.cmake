@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/annotated.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/annotated.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/annotated.cpp.o.d"
+  "/root/repo/src/analysis/coverage.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/coverage.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/coverage.cpp.o.d"
+  "/root/repo/src/analysis/domains.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/domains.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/domains.cpp.o.d"
+  "/root/repo/src/analysis/malproc.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/malproc.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/malproc.cpp.o.d"
+  "/root/repo/src/analysis/monthly.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/monthly.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/monthly.cpp.o.d"
+  "/root/repo/src/analysis/packers.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/packers.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/packers.cpp.o.d"
+  "/root/repo/src/analysis/prevalence.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/prevalence.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/prevalence.cpp.o.d"
+  "/root/repo/src/analysis/processes.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/processes.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/processes.cpp.o.d"
+  "/root/repo/src/analysis/procname.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/procname.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/procname.cpp.o.d"
+  "/root/repo/src/analysis/signers.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/signers.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/signers.cpp.o.d"
+  "/root/repo/src/analysis/transitions.cpp" "src/analysis/CMakeFiles/longtail_analysis.dir/transitions.cpp.o" "gcc" "src/analysis/CMakeFiles/longtail_analysis.dir/transitions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/longtail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/longtail_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundtruth/CMakeFiles/longtail_groundtruth.dir/DependInfo.cmake"
+  "/root/repo/build/src/avtype/CMakeFiles/longtail_avtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/avclass/CMakeFiles/longtail_avclass.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

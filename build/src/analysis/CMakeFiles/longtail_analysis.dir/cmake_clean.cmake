@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_analysis.dir/annotated.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/annotated.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/domains.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/domains.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/malproc.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/malproc.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/monthly.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/monthly.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/packers.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/packers.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/prevalence.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/prevalence.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/processes.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/processes.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/procname.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/procname.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/signers.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/signers.cpp.o.d"
+  "CMakeFiles/longtail_analysis.dir/transitions.cpp.o"
+  "CMakeFiles/longtail_analysis.dir/transitions.cpp.o.d"
+  "liblongtail_analysis.a"
+  "liblongtail_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_avclass.dir/avclass.cpp.o"
+  "CMakeFiles/longtail_avclass.dir/avclass.cpp.o.d"
+  "liblongtail_avclass.a"
+  "liblongtail_avclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_avclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

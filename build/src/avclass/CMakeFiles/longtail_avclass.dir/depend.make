@@ -1,0 +1,2 @@
+# Empty dependencies file for longtail_avclass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_avtype.dir/avtype.cpp.o"
+  "CMakeFiles/longtail_avtype.dir/avtype.cpp.o.d"
+  "liblongtail_avtype.a"
+  "liblongtail_avtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_avtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

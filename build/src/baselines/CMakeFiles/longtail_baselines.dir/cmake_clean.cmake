@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_baselines.dir/reputation.cpp.o"
+  "CMakeFiles/longtail_baselines.dir/reputation.cpp.o.d"
+  "liblongtail_baselines.a"
+  "liblongtail_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_core.dir/pipeline.cpp.o"
+  "CMakeFiles/longtail_core.dir/pipeline.cpp.o.d"
+  "liblongtail_core.a"
+  "liblongtail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_deploy.dir/online.cpp.o"
+  "CMakeFiles/longtail_deploy.dir/online.cpp.o.d"
+  "liblongtail_deploy.a"
+  "liblongtail_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

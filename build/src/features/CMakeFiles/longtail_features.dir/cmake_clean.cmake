@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_features.dir/dataset.cpp.o"
+  "CMakeFiles/longtail_features.dir/dataset.cpp.o.d"
+  "CMakeFiles/longtail_features.dir/features.cpp.o"
+  "CMakeFiles/longtail_features.dir/features.cpp.o.d"
+  "liblongtail_features.a"
+  "liblongtail_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

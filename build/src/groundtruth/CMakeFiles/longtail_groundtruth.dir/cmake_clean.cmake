@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_groundtruth.dir/avsim.cpp.o"
+  "CMakeFiles/longtail_groundtruth.dir/avsim.cpp.o.d"
+  "CMakeFiles/longtail_groundtruth.dir/labeler.cpp.o"
+  "CMakeFiles/longtail_groundtruth.dir/labeler.cpp.o.d"
+  "liblongtail_groundtruth.a"
+  "liblongtail_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblongtail_groundtruth.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/classifier.cpp" "src/rules/CMakeFiles/longtail_rules.dir/classifier.cpp.o" "gcc" "src/rules/CMakeFiles/longtail_rules.dir/classifier.cpp.o.d"
+  "/root/repo/src/rules/evaluation.cpp" "src/rules/CMakeFiles/longtail_rules.dir/evaluation.cpp.o" "gcc" "src/rules/CMakeFiles/longtail_rules.dir/evaluation.cpp.o.d"
+  "/root/repo/src/rules/induction.cpp" "src/rules/CMakeFiles/longtail_rules.dir/induction.cpp.o" "gcc" "src/rules/CMakeFiles/longtail_rules.dir/induction.cpp.o.d"
+  "/root/repo/src/rules/part.cpp" "src/rules/CMakeFiles/longtail_rules.dir/part.cpp.o" "gcc" "src/rules/CMakeFiles/longtail_rules.dir/part.cpp.o.d"
+  "/root/repo/src/rules/rule.cpp" "src/rules/CMakeFiles/longtail_rules.dir/rule.cpp.o" "gcc" "src/rules/CMakeFiles/longtail_rules.dir/rule.cpp.o.d"
+  "/root/repo/src/rules/tree.cpp" "src/rules/CMakeFiles/longtail_rules.dir/tree.cpp.o" "gcc" "src/rules/CMakeFiles/longtail_rules.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/longtail_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/longtail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/longtail_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/avtype/CMakeFiles/longtail_avtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/avclass/CMakeFiles/longtail_avclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundtruth/CMakeFiles/longtail_groundtruth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/longtail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

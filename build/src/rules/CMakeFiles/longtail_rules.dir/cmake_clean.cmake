@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_rules.dir/classifier.cpp.o"
+  "CMakeFiles/longtail_rules.dir/classifier.cpp.o.d"
+  "CMakeFiles/longtail_rules.dir/evaluation.cpp.o"
+  "CMakeFiles/longtail_rules.dir/evaluation.cpp.o.d"
+  "CMakeFiles/longtail_rules.dir/induction.cpp.o"
+  "CMakeFiles/longtail_rules.dir/induction.cpp.o.d"
+  "CMakeFiles/longtail_rules.dir/part.cpp.o"
+  "CMakeFiles/longtail_rules.dir/part.cpp.o.d"
+  "CMakeFiles/longtail_rules.dir/rule.cpp.o"
+  "CMakeFiles/longtail_rules.dir/rule.cpp.o.d"
+  "CMakeFiles/longtail_rules.dir/tree.cpp.o"
+  "CMakeFiles/longtail_rules.dir/tree.cpp.o.d"
+  "liblongtail_rules.a"
+  "liblongtail_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

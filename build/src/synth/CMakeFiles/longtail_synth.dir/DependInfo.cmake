@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/calibration.cpp" "src/synth/CMakeFiles/longtail_synth.dir/calibration.cpp.o" "gcc" "src/synth/CMakeFiles/longtail_synth.dir/calibration.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/longtail_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/longtail_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/names.cpp" "src/synth/CMakeFiles/longtail_synth.dir/names.cpp.o" "gcc" "src/synth/CMakeFiles/longtail_synth.dir/names.cpp.o.d"
+  "/root/repo/src/synth/world.cpp" "src/synth/CMakeFiles/longtail_synth.dir/world.cpp.o" "gcc" "src/synth/CMakeFiles/longtail_synth.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/longtail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/longtail_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundtruth/CMakeFiles/longtail_groundtruth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

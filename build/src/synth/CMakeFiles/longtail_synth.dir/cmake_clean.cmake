@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_synth.dir/calibration.cpp.o"
+  "CMakeFiles/longtail_synth.dir/calibration.cpp.o.d"
+  "CMakeFiles/longtail_synth.dir/generator.cpp.o"
+  "CMakeFiles/longtail_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/longtail_synth.dir/names.cpp.o"
+  "CMakeFiles/longtail_synth.dir/names.cpp.o.d"
+  "CMakeFiles/longtail_synth.dir/world.cpp.o"
+  "CMakeFiles/longtail_synth.dir/world.cpp.o.d"
+  "liblongtail_synth.a"
+  "liblongtail_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

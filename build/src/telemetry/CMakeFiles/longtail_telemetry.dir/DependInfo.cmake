@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/collection.cpp" "src/telemetry/CMakeFiles/longtail_telemetry.dir/collection.cpp.o" "gcc" "src/telemetry/CMakeFiles/longtail_telemetry.dir/collection.cpp.o.d"
+  "/root/repo/src/telemetry/index.cpp" "src/telemetry/CMakeFiles/longtail_telemetry.dir/index.cpp.o" "gcc" "src/telemetry/CMakeFiles/longtail_telemetry.dir/index.cpp.o.d"
+  "/root/repo/src/telemetry/io.cpp" "src/telemetry/CMakeFiles/longtail_telemetry.dir/io.cpp.o" "gcc" "src/telemetry/CMakeFiles/longtail_telemetry.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/longtail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

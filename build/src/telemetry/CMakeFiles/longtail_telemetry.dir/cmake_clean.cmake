@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_telemetry.dir/collection.cpp.o"
+  "CMakeFiles/longtail_telemetry.dir/collection.cpp.o.d"
+  "CMakeFiles/longtail_telemetry.dir/index.cpp.o"
+  "CMakeFiles/longtail_telemetry.dir/index.cpp.o.d"
+  "CMakeFiles/longtail_telemetry.dir/io.cpp.o"
+  "CMakeFiles/longtail_telemetry.dir/io.cpp.o.d"
+  "liblongtail_telemetry.a"
+  "liblongtail_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_util.dir/csv.cpp.o"
+  "CMakeFiles/longtail_util.dir/csv.cpp.o.d"
+  "CMakeFiles/longtail_util.dir/domain.cpp.o"
+  "CMakeFiles/longtail_util.dir/domain.cpp.o.d"
+  "CMakeFiles/longtail_util.dir/hash.cpp.o"
+  "CMakeFiles/longtail_util.dir/hash.cpp.o.d"
+  "CMakeFiles/longtail_util.dir/rng.cpp.o"
+  "CMakeFiles/longtail_util.dir/rng.cpp.o.d"
+  "CMakeFiles/longtail_util.dir/table.cpp.o"
+  "CMakeFiles/longtail_util.dir/table.cpp.o.d"
+  "CMakeFiles/longtail_util.dir/zipf.cpp.o"
+  "CMakeFiles/longtail_util.dir/zipf.cpp.o.d"
+  "liblongtail_util.a"
+  "liblongtail_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

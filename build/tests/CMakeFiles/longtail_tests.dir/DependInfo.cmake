@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_procname_test.cpp" "tests/CMakeFiles/longtail_tests.dir/analysis_procname_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/analysis_procname_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/longtail_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/analysis_unit_test.cpp" "tests/CMakeFiles/longtail_tests.dir/analysis_unit_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/analysis_unit_test.cpp.o.d"
+  "/root/repo/tests/avclass_test.cpp" "tests/CMakeFiles/longtail_tests.dir/avclass_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/avclass_test.cpp.o.d"
+  "/root/repo/tests/avtype_test.cpp" "tests/CMakeFiles/longtail_tests.dir/avtype_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/avtype_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/longtail_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/core_pipeline_test.cpp" "tests/CMakeFiles/longtail_tests.dir/core_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/core_pipeline_test.cpp.o.d"
+  "/root/repo/tests/deploy_test.cpp" "tests/CMakeFiles/longtail_tests.dir/deploy_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/deploy_test.cpp.o.d"
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/longtail_tests.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/features_test.cpp.o.d"
+  "/root/repo/tests/groundtruth_avsim_test.cpp" "tests/CMakeFiles/longtail_tests.dir/groundtruth_avsim_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/groundtruth_avsim_test.cpp.o.d"
+  "/root/repo/tests/groundtruth_labeler_test.cpp" "tests/CMakeFiles/longtail_tests.dir/groundtruth_labeler_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/groundtruth_labeler_test.cpp.o.d"
+  "/root/repo/tests/groundtruth_urllabel_test.cpp" "tests/CMakeFiles/longtail_tests.dir/groundtruth_urllabel_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/groundtruth_urllabel_test.cpp.o.d"
+  "/root/repo/tests/groundtruth_vt_test.cpp" "tests/CMakeFiles/longtail_tests.dir/groundtruth_vt_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/groundtruth_vt_test.cpp.o.d"
+  "/root/repo/tests/model_ids_test.cpp" "tests/CMakeFiles/longtail_tests.dir/model_ids_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/model_ids_test.cpp.o.d"
+  "/root/repo/tests/model_labels_test.cpp" "tests/CMakeFiles/longtail_tests.dir/model_labels_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/model_labels_test.cpp.o.d"
+  "/root/repo/tests/model_time_test.cpp" "tests/CMakeFiles/longtail_tests.dir/model_time_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/model_time_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/longtail_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/rules_classifier_test.cpp" "tests/CMakeFiles/longtail_tests.dir/rules_classifier_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/rules_classifier_test.cpp.o.d"
+  "/root/repo/tests/rules_evaluation_test.cpp" "tests/CMakeFiles/longtail_tests.dir/rules_evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/rules_evaluation_test.cpp.o.d"
+  "/root/repo/tests/rules_index_property_test.cpp" "tests/CMakeFiles/longtail_tests.dir/rules_index_property_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/rules_index_property_test.cpp.o.d"
+  "/root/repo/tests/rules_part_test.cpp" "tests/CMakeFiles/longtail_tests.dir/rules_part_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/rules_part_test.cpp.o.d"
+  "/root/repo/tests/rules_tree_test.cpp" "tests/CMakeFiles/longtail_tests.dir/rules_tree_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/rules_tree_test.cpp.o.d"
+  "/root/repo/tests/synth_generator_test.cpp" "tests/CMakeFiles/longtail_tests.dir/synth_generator_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/synth_generator_test.cpp.o.d"
+  "/root/repo/tests/synth_world_test.cpp" "tests/CMakeFiles/longtail_tests.dir/synth_world_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/synth_world_test.cpp.o.d"
+  "/root/repo/tests/telemetry_collection_test.cpp" "tests/CMakeFiles/longtail_tests.dir/telemetry_collection_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/telemetry_collection_test.cpp.o.d"
+  "/root/repo/tests/telemetry_index_test.cpp" "tests/CMakeFiles/longtail_tests.dir/telemetry_index_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/telemetry_index_test.cpp.o.d"
+  "/root/repo/tests/telemetry_io_test.cpp" "tests/CMakeFiles/longtail_tests.dir/telemetry_io_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/telemetry_io_test.cpp.o.d"
+  "/root/repo/tests/util_csv_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_csv_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_csv_test.cpp.o.d"
+  "/root/repo/tests/util_domain_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_domain_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_domain_test.cpp.o.d"
+  "/root/repo/tests/util_hash_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_hash_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_hash_test.cpp.o.d"
+  "/root/repo/tests/util_interner_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_interner_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_interner_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_table_test.cpp.o.d"
+  "/root/repo/tests/util_zipf_test.cpp" "tests/CMakeFiles/longtail_tests.dir/util_zipf_test.cpp.o" "gcc" "tests/CMakeFiles/longtail_tests.dir/util_zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/longtail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/longtail_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/longtail_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/longtail_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/longtail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/longtail_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/longtail_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/longtail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/longtail_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundtruth/CMakeFiles/longtail_groundtruth.dir/DependInfo.cmake"
+  "/root/repo/build/src/avtype/CMakeFiles/longtail_avtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/avclass/CMakeFiles/longtail_avclass.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtype_tool.dir/avtype_tool.cpp.o"
+  "CMakeFiles/avtype_tool.dir/avtype_tool.cpp.o.d"
+  "avtype_tool"
+  "avtype_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtype_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_cli.dir/longtail_cli.cpp.o"
+  "CMakeFiles/longtail_cli.dir/longtail_cli.cpp.o.d"
+  "longtail_cli"
+  "longtail_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_summary "/root/repo/build/tools/longtail_cli" "summary" "--scale" "0.01")
+set_tests_properties(cli_summary PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rules "/root/repo/build/tools/longtail_cli" "rules" "--scale" "0.01" "--train" "Feb" "--test" "Mar")
+set_tests_properties(cli_rules PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_transitions "/root/repo/build/tools/longtail_cli" "transitions" "--scale" "0.01")
+set_tests_properties(cli_transitions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(report_smoke "/root/repo/build/tools/make_report" "--scale" "0.01" "--out" "/root/repo/build/report_smoke.md")
+set_tests_properties(report_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/longtail_cli" "bogus")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
