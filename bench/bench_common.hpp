@@ -5,14 +5,22 @@
 // values. The corpus scale defaults to 1/10 of the paper's dataset and can
 // be overridden with the LONGTAIL_SCALE environment variable (e.g.
 // LONGTAIL_SCALE=0.25 ./table16_rules).
+// Thread count comes from LONGTAIL_THREADS (see util/thread_pool.hpp);
+// the perf_* binaries additionally emit machine-readable timing JSON
+// (BENCH_pipeline.json / BENCH_rules.json) so the performance trajectory
+// is tracked across commits.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "core/longtail.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace longtail::bench {
 
@@ -41,6 +49,73 @@ inline void print_header(const std::string& title, const std::string& note) {
 inline std::string vs_paper(const std::string& measured,
                             const std::string& paper) {
   return measured + " (paper " + paper + ")";
+}
+
+// Wall-clock milliseconds of fn().
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto begin = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+// Minimal append-only JSON object builder for the BENCH_*.json files.
+// Emits only what the trajectory needs: numbers, strings, booleans, and
+// pre-rendered nested values via raw().
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& field(std::string_view key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& field(std::string_view key, unsigned v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& field(std::string_view key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonObject& field(std::string_view key, std::string_view v) {
+    std::string quoted = "\"";
+    quoted.append(v);
+    quoted += '"';
+    return raw(key, quoted);
+  }
+  JsonObject& raw(std::string_view key, std::string_view json) {
+    if (!first_) out_ += ", ";
+    first_ = false;
+    out_ += '"';
+    out_.append(key);
+    out_ += "\": ";
+    out_.append(json);
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return out_ + "}"; }
+
+ private:
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+// Writes `content` to `default_path` (overridable via the LONGTAIL_BENCH_JSON
+// environment variable; set it to an empty string to suppress the file).
+inline void write_bench_json(const std::string& default_path,
+                             const std::string& content) {
+  std::string path = default_path;
+  if (const char* env = std::getenv("LONGTAIL_BENCH_JSON")) path = env;
+  if (path.empty()) return;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(content.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("[longtail] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[longtail] cannot write %s\n", path.c_str());
+  }
 }
 
 }  // namespace longtail::bench

@@ -1,8 +1,23 @@
 // google-benchmark microbenchmarks for the data pipeline: corpus
 // generation, collection-server filtering, index construction, and
 // labeling/annotation throughput.
+//
+// In addition to the micro suite, main() times the full pipeline
+// end-to-end under LONGTAIL_THREADS = 1, 2, 8 (plus the environment's
+// setting) and writes the results to BENCH_pipeline.json so the perf
+// trajectory — wall time, events/sec, parallel speedup, and the
+// determinism fingerprint — is tracked from commit to commit.
+// LONGTAIL_BENCH_MICRO=0 skips the micro suite (CI uses this to get the
+// trajectory quickly); LONGTAIL_BENCH_JSON overrides the output path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/longtail.hpp"
 
 namespace {
@@ -82,6 +97,148 @@ void BM_TransitionAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitionAnalysis)->Unit(benchmark::kMillisecond);
 
+// One end-to-end pipeline pass; returns per-stage wall times and enough
+// output to assert thread-count independence.
+struct TrajectoryRun {
+  unsigned threads = 0;
+  double generate_ms = 0;
+  double annotate_ms = 0;
+  double experiments_ms = 0;
+  double eval_ms = 0;
+  std::uint64_t events = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t eval_checksum = 0;
+
+  [[nodiscard]] double total_ms() const {
+    return generate_ms + annotate_ms + experiments_ms + eval_ms;
+  }
+};
+
+TrajectoryRun run_trajectory_pass(double scale, unsigned threads) {
+  util::set_global_threads(threads);
+  TrajectoryRun run;
+  run.threads = threads;
+
+  synth::Dataset dataset;
+  run.generate_ms = bench::time_ms([&] {
+    dataset = synth::generate_dataset(synth::paper_calibration(scale));
+  });
+  run.events = dataset.corpus.events.size();
+  run.fingerprint = core::dataset_fingerprint(dataset);
+
+  std::unique_ptr<core::LongtailPipeline> pipeline;
+  run.annotate_ms = bench::time_ms([&] {
+    pipeline =
+        std::make_unique<core::LongtailPipeline>(std::move(dataset));
+  });
+
+  // The §VI fan-out: one rule experiment per consecutive month window.
+  std::vector<std::pair<model::Month, model::Month>> windows;
+  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m)
+    windows.emplace_back(static_cast<model::Month>(m),
+                         static_cast<model::Month>(m + 1));
+  std::vector<core::RuleExperiment> experiments;
+  run.experiments_ms = bench::time_ms(
+      [&] { experiments = pipeline->run_rule_experiments(windows); });
+
+  const std::vector<double> taus = {0.0, 0.001};
+  run.eval_ms = bench::time_ms([&] {
+    for (const auto& exp : experiments) {
+      const auto evals = core::LongtailPipeline::evaluate_taus(exp, taus);
+      for (const auto& eval : evals) {
+        run.eval_checksum = run.eval_checksum * 1'000'003 +
+                            eval.eval.true_positives * 31 +
+                            eval.eval.false_positives * 7 +
+                            eval.expansion.labeled_malicious;
+      }
+    }
+  });
+  return run;
+}
+
+void emit_trajectory() {
+  const double scale = bench::bench_scale(0.05);
+  std::vector<unsigned> thread_counts = {1, 2, 8};
+  const unsigned configured = util::ThreadPool::default_threads();
+  if (configured > 1 &&
+      std::find(thread_counts.begin(), thread_counts.end(), configured) ==
+          thread_counts.end())
+    thread_counts.push_back(configured);
+
+  std::printf("\n[longtail] perf trajectory at scale %.2f\n", scale);
+  std::vector<TrajectoryRun> runs;
+  for (const unsigned t : thread_counts) {
+    runs.push_back(run_trajectory_pass(scale, t));
+    const auto& r = runs.back();
+    std::printf(
+        "  threads=%-2u total %8.1f ms (gen %7.1f, annotate %6.1f, "
+        "experiments %7.1f, eval %6.1f)  %9.0f events/s\n",
+        r.threads, r.total_ms(), r.generate_ms, r.annotate_ms,
+        r.experiments_ms, r.eval_ms,
+        1000.0 * static_cast<double>(r.events) / r.total_ms());
+  }
+  util::set_global_threads(util::ThreadPool::default_threads());
+
+  const auto& serial = runs.front();
+  bool deterministic = true;
+  double best_total = serial.total_ms();
+  for (const auto& r : runs) {
+    deterministic = deterministic && r.fingerprint == serial.fingerprint &&
+                    r.eval_checksum == serial.eval_checksum &&
+                    r.events == serial.events;
+    best_total = std::min(best_total, r.total_ms());
+  }
+
+  std::string runs_json = "[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    if (i > 0) runs_json += ", ";
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "0x%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    runs_json += bench::JsonObject()
+                     .field("threads", r.threads)
+                     .field("generate_ms", r.generate_ms)
+                     .field("annotate_ms", r.annotate_ms)
+                     .field("experiments_ms", r.experiments_ms)
+                     .field("eval_ms", r.eval_ms)
+                     .field("total_ms", r.total_ms())
+                     .field("events", r.events)
+                     .field("events_per_sec",
+                            1000.0 * static_cast<double>(r.events) /
+                                r.total_ms())
+                     .field("fingerprint", std::string_view(fp))
+                     .str();
+  }
+  runs_json += "]";
+
+  const auto json =
+      bench::JsonObject()
+          .field("bench", std::string_view("pipeline"))
+          .field("scale", scale)
+          .field("hardware_concurrency",
+                 static_cast<unsigned>(std::thread::hardware_concurrency()))
+          .raw("runs", runs_json)
+          .field("serial_total_ms", serial.total_ms())
+          .field("best_total_ms", best_total)
+          .field("speedup", serial.total_ms() / best_total)
+          .field("deterministic", deterministic)
+          .str();
+  bench::write_bench_json("BENCH_pipeline.json", json);
+  std::printf("[longtail] speedup %.2fx, deterministic across thread "
+              "counts: %s\n",
+              serial.total_ms() / best_total, deterministic ? "yes" : "NO");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* micro = std::getenv("LONGTAIL_BENCH_MICRO");
+  if (micro == nullptr || std::string_view(micro) != "0")
+    benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_trajectory();
+  return 0;
+}

@@ -1,8 +1,18 @@
 // google-benchmark microbenchmarks and ablations for the rule subsystem:
 // PART induction, tau selection, classification throughput, and the
 // DESIGN.md ablations (conflict policy, feature dropping).
+//
+// main() also times rule matching over the test + unknown datasets under
+// LONGTAIL_THREADS = 1, 2, 8 and writes BENCH_rules.json (same scheme as
+// perf_pipeline: LONGTAIL_BENCH_MICRO=0 skips the micro suite,
+// LONGTAIL_BENCH_JSON overrides the output path).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/longtail.hpp"
 #include "rules/tree.hpp"
 
@@ -200,6 +210,81 @@ BENCHMARK(BM_Ablation_FullTree)
     ->Arg(1)  // full C4.5 tree
     ->Unit(benchmark::kMillisecond);
 
+void emit_trajectory() {
+  auto& f = fixture();
+  const rules::RuleClassifier classifier(
+      rules::select_rules(f.exp.all_rules, 0.001));
+  const std::size_t instances =
+      f.exp.data.test.size() + f.exp.data.unknowns.size();
+
+  std::printf("\n[longtail] rule-matching trajectory (%zu instances)\n",
+              instances);
+  struct Run {
+    unsigned threads;
+    double ms;
+    std::uint64_t checksum;
+  };
+  std::vector<Run> runs;
+  for (const unsigned t : {1u, 2u, 8u}) {
+    util::set_global_threads(t);
+    rules::EvalResult eval;
+    rules::ExpansionResult expansion;
+    const double ms = bench::time_ms([&] {
+      eval = rules::evaluate(classifier, f.exp.data.test);
+      expansion = rules::expand_unknowns(classifier, f.exp.data.unknowns);
+    });
+    runs.push_back({t, ms,
+                    eval.true_positives * 1'000'003 +
+                        eval.false_positives * 31 +
+                        expansion.labeled_malicious});
+    std::printf("  threads=%-2u %8.2f ms  %10.0f instances/s\n", t, ms,
+                1000.0 * static_cast<double>(instances) / ms);
+  }
+  util::set_global_threads(util::ThreadPool::default_threads());
+
+  bool deterministic = true;
+  double best_ms = runs.front().ms;
+  for (const auto& r : runs) {
+    deterministic = deterministic && r.checksum == runs.front().checksum;
+    best_ms = std::min(best_ms, r.ms);
+  }
+
+  std::string runs_json = "[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) runs_json += ", ";
+    runs_json += bench::JsonObject()
+                     .field("threads", runs[i].threads)
+                     .field("match_ms", runs[i].ms)
+                     .field("instances_per_sec",
+                            1000.0 * static_cast<double>(instances) /
+                                runs[i].ms)
+                     .str();
+  }
+  runs_json += "]";
+  const auto json = bench::JsonObject()
+                        .field("bench", std::string_view("rules"))
+                        .field("instances",
+                               static_cast<std::uint64_t>(instances))
+                        .field("rules", static_cast<std::uint64_t>(
+                                            classifier.rules().size()))
+                        .raw("runs", runs_json)
+                        .field("serial_ms", runs.front().ms)
+                        .field("best_ms", best_ms)
+                        .field("speedup", runs.front().ms / best_ms)
+                        .field("deterministic", deterministic)
+                        .str();
+  bench::write_bench_json("BENCH_rules.json", json);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* micro = std::getenv("LONGTAIL_BENCH_MICRO");
+  if (micro == nullptr || std::string_view(micro) != "0")
+    benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_trajectory();
+  return 0;
+}

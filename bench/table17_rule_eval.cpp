@@ -16,12 +16,19 @@ int main() {
   util::TextTable table({"T_tr-T_ts", "tau", "# mal", "TP", "# ben", "FP",
                          "# FP rules", "# unknowns", "matched", "-> mal",
                          "-> ben"});
-  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
-    const auto train = static_cast<model::Month>(m);
-    const auto test = static_cast<model::Month>(m + 1);
-    const auto exp = pipeline.run_rule_experiment(train, test);
-    for (const double tau : {0.0, 0.001}) {
-      const auto eval = core::LongtailPipeline::evaluate_tau(exp, tau);
+  // All month windows run in parallel on the global pool (LONGTAIL_THREADS);
+  // results are identical to serial per-window calls.
+  std::vector<std::pair<model::Month, model::Month>> windows;
+  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m)
+    windows.emplace_back(static_cast<model::Month>(m),
+                         static_cast<model::Month>(m + 1));
+  const auto experiments = pipeline.run_rule_experiments(windows);
+  const std::vector<double> taus = {0.0, 0.001};
+  for (const auto& exp : experiments) {
+    const auto train = exp.train_month;
+    const auto test = exp.test_month;
+    for (const auto& eval : core::LongtailPipeline::evaluate_taus(exp, taus)) {
+      const double tau = eval.tau;
       table.add_row({std::string(model::month_abbrev(train)) + "-" +
                          std::string(model::month_abbrev(test)),
                      util::pct(100 * tau, 1),

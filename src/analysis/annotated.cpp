@@ -1,8 +1,22 @@
 #include "analysis/annotated.hpp"
 
 #include "avclass/avclass.hpp"
+#include "util/thread_pool.hpp"
 
 namespace longtail::analysis {
+
+namespace {
+
+// Per-file annotation computed independently in parallel; the shared
+// side effects (type stats, family interning) are applied serially in
+// file order afterwards, so the result is identical for any thread count.
+struct FileAnnotation {
+  avtype::TypeResult type;
+  avclass::FamilyResult family;
+  bool annotated = false;
+};
+
+}  // namespace
 
 AnnotatedCorpus annotate(const telemetry::Corpus& corpus,
                          const groundtruth::Whitelist& whitelist,
@@ -19,26 +33,42 @@ AnnotatedCorpus annotate(const telemetry::Corpus& corpus,
 
   a.file_types.assign(corpus.files.size(), model::MalwareType::kUndefined);
   a.file_families.assign(corpus.files.size(), AnnotatedCorpus::kNoFamily);
+  const auto annotations = util::parallel_map(
+      corpus.files.size(),
+      [&](std::size_t f) {
+        FileAnnotation out;
+        if (a.labels.file_verdicts[f] != model::Verdict::kMalicious)
+          return out;
+        const auto id = model::FileId{static_cast<std::uint32_t>(f)};
+        const auto& report = vt.query(id);
+        if (!report.has_value()) return out;
+        out.type = type_extractor.derive(*report);
+        out.family = family_extractor.derive(*report);
+        out.annotated = true;
+        return out;
+      },
+      /*grain=*/256);
   for (std::uint32_t f = 0; f < corpus.files.size(); ++f) {
-    if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) continue;
-    const auto& report = vt.query(model::FileId{f});
-    if (!report.has_value()) continue;
-    const auto result = type_extractor.derive(*report);
-    a.file_types[f] = result.type;
-    a.file_type_stats.record(result.resolution);
-    if (const auto family = family_extractor.derive(*report);
-        family.resolved())
-      a.file_families[f] = a.derived_families.intern(family.family);
+    const auto& ann = annotations[f];
+    if (!ann.annotated) continue;
+    a.file_types[f] = ann.type.type;
+    a.file_type_stats.record(ann.type.resolution);
+    if (ann.family.resolved())
+      a.file_families[f] = a.derived_families.intern(ann.family.family);
   }
 
   a.process_types.assign(corpus.processes.size(),
                          model::MalwareType::kUndefined);
-  for (std::uint32_t p = 0; p < corpus.processes.size(); ++p) {
-    if (a.labels.process_verdicts[p] != model::Verdict::kMalicious) continue;
-    const auto& report = vt.query(model::ProcessId{p});
-    if (!report.has_value()) continue;
-    a.process_types[p] = type_extractor.derive(*report).type;
-  }
+  util::parallel_for(
+      corpus.processes.size(),
+      [&](std::size_t p) {
+        if (a.labels.process_verdicts[p] != model::Verdict::kMalicious) return;
+        const auto& report =
+            vt.query(model::ProcessId{static_cast<std::uint32_t>(p)});
+        if (!report.has_value()) return;
+        a.process_types[p] = type_extractor.derive(*report).type;
+      },
+      /*grain=*/256);
 
   const groundtruth::UrlLabeler url_labeler;
   a.url_verdicts = url_labeler.label_all(corpus.urls, corpus.domains);

@@ -1,9 +1,16 @@
 #include "core/pipeline.hpp"
 
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
 namespace longtail::core {
 
 LongtailPipeline::LongtailPipeline(const synth::CalibrationProfile& profile)
-    : dataset_(synth::generate_dataset(profile)) {
+    : LongtailPipeline(synth::generate_dataset(profile)) {}
+
+LongtailPipeline::LongtailPipeline(synth::Dataset dataset)
+    : dataset_(std::move(dataset)) {
   annotated_ = std::make_unique<analysis::AnnotatedCorpus>(analysis::annotate(
       dataset_.corpus, dataset_.whitelist, dataset_.vt));
 }
@@ -20,6 +27,17 @@ RuleExperiment LongtailPipeline::run_rule_experiment(
   return exp;
 }
 
+std::vector<RuleExperiment> LongtailPipeline::run_rule_experiments(
+    std::span<const std::pair<model::Month, model::Month>> windows,
+    rules::PartConfig config) const {
+  // Each window reads the shared annotated corpus (const) and owns its
+  // FeatureSpace, so windows are independent; results land in window
+  // order regardless of scheduling.
+  return util::parallel_map(windows.size(), [&](std::size_t i) {
+    return run_rule_experiment(windows[i].first, windows[i].second, config);
+  });
+}
+
 TauEvaluation LongtailPipeline::evaluate_tau(const RuleExperiment& experiment,
                                              double tau,
                                              rules::ConflictPolicy policy) {
@@ -31,6 +49,61 @@ TauEvaluation LongtailPipeline::evaluate_tau(const RuleExperiment& experiment,
   out.eval = rules::evaluate(classifier, experiment.data.test);
   out.expansion = rules::expand_unknowns(classifier, experiment.data.unknowns);
   return out;
+}
+
+std::vector<TauEvaluation> LongtailPipeline::evaluate_taus(
+    const RuleExperiment& experiment, std::span<const double> taus,
+    rules::ConflictPolicy policy) {
+  return util::parallel_map(taus.size(), [&](std::size_t i) {
+    return evaluate_tau(experiment, taus[i], policy);
+  });
+}
+
+std::uint64_t dataset_fingerprint(const synth::Dataset& ds) {
+  std::uint64_t h = util::kFnvOffset;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= util::mix64(v + 0x9E3779B97F4A7C15ULL);
+    h *= util::kFnvPrime;
+  };
+
+  mix(ds.corpus.events.size());
+  for (const auto& e : ds.corpus.events) {
+    mix(e.file.raw());
+    mix(e.machine.raw());
+    mix(e.process.raw());
+    mix(e.url.raw());
+    mix(static_cast<std::uint64_t>(e.time));
+  }
+  mix(ds.corpus.files.size());
+  for (std::uint32_t f = 0; f < ds.corpus.files.size(); ++f) {
+    const auto& meta = ds.corpus.files[f];
+    mix(meta.sha.hi);
+    mix(meta.sha.lo);
+    mix(meta.size);
+    mix(meta.is_signed ? meta.signer.raw() + 1 : 0);
+    mix(meta.is_signed ? meta.ca.raw() + 1 : 0);
+    mix(meta.is_packed ? meta.packer.raw() + 1 : 0);
+    // Verdict-relevant evidence: whitelist membership plus the VT report
+    // shape (scan window and per-engine detections).
+    const model::FileId id{f};
+    mix(ds.whitelist.contains(id) ? 1 : 0);
+    if (const auto& report = ds.vt.query(id); report.has_value()) {
+      mix(static_cast<std::uint64_t>(report->first_scan));
+      mix(static_cast<std::uint64_t>(report->last_scan));
+      mix(report->detections.size());
+      for (const auto& det : report->detections) {
+        mix(det.engine);
+        mix(static_cast<std::uint64_t>(det.signature_time));
+        mix(util::fnv1a64(det.label));
+      }
+    }
+  }
+  mix(ds.corpus.urls.size());
+  for (const auto& url : ds.corpus.urls) {
+    mix(url.domain.raw());
+    mix(url.alexa_rank);
+  }
+  return h;
 }
 
 }  // namespace longtail::core

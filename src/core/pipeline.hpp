@@ -8,6 +8,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 
 #include "analysis/annotated.hpp"
 #include "features/dataset.hpp"
@@ -40,6 +42,9 @@ class LongtailPipeline {
  public:
   explicit LongtailPipeline(const synth::CalibrationProfile& profile);
 
+  // Adopts an already-generated dataset and runs the §II annotation on it.
+  explicit LongtailPipeline(synth::Dataset dataset);
+
   // Convenience: paper calibration at the given scale.
   static LongtailPipeline generate(double scale = 0.10) {
     return LongtailPipeline(synth::paper_calibration(scale));
@@ -56,14 +61,34 @@ class LongtailPipeline {
       model::Month train, model::Month test,
       rules::PartConfig config = {}) const;
 
+  // Fan-out: runs one rule experiment per (train, test) window in
+  // parallel on the global pool (LONGTAIL_THREADS). Each window's result
+  // is identical to a serial run_rule_experiment call; results come back
+  // in window order.
+  [[nodiscard]] std::vector<RuleExperiment> run_rule_experiments(
+      std::span<const std::pair<model::Month, model::Month>> windows,
+      rules::PartConfig config = {}) const;
+
   // Applies the tau filter, classifies test + unknown files.
   [[nodiscard]] static TauEvaluation evaluate_tau(
       const RuleExperiment& experiment, double tau,
+      rules::ConflictPolicy policy = rules::ConflictPolicy::kReject);
+
+  // Parallel tau sweep over one experiment; results in tau order.
+  [[nodiscard]] static std::vector<TauEvaluation> evaluate_taus(
+      const RuleExperiment& experiment, std::span<const double> taus,
       rules::ConflictPolicy policy = rules::ConflictPolicy::kReject);
 
  private:
   synth::Dataset dataset_;
   std::unique_ptr<analysis::AnnotatedCorpus> annotated_;
 };
+
+// Order-sensitive 64-bit fingerprint of everything the generator emitted:
+// events, file metadata, URLs, and verdict-relevant evidence. Two datasets
+// with the same fingerprint are byte-identical for analysis purposes; the
+// determinism tests and perf_pipeline use it to assert that output does
+// not depend on LONGTAIL_THREADS.
+[[nodiscard]] std::uint64_t dataset_fingerprint(const synth::Dataset& ds);
 
 }  // namespace longtail::core

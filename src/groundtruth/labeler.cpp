@@ -1,5 +1,7 @@
 #include "groundtruth/labeler.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace longtail::groundtruth {
 
 model::Verdict Labeler::verdict(bool whitelisted,
@@ -29,17 +31,25 @@ model::Verdict Labeler::verdict_as_of(bool whitelisted,
 LabelSet Labeler::label_all(std::size_t num_files, std::size_t num_processes,
                             const Whitelist& whitelist,
                             const VtDatabase& vt) const {
+  // Each artifact's verdict depends only on its own evidence, so the loops
+  // are parallel over preallocated slots; output order is by id either way.
   LabelSet out;
-  out.file_verdicts.reserve(num_files);
-  for (std::size_t i = 0; i < num_files; ++i) {
-    const model::FileId f{static_cast<std::uint32_t>(i)};
-    out.file_verdicts.push_back(verdict(whitelist.contains(f), vt.query(f)));
-  }
-  out.process_verdicts.reserve(num_processes);
-  for (std::size_t i = 0; i < num_processes; ++i) {
-    const model::ProcessId p{static_cast<std::uint32_t>(i)};
-    out.process_verdicts.push_back(verdict(whitelist.contains(p), vt.query(p)));
-  }
+  out.file_verdicts.resize(num_files);
+  util::parallel_for(
+      num_files,
+      [&](std::size_t i) {
+        const model::FileId f{static_cast<std::uint32_t>(i)};
+        out.file_verdicts[i] = verdict(whitelist.contains(f), vt.query(f));
+      },
+      /*grain=*/1024);
+  out.process_verdicts.resize(num_processes);
+  util::parallel_for(
+      num_processes,
+      [&](std::size_t i) {
+        const model::ProcessId p{static_cast<std::uint32_t>(i)};
+        out.process_verdicts[i] = verdict(whitelist.contains(p), vt.query(p));
+      },
+      /*grain=*/1024);
   return out;
 }
 

@@ -1,42 +1,71 @@
 #include "rules/evaluation.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace longtail::rules {
+
+namespace {
+
+// Shard count for parallel evaluation: derived from the workload, never
+// the thread count, so merged results are reproducible bit-for-bit under
+// any LONGTAIL_THREADS setting.
+constexpr std::size_t kEvalShards = 64;
+
+}  // namespace
 
 EvalResult evaluate(const RuleClassifier& classifier,
                     std::span<const features::Instance> test) {
   EvalResult r;
-  for (const auto& inst : test) {
-    const auto decision = classifier.classify(inst.x);
-    switch (decision) {
-      case Decision::kNoMatch:
-        ++r.unmatched;
-        break;
-      case Decision::kRejected:
-        ++r.rejected;
-        break;
-      case Decision::kMalicious:
-        if (inst.malicious) {
-          ++r.matched_malicious;
-          ++r.true_positives;
-        } else {
-          ++r.matched_benign;
-          ++r.false_positives;
-          for (const auto rule_index : classifier.matching_rules(inst.x))
-            if (classifier.rules()[rule_index].predict_malicious)
-              r.fp_rules.insert(rule_index);
+  util::sharded_for(
+      test.size(), kEvalShards,
+      [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+        EvalResult s;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& inst = test[i];
+          const auto decision = classifier.classify(inst.x);
+          switch (decision) {
+            case Decision::kNoMatch:
+              ++s.unmatched;
+              break;
+            case Decision::kRejected:
+              ++s.rejected;
+              break;
+            case Decision::kMalicious:
+              if (inst.malicious) {
+                ++s.matched_malicious;
+                ++s.true_positives;
+              } else {
+                ++s.matched_benign;
+                ++s.false_positives;
+                for (const auto rule_index : classifier.matching_rules(inst.x))
+                  if (classifier.rules()[rule_index].predict_malicious)
+                    s.fp_rules.insert(rule_index);
+              }
+              break;
+            case Decision::kBenign:
+              if (inst.malicious) {
+                ++s.matched_malicious;
+                ++s.false_negatives;
+              } else {
+                ++s.matched_benign;
+                ++s.true_negatives;
+              }
+              break;
+          }
         }
-        break;
-      case Decision::kBenign:
-        if (inst.malicious) {
-          ++r.matched_malicious;
-          ++r.false_negatives;
-        } else {
-          ++r.matched_benign;
-          ++r.true_negatives;
-        }
-        break;
-    }
-  }
+        return s;
+      },
+      [&](EvalResult&& s, std::size_t /*shard*/) {
+        r.matched_malicious += s.matched_malicious;
+        r.matched_benign += s.matched_benign;
+        r.rejected += s.rejected;
+        r.unmatched += s.unmatched;
+        r.true_positives += s.true_positives;
+        r.false_negatives += s.false_negatives;
+        r.false_positives += s.false_positives;
+        r.true_negatives += s.true_negatives;
+        r.fp_rules.insert(s.fp_rules.begin(), s.fp_rules.end());
+      });
   return r;
 }
 
@@ -45,14 +74,25 @@ ExpansionResult expand_unknowns(
     std::span<const features::Instance> unknowns) {
   ExpansionResult r;
   r.total_unknowns = unknowns.size();
-  for (const auto& inst : unknowns) {
-    switch (classifier.classify(inst.x)) {
-      case Decision::kMalicious: ++r.labeled_malicious; break;
-      case Decision::kBenign: ++r.labeled_benign; break;
-      case Decision::kRejected: ++r.rejected; break;
-      case Decision::kNoMatch: break;
-    }
-  }
+  util::sharded_for(
+      unknowns.size(), kEvalShards,
+      [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+        ExpansionResult s;
+        for (std::size_t i = begin; i < end; ++i) {
+          switch (classifier.classify(unknowns[i].x)) {
+            case Decision::kMalicious: ++s.labeled_malicious; break;
+            case Decision::kBenign: ++s.labeled_benign; break;
+            case Decision::kRejected: ++s.rejected; break;
+            case Decision::kNoMatch: break;
+          }
+        }
+        return s;
+      },
+      [&](ExpansionResult&& s, std::size_t /*shard*/) {
+        r.labeled_malicious += s.labeled_malicious;
+        r.labeled_benign += s.labeled_benign;
+        r.rejected += s.rejected;
+      });
   return r;
 }
 

@@ -8,6 +8,7 @@
 #include "groundtruth/avsim.hpp"
 #include "synth/world.hpp"
 #include "util/hash.hpp"
+#include "util/thread_pool.hpp"
 #include "util/zipf.hpp"
 
 namespace longtail::synth {
@@ -80,15 +81,36 @@ class Generator {
   Dataset run();
 
  private:
+  // Evidence a file contributes to ground truth, computed in parallel per
+  // file and applied serially in file order.
+  struct EvidenceDraft {
+    enum class Kind : std::uint8_t { kNone, kWhitelist, kReport };
+    Kind kind = Kind::kNone;
+    groundtruth::VtReport report;
+  };
+
   void build_cat_samplers();
   void compute_signer_prefixes();
   void draft_files();
-  void materialize_file(std::uint32_t file_index, FileDraft& d);
+  [[nodiscard]] model::FileMeta draft_file_meta(std::uint32_t file_index,
+                                                const FileDraft& d) const;
+  void materialize_files();
   void resolve_events();
   void resolve_pending();
   void add_decoys();
   void finalize_corpus();
+  [[nodiscard]] EvidenceDraft draft_file_evidence(std::uint32_t file_index,
+                                                  const FileDraft& d) const;
   void build_file_evidence();
+
+  // Independent per-file RNG substream: derived from the master seed and
+  // the file index alone (splitmix-style), so the values a file draws are
+  // the same whether files are processed serially or across N threads.
+  [[nodiscard]] util::Rng substream(std::uint64_t salt,
+                                    std::uint64_t index) const {
+    return util::Rng(util::mix64(profile_.seed ^ salt) ^
+                     util::mix64(index * 0x9E3779B97F4A7C15ULL + salt));
+  }
 
   [[nodiscard]] int class_key(const FileDraft& d) const {
     switch (d.intended) {
@@ -105,11 +127,14 @@ class Generator {
   }
 
   // Zipf-ish head-heavy index into a pool of size n.
-  std::size_t head_heavy(std::size_t n, double alpha) {
+  static std::size_t head_heavy(util::Rng& rng, std::size_t n, double alpha) {
     if (n == 0) return 0;
     const auto r = static_cast<std::size_t>(
-        static_cast<double>(n) * std::pow(rng_.uniform01(), alpha));
+        static_cast<double>(n) * std::pow(rng.uniform01(), alpha));
     return std::min(r, n - 1);
+  }
+  std::size_t head_heavy(std::size_t n, double alpha) {
+    return head_heavy(rng_, n, alpha);
   }
 
   enum class MachinePool { kPlain, kRisky, kHeavy };
@@ -758,7 +783,9 @@ void Generator::finalize_corpus() {
   collection_stats_ = server.stats();
 }
 
-void Generator::materialize_file(std::uint32_t file_index, FileDraft& d) {
+model::FileMeta Generator::draft_file_meta(std::uint32_t file_index,
+                                           const FileDraft& d) const {
+  util::Rng rng = substream(0x4D455441ULL /* "META" */, file_index);
   model::FileMeta meta;
   meta.sha = util::digest_of(/*kind=*/1, file_index);
 
@@ -788,11 +815,11 @@ void Generator::materialize_file(std::uint32_t file_index, FileDraft& d) {
                                sg.browser_signed_pct[idx(d.type)], via_browser);
       break;
   }
-  meta.is_signed = rng_.bernoulli(signed_rate);
+  meta.is_signed = rng.bernoulli(signed_rate);
   if (meta.is_signed) {
     if (d.nature == Nature::kBenign) {
-      meta.signer =
-          world_.benign_signer_pool[head_heavy(benign_signer_prefix_, 1.0)];
+      meta.signer = world_.benign_signer_pool[head_heavy(
+          rng, benign_signer_prefix_, 1.0)];
     } else {
       // Malicious signing certificates churn: each month the active window
       // slides a third of its width through the type's pool (new certs are
@@ -800,7 +827,7 @@ void Generator::materialize_file(std::uint32_t file_index, FileDraft& d) {
       const auto& pool = world_.type_signer_pool[idx(d.type)];
       const std::size_t prefix = type_signer_prefix_[idx(d.type)];
       const std::size_t offset = (d.month * std::max<std::size_t>(prefix / 3, 1)) % pool.size();
-      meta.signer = pool[(offset + head_heavy(prefix, 1.0)) % pool.size()];
+      meta.signer = pool[(offset + head_heavy(rng, prefix, 1.0)) % pool.size()];
     }
     meta.ca = world_.signer_ca[meta.signer.raw()];
   }
@@ -811,74 +838,113 @@ void Generator::materialize_file(std::uint32_t file_index, FileDraft& d) {
                                  : (d.nature == Nature::kBenign
                                         ? pk.benign_packed
                                         : pk.malicious_packed);
-  meta.is_packed = rng_.bernoulli(packed_rate);
+  meta.is_packed = rng.bernoulli(packed_rate);
   if (meta.is_packed) {
     const auto& pool = d.nature == Nature::kBenign
                            ? world_.benign_packer_pool
                            : world_.malicious_packer_pool;
-    meta.packer = pool[head_heavy(pool.size(), 1.6)];
+    meta.packer = pool[head_heavy(rng, pool.size(), 1.6)];
   }
 
   const double mu = d.nature == Nature::kBenign ? 14.3 : 13.2;  // ~e^14.3=1.6MB
-  meta.size = static_cast<std::uint64_t>(std::exp(rng_.normal(mu, 1.1)));
+  meta.size = static_cast<std::uint64_t>(std::exp(rng.normal(mu, 1.1)));
+  return meta;
+}
 
-  world_.corpus.files.push_back(meta);
-  world_.truth.file_nature.push_back(d.nature);
-  world_.truth.file_type.push_back(d.type);
-  world_.truth.file_family.push_back(d.family);
-  world_.truth.file_family_extractable.push_back(d.extractable);
-  world_.truth.file_intended.push_back(d.intended);
+void Generator::materialize_files() {
+  // File metadata draws from per-file substreams, so the parallel phase is
+  // reproducible under any thread count; URL/domain assignment shares the
+  // world tables and the master stream, so it stays serial in file order.
+  auto metas = util::parallel_map(
+      drafts_.size(),
+      [&](std::size_t f) {
+        return draft_file_meta(static_cast<std::uint32_t>(f), drafts_[f]);
+      },
+      /*grain=*/512);
+  world_.corpus.files.reserve(drafts_.size());
+  for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
+    auto& d = drafts_[f];
+    world_.corpus.files.push_back(metas[f]);
+    world_.truth.file_nature.push_back(d.nature);
+    world_.truth.file_type.push_back(d.type);
+    world_.truth.file_family.push_back(d.family);
+    world_.truth.file_family_extractable.push_back(d.extractable);
+    world_.truth.file_intended.push_back(d.intended);
+    d.primary_url = url_on_domain(pick_domain(d));
+  }
+}
 
-  d.primary_url = url_on_domain(pick_domain(d));
+Generator::EvidenceDraft Generator::draft_file_evidence(
+    std::uint32_t file_index, const FileDraft& d) const {
+  EvidenceDraft out;
+  util::Rng rng = substream(0x45564944ULL /* "EVID" */, file_index);
+  // A per-file AV-ecosystem simulator seeded from the same substream keeps
+  // every engine's behaviour a pure function of (master seed, file index).
+  groundtruth::AvSimulator avsim(avsim_.config(), rng.next_u64());
+  switch (d.intended) {
+    case Verdict::kBenign:
+      if (rng.bernoulli(profile_.benign_whitelist_share)) {
+        out.kind = EvidenceDraft::Kind::kWhitelist;
+      } else {
+        out.kind = EvidenceDraft::Kind::kReport;
+        out.report = avsim.clean_report(
+            d.first_time, 20 + static_cast<std::int64_t>(rng.uniform(680)));
+      }
+      break;
+    case Verdict::kLikelyBenign:
+      out.kind = EvidenceDraft::Kind::kReport;
+      out.report = avsim.clean_report(
+          d.first_time, static_cast<std::int64_t>(rng.uniform(14)));
+      break;
+    case Verdict::kMalicious: {
+      const std::string_view family =
+          d.family == TruthTable::kNoFamily
+              ? std::string_view{}
+              : world_.corpus.family_names.at(d.family);
+      const double boost =
+          std::min(1.0, 0.25 + static_cast<double>(std::min(
+                                   d.prevalence, 20u)) /
+                             40.0 +
+                            rng.uniform01() * 0.4);
+      out.kind = EvidenceDraft::Kind::kReport;
+      out.report = avsim.malicious_report(d.type, family, d.extractable,
+                                          d.first_time, boost);
+      break;
+    }
+    case Verdict::kLikelyMalicious: {
+      const std::string_view family =
+          d.family == TruthTable::kNoFamily
+              ? std::string_view{}
+              : world_.corpus.family_names.at(d.family);
+      out.kind = EvidenceDraft::Kind::kReport;
+      out.report = avsim.likely_malicious_report(d.type, family, d.first_time);
+      break;
+    }
+    case Verdict::kUnknown:
+      break;  // no evidence, by definition
+  }
+  return out;
 }
 
 void Generator::build_file_evidence() {
   world_.vt.set_file_count(world_.corpus.files.size());
+  auto evidence = util::parallel_map(
+      drafts_.size(),
+      [&](std::size_t f) {
+        return draft_file_evidence(static_cast<std::uint32_t>(f), drafts_[f]);
+      },
+      /*grain=*/256);
   for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
-    const auto& d = drafts_[f];
     const FileId id{f};
-    switch (d.intended) {
-      case Verdict::kBenign:
-        if (rng_.bernoulli(profile_.benign_whitelist_share)) {
-          world_.whitelist.add(id);
-        } else {
-          world_.vt.put(id, avsim_.clean_report(
-                                d.first_time,
-                                20 + static_cast<std::int64_t>(
-                                         rng_.uniform(680))));
-        }
+    switch (evidence[f].kind) {
+      case EvidenceDraft::Kind::kWhitelist:
+        world_.whitelist.add(id);
         break;
-      case Verdict::kLikelyBenign:
-        world_.vt.put(id, avsim_.clean_report(
-                              d.first_time,
-                              static_cast<std::int64_t>(rng_.uniform(14))));
+      case EvidenceDraft::Kind::kReport:
+        world_.vt.put(id, std::move(evidence[f].report));
         break;
-      case Verdict::kMalicious: {
-        const std::string_view family =
-            d.family == TruthTable::kNoFamily
-                ? std::string_view{}
-                : world_.corpus.family_names.at(d.family);
-        const double boost =
-            std::min(1.0, 0.25 + static_cast<double>(std::min(
-                                     d.prevalence, 20u)) /
-                               40.0 +
-                              rng_.uniform01() * 0.4);
-        world_.vt.put(id, avsim_.malicious_report(d.type, family,
-                                                  d.extractable, d.first_time,
-                                                  boost));
+      case EvidenceDraft::Kind::kNone:
         break;
-      }
-      case Verdict::kLikelyMalicious: {
-        const std::string_view family =
-            d.family == TruthTable::kNoFamily
-                ? std::string_view{}
-                : world_.corpus.family_names.at(d.family);
-        world_.vt.put(id, avsim_.likely_malicious_report(d.type, family,
-                                                         d.first_time));
-        break;
-      }
-      case Verdict::kUnknown:
-        break;  // no evidence, by definition
     }
   }
 }
@@ -915,8 +981,7 @@ Dataset Generator::run() {
   build_cat_samplers();
   compute_signer_prefixes();
   draft_files();
-  for (std::uint32_t f = 0; f < drafts_.size(); ++f)
-    materialize_file(f, drafts_[f]);
+  materialize_files();
   resolve_events();
   add_decoys();
   finalize_corpus();

@@ -1,0 +1,139 @@
+// Asserts the seed-stability guarantee of the parallel execution layer:
+// the full pipeline — corpus generation, §II labeling/annotation, and the
+// §VI rule experiments — produces bit-identical output under
+// LONGTAIL_THREADS = 1, 2, and 8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+#include "core/pipeline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace longtail {
+namespace {
+
+constexpr double kScale = 0.02;
+
+// Everything a run observes: the generated dataset fingerprint, Table I
+// rows, and Table XVI/XVII numbers for one (train, test) window.
+struct RunObservation {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::uint64_t> table1;
+  std::uint64_t all_rules = 0;
+  std::uint64_t selected = 0;
+  std::uint64_t selected_benign = 0;
+  std::uint64_t selected_malicious = 0;
+  std::uint64_t tp = 0, fp = 0, fn = 0, tn = 0;
+  std::uint64_t rejected = 0, unmatched = 0;
+  std::uint64_t fp_rules = 0;
+  std::uint64_t exp_mal = 0, exp_ben = 0, exp_rejected = 0, exp_total = 0;
+
+  bool operator==(const RunObservation&) const = default;
+};
+
+RunObservation observe(unsigned threads) {
+  util::set_global_threads(threads);
+  const auto pipeline = core::LongtailPipeline::generate(kScale);
+
+  RunObservation obs;
+  obs.fingerprint = core::dataset_fingerprint(pipeline.dataset());
+
+  const auto summary = analysis::monthly_summary(pipeline.annotated());
+  for (const auto& row : summary.months) {
+    obs.table1.push_back(row.machines);
+    obs.table1.push_back(row.events);
+    obs.table1.push_back(row.processes);
+    obs.table1.push_back(row.files);
+    obs.table1.push_back(row.urls);
+  }
+
+  const auto exp = pipeline.run_rule_experiment(model::Month::kMarch,
+                                                model::Month::kApril);
+  obs.all_rules = exp.all_rules.size();
+  const auto eval = core::LongtailPipeline::evaluate_tau(exp, 0.001);
+  obs.selected = eval.selected.total;
+  obs.selected_benign = eval.selected.benign_rules;
+  obs.selected_malicious = eval.selected.malicious_rules;
+  obs.tp = eval.eval.true_positives;
+  obs.fp = eval.eval.false_positives;
+  obs.fn = eval.eval.false_negatives;
+  obs.tn = eval.eval.true_negatives;
+  obs.rejected = eval.eval.rejected;
+  obs.unmatched = eval.eval.unmatched;
+  obs.fp_rules = eval.eval.fp_rules.size();
+  obs.exp_mal = eval.expansion.labeled_malicious;
+  obs.exp_ben = eval.expansion.labeled_benign;
+  obs.exp_rejected = eval.expansion.rejected;
+  obs.exp_total = eval.expansion.total_unknowns;
+  return obs;
+}
+
+class PipelineDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::set_global_threads(util::ThreadPool::default_threads());
+  }
+};
+
+TEST_F(PipelineDeterminismTest, IdenticalAcross1And2And8Threads) {
+  const auto serial = observe(1);
+  ASSERT_NE(serial.fingerprint, 0u);
+  ASSERT_GT(serial.all_rules, 0u);
+
+  const auto two = observe(2);
+  EXPECT_EQ(two, serial) << "2-thread run diverged from serial";
+
+  const auto eight = observe(8);
+  EXPECT_EQ(eight, serial) << "8-thread run diverged from serial";
+}
+
+TEST_F(PipelineDeterminismTest, ParallelExperimentFanOutMatchesSerialCalls) {
+  util::set_global_threads(4);
+  const auto pipeline = core::LongtailPipeline::generate(kScale);
+  const std::vector<std::pair<model::Month, model::Month>> windows = {
+      {model::Month::kJanuary, model::Month::kFebruary},
+      {model::Month::kFebruary, model::Month::kMarch},
+      {model::Month::kMarch, model::Month::kApril},
+  };
+  const auto fanout = pipeline.run_rule_experiments(windows);
+  ASSERT_EQ(fanout.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto serial =
+        pipeline.run_rule_experiment(windows[i].first, windows[i].second);
+    EXPECT_EQ(fanout[i].train_month, windows[i].first);
+    ASSERT_EQ(fanout[i].all_rules.size(), serial.all_rules.size()) << i;
+    EXPECT_EQ(fanout[i].data.train.size(), serial.data.train.size()) << i;
+    EXPECT_EQ(fanout[i].data.test.size(), serial.data.test.size()) << i;
+    EXPECT_EQ(fanout[i].data.unknowns.size(), serial.data.unknowns.size())
+        << i;
+    for (std::size_t r = 0; r < serial.all_rules.size(); ++r) {
+      EXPECT_EQ(fanout[i].all_rules[r].predict_malicious,
+                serial.all_rules[r].predict_malicious);
+      EXPECT_EQ(fanout[i].all_rules[r].conditions.size(),
+                serial.all_rules[r].conditions.size());
+    }
+  }
+}
+
+TEST_F(PipelineDeterminismTest, TauSweepMatchesPointEvaluations) {
+  util::set_global_threads(4);
+  const auto pipeline = core::LongtailPipeline::generate(kScale);
+  const auto exp = pipeline.run_rule_experiment(model::Month::kMarch,
+                                                model::Month::kApril);
+  const std::vector<double> taus = {0.0, 0.001, 0.005, 0.01};
+  const auto sweep = core::LongtailPipeline::evaluate_taus(exp, taus);
+  ASSERT_EQ(sweep.size(), taus.size());
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    const auto point = core::LongtailPipeline::evaluate_tau(exp, taus[i]);
+    EXPECT_EQ(sweep[i].selected.total, point.selected.total) << taus[i];
+    EXPECT_EQ(sweep[i].eval.true_positives, point.eval.true_positives);
+    EXPECT_EQ(sweep[i].eval.false_positives, point.eval.false_positives);
+    EXPECT_EQ(sweep[i].expansion.labeled_malicious,
+              point.expansion.labeled_malicious);
+  }
+}
+
+}  // namespace
+}  // namespace longtail
