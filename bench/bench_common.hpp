@@ -12,6 +12,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -19,15 +20,26 @@
 #include <string_view>
 
 #include "core/longtail.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace longtail::bench {
 
 inline double bench_scale(double fallback = 0.10) {
-  if (const char* env = std::getenv("LONGTAIL_SCALE")) {
-    const double v = std::atof(env);
-    if (v > 0.0) return v;
+  // strtod with end-pointer validation: atof returns 0.0 on garbage, which
+  // silently fell back. Reject trailing junk ("0.1x") and non-positive or
+  // non-finite values, and say so instead of pretending the knob worked.
+  if (const char* env = std::getenv("LONGTAIL_SCALE");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && std::isfinite(v) && v > 0.0) return v;
+    std::fprintf(stderr,
+                 "[longtail] warning: invalid LONGTAIL_SCALE='%s' "
+                 "(want a positive number); using default %.2f\n",
+                 env, fallback);
   }
   return fallback;
 }

@@ -36,7 +36,11 @@ void BM_GenerateDataset(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events) *
                           state.iterations());
 }
-BENCHMARK(BM_GenerateDataset)->Arg(2)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GenerateDataset)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CollectionFilter(benchmark::State& state) {
   const auto ds = synth::generate_dataset(0.05);
@@ -212,6 +216,9 @@ void emit_trajectory() {
   }
   runs_json += "]";
 
+  // Per-stage attribution: the metrics snapshot carries stage timing
+  // histograms and event counters accumulated across all trajectory
+  // passes (see docs/observability.md for the name scheme).
   const auto json =
       bench::JsonObject()
           .field("bench", std::string_view("pipeline"))
@@ -223,6 +230,7 @@ void emit_trajectory() {
           .field("best_total_ms", best_total)
           .field("speedup", serial.total_ms() / best_total)
           .field("deterministic", deterministic)
+          .raw("metrics", util::metrics::snapshot_json())
           .str();
   bench::write_bench_json("BENCH_pipeline.json", json);
   std::printf("[longtail] speedup %.2fx, deterministic across thread "
@@ -239,6 +247,9 @@ int main(int argc, char** argv) {
   if (micro == nullptr || std::string_view(micro) != "0")
     benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The trajectory always carries per-stage metrics; LONGTAIL_TRACE=path
+  // additionally writes a Chrome trace of the same passes at exit.
+  util::metrics::set_enabled(true);
   emit_trajectory();
   return 0;
 }

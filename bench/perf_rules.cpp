@@ -272,6 +272,7 @@ void emit_trajectory() {
                         .field("best_ms", best_ms)
                         .field("speedup", runs.front().ms / best_ms)
                         .field("deterministic", deterministic)
+                        .raw("metrics", util::metrics::snapshot_json())
                         .str();
   bench::write_bench_json("BENCH_rules.json", json);
 }
@@ -285,6 +286,7 @@ int main(int argc, char** argv) {
   if (micro == nullptr || std::string_view(micro) != "0")
     benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  util::metrics::set_enabled(true);
   emit_trajectory();
   return 0;
 }

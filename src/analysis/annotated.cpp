@@ -1,7 +1,9 @@
 #include "analysis/annotated.hpp"
 
 #include "avclass/avclass.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace longtail::analysis {
 
@@ -22,6 +24,8 @@ AnnotatedCorpus annotate(const telemetry::Corpus& corpus,
                          const groundtruth::Whitelist& whitelist,
                          const groundtruth::VtDatabase& vt,
                          avtype::ManualOracle oracle) {
+  LONGTAIL_TRACE_SPAN("analysis.annotate");
+  LONGTAIL_METRIC_TIMER("analysis.annotate_ms");
   AnnotatedCorpus a(corpus);
 
   const groundtruth::Labeler labeler;
@@ -51,6 +55,7 @@ AnnotatedCorpus annotate(const telemetry::Corpus& corpus,
   for (std::uint32_t f = 0; f < corpus.files.size(); ++f) {
     const auto& ann = annotations[f];
     if (!ann.annotated) continue;
+    LONGTAIL_METRIC_COUNT("analysis.files_annotated", 1);
     a.file_types[f] = ann.type.type;
     a.file_type_stats.record(ann.type.resolution);
     if (ann.family.resolved())

@@ -19,7 +19,8 @@ std::vector<DomainCount> top_named(
         sets,
     std::size_t top_k) {
   util::TopK<std::uint32_t> counter;
-  for (const auto& [domain, members] : sets) counter.add(domain, members.size());
+  for (const auto& [domain, members] : sets)
+    counter.add(domain, members.size());
   std::vector<DomainCount> out;
   for (const auto& [domain, count] : counter.top(top_k))
     out.emplace_back(a.corpus->domain_names.at(domain), count);

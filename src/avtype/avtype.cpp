@@ -125,7 +125,8 @@ TypeResult TypeExtractor::derive(const groundtruth::VtReport& report) const {
     if (groundtruth::is_leading(det.engine))
       votes.push_back(interpret_label(det.label));
 
-  if (votes.empty()) return {MalwareType::kUndefined, Resolution::kNoLeadingLabel};
+  if (votes.empty())
+    return {MalwareType::kUndefined, Resolution::kNoLeadingLabel};
 
   // Tally.
   std::array<int, model::kNumMalwareTypes> tally{};

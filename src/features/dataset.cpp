@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace longtail::features {
 
 namespace {
@@ -26,8 +29,9 @@ std::unordered_map<std::uint32_t, std::uint32_t> first_events_in(
 
 // Deterministic instance order regardless of hash-map iteration.
 void sort_by_file(std::vector<Instance>& v) {
-  std::sort(v.begin(), v.end(),
-            [](const Instance& a, const Instance& b) { return a.file < b.file; });
+  std::sort(v.begin(), v.end(), [](const Instance& a, const Instance& b) {
+    return a.file < b.file;
+  });
 }
 
 }  // namespace
@@ -51,6 +55,8 @@ std::vector<Instance> labeled_instances(const analysis::AnnotatedCorpus& a,
 WindowDataset build_window_dataset(const analysis::AnnotatedCorpus& a,
                                    FeatureSpace& space, model::Month train,
                                    model::Month test, WindowOptions options) {
+  LONGTAIL_TRACE_SPAN("features.build_window_dataset");
+  LONGTAIL_METRIC_TIMER("features.build_window_dataset_ms");
   WindowDataset out;
 
   const auto train_first =
@@ -93,6 +99,9 @@ WindowDataset build_window_dataset(const analysis::AnnotatedCorpus& a,
   sort_by_file(out.train);
   sort_by_file(out.test);
   sort_by_file(out.unknowns);
+  LONGTAIL_METRIC_COUNT("features.train_instances", out.train.size());
+  LONGTAIL_METRIC_COUNT("features.test_instances", out.test.size());
+  LONGTAIL_METRIC_COUNT("features.unknown_instances", out.unknowns.size());
   return out;
 }
 

@@ -21,7 +21,8 @@ std::string upper(std::string_view s) {
 std::string camel(std::string_view s) {
   std::string out(s);
   if (!out.empty())
-    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+    out[0] =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
   return out;
 }
 
@@ -120,7 +121,8 @@ std::string trendmicro_label(MalwareType t, std::string_view fam,
                             : "RANSOM_" + family + "." + suf;
     case MalwareType::kFakeAv: return "TROJ_FAKEAV." + suf;
     case MalwareType::kSpyware:
-      return family.empty() ? "TSPY_KEYLOG." + suf : "TSPY_" + family + "." + suf;
+      return family.empty() ? "TSPY_KEYLOG." + suf
+                            : "TSPY_" + family + "." + suf;
     case MalwareType::kPup:
       return family.empty() ? "PUA_GENERIC." + suf : "PUA_" + family;
     case MalwareType::kUndefined:
@@ -197,21 +199,24 @@ std::string other_engine_label(std::uint16_t engine, std::string_view fam,
   const std::string suf = variant(salt, /*upper=*/false);
   switch (engine % 6) {
     case 0:
-      return family.empty() ? "Gen:Variant.Graftor." + std::to_string(salt % 9000)
-                            : "Gen:Variant." + family + "." +
+      return family.empty()
+                 ? "Gen:Variant.Graftor." + std::to_string(salt % 9000)
+                 : "Gen:Variant." + family + "." +
                                   std::to_string(salt % 9000);
     case 1:
       return family.empty() ? "W32.Malware!heur"
                             : "W32." + upper(fam).substr(0, 6) + "!tr";
     case 2:
-      return family.empty() ? "Win32:Malware-gen"
-                            : "Win32:" + family + "-" + variant(salt, true).substr(0, 2) +
-                                  " [Trj]";
+      return family.empty()
+                 ? "Win32:Malware-gen"
+                 : "Win32:" + family + "-" +
+                       variant(salt, true).substr(0, 2) + " [Trj]";
     case 3:
       return family.empty() ? "TR/Crypt.XPACK.Gen" : "TR/" + family + "." + suf;
     case 4:
-      return family.empty() ? "Mal/Generic-S" : "Troj/" + family + "-" +
-                                                     variant(salt, true).substr(0, 2);
+      return family.empty()
+                 ? "Mal/Generic-S"
+                 : "Troj/" + family + "-" + variant(salt, true).substr(0, 2);
     default:
       return family.empty() ? "a variant of Win32/Kryptik." + upper(suf)
                             : "a variant of Win32/" + family + "." + upper(suf);
@@ -286,7 +291,8 @@ VtReport AvSimulator::malicious_report(MalwareType type,
                         : is_trusted(e) ? config_.p_detect_trusted
                                         : config_.p_detect_other;
     if (!rng_.bernoulli(std::min(0.98, base * boost))) continue;
-    const MalwareType label_type = is_leading(e) ? sample_label_type(type) : type;
+    const MalwareType label_type =
+        is_leading(e) ? sample_label_type(type) : type;
     const bool with_family =
         family_extractable && rng_.bernoulli(config_.p_family_in_label);
     report.detections.push_back(
@@ -322,8 +328,8 @@ VtReport AvSimulator::likely_malicious_report(MalwareType type,
   // Only untrusted engines detect; pick distinct engines.
   const std::size_t n = 1 + rng_.uniform(3);
   const std::uint16_t first =
-      kNumTrustedEngines +
-      static_cast<std::uint16_t>(rng_.uniform(kNumEngines - kNumTrustedEngines));
+      kNumTrustedEngines + static_cast<std::uint16_t>(rng_.uniform(
+                               kNumEngines - kNumTrustedEngines));
   for (std::size_t i = 0; i < n; ++i) {
     const auto e = static_cast<std::uint16_t>(
         kNumTrustedEngines +

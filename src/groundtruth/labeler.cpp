@@ -1,8 +1,32 @@
 #include "groundtruth/labeler.hpp"
 
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace longtail::groundtruth {
+
+namespace {
+
+// Mirrors a verdict vector into per-verdict counters. Runs as an extra
+// serial pass only when metrics are on, so the parallel fill stays
+// untouched and the totals are scheduling-independent by construction.
+void count_verdicts(const char* prefix,
+                    const std::vector<model::Verdict>& verdicts) {
+  if (!util::metrics::enabled()) return;
+  std::array<std::uint64_t, 5> n{};
+  for (const auto v : verdicts) ++n[static_cast<std::size_t>(v)];
+  static constexpr std::array<const char*, 5> kNames = {
+      "benign", "likely_benign", "malicious", "likely_malicious", "unknown"};
+  for (std::size_t i = 0; i < kNames.size(); ++i)
+    util::metrics::counter(std::string(prefix) + kNames[i]).add(n[i]);
+}
+
+}  // namespace
 
 model::Verdict Labeler::verdict(bool whitelisted,
                                 const std::optional<VtReport>& vt) const {
@@ -31,6 +55,8 @@ model::Verdict Labeler::verdict_as_of(bool whitelisted,
 LabelSet Labeler::label_all(std::size_t num_files, std::size_t num_processes,
                             const Whitelist& whitelist,
                             const VtDatabase& vt) const {
+  LONGTAIL_TRACE_SPAN("groundtruth.label_all");
+  LONGTAIL_METRIC_TIMER("groundtruth.label_all_ms");
   // Each artifact's verdict depends only on its own evidence, so the loops
   // are parallel over preallocated slots; output order is by id either way.
   LabelSet out;
@@ -50,6 +76,8 @@ LabelSet Labeler::label_all(std::size_t num_files, std::size_t num_processes,
         out.process_verdicts[i] = verdict(whitelist.contains(p), vt.query(p));
       },
       /*grain=*/1024);
+  count_verdicts("groundtruth.file_verdict.", out.file_verdicts);
+  count_verdicts("groundtruth.process_verdict.", out.process_verdicts);
   return out;
 }
 

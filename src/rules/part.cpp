@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <string>
 #include <unordered_map>
 
 #include "rules/induction.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace longtail::rules {
 
@@ -184,13 +187,18 @@ double pessimistic_error_rate(double errors, double n, double confidence) {
 
 std::vector<Rule> PartLearner::learn(
     std::span<const Instance> data) const {
+  LONGTAIL_TRACE_SPAN_DETAIL("rules.part.learn",
+                             "instances=" + std::to_string(data.size()));
+  LONGTAIL_METRIC_TIMER("rules.part.learn_ms");
   std::vector<Rule> rules;
   std::vector<std::uint32_t> remaining(data.size());
   for (std::uint32_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
 
   PartialTreeBuilder builder(data, config_);
   while (!remaining.empty() && rules.size() < config_.max_rules) {
+    LONGTAIL_METRIC_COUNT("rules.part.iterations", 1);
     auto outcome = builder.expand(remaining);
+    LONGTAIL_METRIC_COUNT("rules.part.leaves_grown", outcome.leaves.size());
 
     // Pick the leaf covering the most instances (ties: fewer errors, then
     // shorter path, then lexicographic for determinism).
@@ -228,6 +236,8 @@ std::vector<Rule> PartLearner::learn(
     }
     rule.coverage = covered;
     rule.errors = errors;
+    LONGTAIL_METRIC_COUNT("rules.part.rules_grown", 1);
+    LONGTAIL_METRIC_COUNT("rules.part.instances_pruned", covered);
     rules.push_back(std::move(rule));
     if (covered == 0) break;  // defensive: no progress
     remaining = std::move(kept);
@@ -249,6 +259,7 @@ std::vector<Rule> PartLearner::learn(
     rule.coverage = covered;
     rule.errors = errors;
   }
+  LONGTAIL_METRIC_COUNT("rules.part.rules_emitted", rules.size());
   return rules;
 }
 

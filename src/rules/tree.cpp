@@ -14,8 +14,8 @@ DecisionTree DecisionTree::build(std::span<const features::Instance> data,
   // Recursive grow + prune. Returns {node, estimated subtree errors}.
   std::function<std::pair<std::unique_ptr<Node>, double>(
       std::vector<std::uint32_t>&, std::size_t)>
-      grow = [&](std::vector<std::uint32_t>& items,
-                 std::size_t depth) -> std::pair<std::unique_ptr<Node>, double> {
+      grow = [&](std::vector<std::uint32_t>& items, std::size_t depth)
+      -> std::pair<std::unique_ptr<Node>, double> {
     const auto n = static_cast<std::uint32_t>(items.size());
     std::uint32_t mal = 0;
     for (const auto item : items) mal += data[item].malicious ? 1u : 0u;

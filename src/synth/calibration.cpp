@@ -46,6 +46,7 @@ CalibrationProfile paper_calibration(double scale) {
   // average exceeds the overall row.
   constexpr double kB = 2.3 / 3.34, kLB = 2.5 / 3.23, kM = 9.9 / 10.75,
                    kLM = 2.3 / 3.19;
+  // clang-format off
   c.months = {{
       {292'516, 578'510, 27'265, 366'981, 318'834, .029 * kB, .028 * kLB, .079 * kM, .028 * kLM},
       {246'481, 470'291, 25'001, 296'362, 258'410, .031 * kB, .031 * kLB, .089 * kM, .031 * kLM},
@@ -55,6 +56,7 @@ CalibrationProfile paper_calibration(double scale) {
       {176'463, 351'509, 23'799, 206'309, 201'920, .038 * kB, .034 * kLB, .140 * kM, .035 * kLM},
       {157'457, 323'159, 26'304, 188'564, 187'315, .040 * kB, .037 * kLB, .126 * kM, .036 * kLM},
   }};
+  // clang-format on
 
   // ---- Table II: behaviour-type mix of malicious files ----------------
   c.malware_type_pct = type_pct(22.7, 16.8, 15.4, 11.3, 0.9, 0.6, 0.5, 0.3,

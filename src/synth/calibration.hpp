@@ -77,7 +77,7 @@ struct BrowserCalibration {
 // Table VI: signing rates.
 struct SigningCalibration {
   TypePct signed_pct{};           // % of files of this type that are signed
-  TypePct browser_share{};        // fraction of this type downloaded via browsers
+  TypePct browser_share{};        // fraction downloaded via browsers
   TypePct browser_signed_pct{};   // % signed among the browser-downloaded
   double benign_signed = 0, benign_browser_share = 0, benign_browser_signed = 0;
   double unknown_signed = 0, unknown_browser_share = 0,

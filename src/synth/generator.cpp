@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "groundtruth/avsim.hpp"
 #include "synth/world.hpp"
 #include "util/hash.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "util/zipf.hpp"
 
 namespace longtail::synth {
@@ -42,7 +45,8 @@ constexpr int kNumCats = kCatUnknownProc + 1;
 constexpr int kClassBenign = 0;
 constexpr int kClassUnknown = 1;
 constexpr int kClassMalBase = 2;  // + malware type index
-constexpr int kNumClasses = kClassMalBase + static_cast<int>(model::kNumMalwareTypes);
+constexpr int kNumClasses =
+    kClassMalBase + static_cast<int>(model::kNumMalwareTypes);
 
 struct FileDraft {
   Verdict intended{};
@@ -151,8 +155,10 @@ class Generator {
   static bool machine_active_at(MachineId m, Timestamp t) {
     const auto bucket =
         static_cast<std::uint64_t>(t / (5 * model::kSecondsPerDay));
-    return util::mix64(m.raw() * 0x9E3779B97F4A7C15ULL + bucket * 0xD6E8FEB86659FD93ULL) %
-               100 < 5;
+    return util::mix64(m.raw() * 0x9E3779B97F4A7C15ULL +
+                       bucket * 0xD6E8FEB86659FD93ULL) %
+               100 <
+           5;
   }
   MachineId pick_machine(MachinePool pool, const std::vector<MachineId>& used,
                          Timestamp t);
@@ -239,7 +245,8 @@ void Generator::draft_files() {
   // Normalize monthly file counts so they sum to the paper's distinct-file
   // total (monthly columns of Table I double-count files spanning months).
   double month_sum = 0;
-  for (const auto& m : profile_.months) month_sum += static_cast<double>(m.files);
+  for (const auto& m : profile_.months)
+    month_sum += static_cast<double>(m.files);
   const double norm = static_cast<double>(profile_.total_files) / month_sum;
 
   malicious_type_sampler_ = util::DiscreteSampler(profile_.malware_type_pct);
@@ -619,6 +626,7 @@ void Generator::resolve_events() {
             t = std::min(demand.time + delta_for(demand.initiator),
                          period_end - 1);
             from_demand = true;
+            LONGTAIL_METRIC_COUNT("synth.chain.demands_consumed", 1);
           }
         }
       }
@@ -652,6 +660,7 @@ void Generator::resolve_events() {
         auto& queue = d.type == MalwareType::kDropper ? dropper_demands
                                                       : adware_pup_demands;
         queue.push_back({machine, t, d.type});
+        LONGTAIL_METRIC_COUNT("synth.chain.demands_produced", 1);
       }
     }
   };
@@ -660,24 +669,47 @@ void Generator::resolve_events() {
   // the demand queues. Phase 2: dropper files (consume adware/PUP demands,
   // produce dropper demands). Phase 3: remaining other-malware files
   // consume demands (droppers' first).
+  //
+  // The demand-queue phases are the still-serial core of the generator
+  // (ROADMAP's next parallelization candidate); they get a dedicated span
+  // and event counters so BENCH_pipeline.json carries a measured baseline
+  // for that work.
   std::vector<std::uint32_t> phase2, phase3;
-  for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
-    const auto& d = drafts_[f];
-    const bool labeled_malware = d.intended == Verdict::kMalicious;
-    if (labeled_malware && d.type == MalwareType::kDropper) {
-      phase2.push_back(f);
-    } else if (labeled_malware && is_other_malware_type(d.type)) {
-      phase3.push_back(f);
-    } else {
-      resolve_file(f, /*consume_demands=*/false);
+  {
+    LONGTAIL_TRACE_SPAN("synth.resolve_events.independent");
+    LONGTAIL_METRIC_TIMER("synth.resolve_events.independent_ms");
+    for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
+      const auto& d = drafts_[f];
+      const bool labeled_malware = d.intended == Verdict::kMalicious;
+      if (labeled_malware && d.type == MalwareType::kDropper) {
+        phase2.push_back(f);
+      } else if (labeled_malware && is_other_malware_type(d.type)) {
+        phase3.push_back(f);
+      } else {
+        resolve_file(f, /*consume_demands=*/false);
+      }
     }
   }
-  for (const auto f : phase2) resolve_file(f, /*consume_demands=*/true);
-  for (const auto f : phase3) resolve_file(f, /*consume_demands=*/true);
+  {
+    LONGTAIL_TRACE_SPAN_DETAIL(
+        "synth.resolve_events.demand_queues",
+        "files=" + std::to_string(phase2.size() + phase3.size()));
+    LONGTAIL_METRIC_TIMER("synth.resolve_events.demand_queues_ms");
+    LONGTAIL_METRIC_COUNT("synth.chain.files_resolved",
+                          phase2.size() + phase3.size());
+    for (const auto f : phase2) resolve_file(f, /*consume_demands=*/true);
+    for (const auto f : phase3) resolve_file(f, /*consume_demands=*/true);
+  }
 
-  resolve_pending();
+  {
+    LONGTAIL_TRACE_SPAN("synth.resolve_events.pending");
+    LONGTAIL_METRIC_TIMER("synth.resolve_events.pending_ms");
+    LONGTAIL_METRIC_COUNT("synth.pending_resolved", pending_.size());
+    resolve_pending();
+  }
 
   // Repeat downloads: same machine re-fetches a file it already has.
+  LONGTAIL_TRACE_SPAN("synth.resolve_events.repeats");
   for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
     const auto& d = drafts_[f];
     if (d.repeats == 0 || file_events_[f].empty()) continue;
@@ -826,7 +858,8 @@ model::FileMeta Generator::draft_file_meta(std::uint32_t file_index,
       // acquired, burned ones abandoned). Benign signers are long-lived.
       const auto& pool = world_.type_signer_pool[idx(d.type)];
       const std::size_t prefix = type_signer_prefix_[idx(d.type)];
-      const std::size_t offset = (d.month * std::max<std::size_t>(prefix / 3, 1)) % pool.size();
+      const std::size_t offset =
+          (d.month * std::max<std::size_t>(prefix / 3, 1)) % pool.size();
       meta.signer = pool[(offset + head_heavy(rng, prefix, 1.0)) % pool.size()];
     }
     meta.ca = world_.signer_ca[meta.signer.raw()];
@@ -973,19 +1006,51 @@ void Generator::compute_signer_prefixes() {
     const std::size_t pool = world_.type_signer_pool[t].size();
     const std::size_t hi = std::max<std::size_t>(2, pool / 3);
     type_signer_prefix_[t] = std::clamp<std::size_t>(
-        static_cast<std::size_t>(monthly_signed / 6.0), std::min<std::size_t>(2, hi), hi);
+        static_cast<std::size_t>(monthly_signed / 6.0),
+        std::min<std::size_t>(2, hi), hi);
   }
 }
 
 Dataset Generator::run() {
-  build_cat_samplers();
-  compute_signer_prefixes();
-  draft_files();
-  materialize_files();
-  resolve_events();
-  add_decoys();
-  finalize_corpus();
-  build_file_evidence();
+  LONGTAIL_TRACE_SPAN("synth.generate");
+  LONGTAIL_METRIC_TIMER("synth.generate_ms");
+  {
+    LONGTAIL_TRACE_SPAN("synth.calibrate");
+    build_cat_samplers();
+    compute_signer_prefixes();
+  }
+  {
+    LONGTAIL_TRACE_SPAN("synth.draft_files");
+    LONGTAIL_METRIC_TIMER("synth.draft_files_ms");
+    draft_files();
+    LONGTAIL_METRIC_COUNT("synth.files_drafted", drafts_.size());
+  }
+  {
+    LONGTAIL_TRACE_SPAN("synth.materialize_files");
+    LONGTAIL_METRIC_TIMER("synth.materialize_files_ms");
+    materialize_files();
+  }
+  {
+    LONGTAIL_TRACE_SPAN("synth.resolve_events");
+    LONGTAIL_METRIC_TIMER("synth.resolve_events_ms");
+    resolve_events();
+  }
+  {
+    LONGTAIL_TRACE_SPAN("synth.add_decoys");
+    add_decoys();
+  }
+  {
+    LONGTAIL_TRACE_SPAN("synth.finalize_corpus");
+    LONGTAIL_METRIC_TIMER("synth.finalize_corpus_ms");
+    finalize_corpus();
+  }
+  {
+    LONGTAIL_TRACE_SPAN("synth.build_file_evidence");
+    LONGTAIL_METRIC_TIMER("synth.build_file_evidence_ms");
+    build_file_evidence();
+  }
+  LONGTAIL_METRIC_COUNT("synth.events_raw", raw_events_.size());
+  LONGTAIL_METRIC_COUNT("synth.events_accepted", world_.corpus.events.size());
 
   Dataset out;
   out.corpus = std::move(world_.corpus);

@@ -154,7 +154,8 @@ std::string syllable_word(util::Rng& rng, int min_syllables,
   const auto count = static_cast<int>(
       rng.uniform_range(min_syllables, max_syllables));
   std::string word;
-  for (int i = 0; i < count; ++i) word += kSyllables[rng.uniform(kNumSyllables)];
+  for (int i = 0; i < count; ++i)
+    word += kSyllables[rng.uniform(kNumSyllables)];
   return word;
 }
 

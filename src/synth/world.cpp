@@ -126,7 +126,8 @@ World build_world(const CalibrationProfile& profile, util::Rng& rng,
     auto& pool = w.type_signer_pool[t];
     const std::size_t excl_off = rng.uniform(mal_excl_ids.size());
     for (std::size_t i = 0; i < want_excl && i < mal_excl_ids.size(); ++i)
-      pool.push_back(SignerId{mal_excl_ids[(excl_off + i * 7) % mal_excl_ids.size()]});
+      pool.push_back(
+          SignerId{mal_excl_ids[(excl_off + i * 7) % mal_excl_ids.size()]});
     // Shared signers come from the head of the shared pool — the same
     // signers that carry benign volume — so Table VII's benign overlap is
     // real, and the rule learner sees genuinely mixed evidence for them.
@@ -135,7 +136,8 @@ World build_world(const CalibrationProfile& profile, util::Rng& rng,
     // Popularity order: shuffle lightly so curated heads spread over types,
     // then keep deterministic order.
     rng.shuffle(pool);
-    if (pool.empty()) pool.push_back(SignerId{mal_excl_ids[t % mal_excl_ids.size()]});
+    if (pool.empty())
+      pool.push_back(SignerId{mal_excl_ids[t % mal_excl_ids.size()]});
   }
 
   // Special benign signers for the process catalogue.
@@ -185,7 +187,7 @@ World build_world(const CalibrationProfile& profile, util::Rng& rng,
                 rng, synth_family_name);
   w.family_ids = family_name_ids;
 
-  // ---- Domains ---------------------------------------------------------------
+  // ---- Domains --------------------------------------------------------------
   auto add_domains = [&](const std::vector<std::string>& curated,
                          std::size_t count,
                          auto&& meta_fn) -> std::vector<DomainId> {
@@ -318,14 +320,15 @@ World build_world(const CalibrationProfile& profile, util::Rng& rng,
     // sticks to popular software. This reproduces the paper's §IV-A
     // finding that 69% of machines downloaded at least one unknown file
     // without saturating to ~100%.
-    const bool tail_downloader = util::mix64(m * 0x2545F4914F6CDD1DULL) % 100 < 62;
+    const bool tail_downloader =
+        util::mix64(m * 0x2545F4914F6CDD1DULL) % 100 < 62;
     heavy_w[m] = tail_downloader ? mp.activity : 0.0;
   }
   w.machine_sampler_plain = util::DiscreteSampler(plain_w);
   w.machine_sampler_risky = util::DiscreteSampler(risky_w);
   w.machine_sampler_heavy = util::DiscreteSampler(heavy_w);
 
-  // ---- Benign process catalogue ----------------------------------------------
+  // ---- Benign process catalogue ---------------------------------------------
   // Canonical executable names per category (§V-A's name list). Windows
   // system processes rotate through the real system binaries.
   constexpr std::array<std::string_view, model::kNumBrowserKinds>
@@ -441,7 +444,7 @@ World build_world(const CalibrationProfile& profile, util::Rng& rng,
   w.other_procs = fill_benign_range(
       ProcessCategory::kOther, profile.scaled(procs[4].versions), SignerId{});
 
-  // ---- Malicious processes -----------------------------------------------------
+  // ---- Malicious processes --------------------------------------------------
   for (const auto& mp : profile.mal_procs) {
     const auto t = idx(mp.type);
     const auto count = profile.scaled(mp.processes);
@@ -492,7 +495,7 @@ World build_world(const CalibrationProfile& profile, util::Rng& rng,
     }
   }
 
-  // ---- Unknown / likely-* processes ------------------------------------------
+  // ---- Unknown / likely-* processes -----------------------------------------
   const auto total_procs = profile.scaled(profile.total_processes);
   const auto n_lb = static_cast<std::uint64_t>(
       static_cast<double>(total_procs) * profile.process_labels.likely_benign);

@@ -2,11 +2,17 @@
 
 #include <cassert>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace longtail::telemetry {
 
 std::vector<model::DownloadEvent> CollectionServer::filter(
     std::span<const model::DownloadEvent> raw,
     std::span<const model::UrlMeta> url_meta) {
+  LONGTAIL_TRACE_SPAN("telemetry.collection_filter");
+  LONGTAIL_METRIC_TIMER("telemetry.collection_filter_ms");
+  const CollectionStats before = stats_;
   std::vector<model::DownloadEvent> accepted;
   accepted.reserve(raw.size());
 
@@ -30,6 +36,19 @@ std::vector<model::DownloadEvent> CollectionServer::filter(
     ++stats_.accepted;
     accepted.push_back(e);
   }
+  // Mirror this call's stats delta into the metrics registry (one add per
+  // counter, outside the hot loop).
+  LONGTAIL_METRIC_COUNT("telemetry.events_accepted",
+                        stats_.accepted - before.accepted);
+  LONGTAIL_METRIC_COUNT(
+      "telemetry.dropped.not_executed",
+      stats_.dropped_not_executed - before.dropped_not_executed);
+  LONGTAIL_METRIC_COUNT(
+      "telemetry.dropped.whitelisted_url",
+      stats_.dropped_whitelisted_url - before.dropped_whitelisted_url);
+  LONGTAIL_METRIC_COUNT(
+      "telemetry.dropped.prevalence_cap",
+      stats_.dropped_prevalence_cap - before.dropped_prevalence_cap);
   return accepted;
 }
 

@@ -6,6 +6,8 @@
 
 #include "util/csv.hpp"
 #include "util/hash.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace longtail::telemetry {
 
@@ -78,6 +80,9 @@ std::uint32_t parse_opt_id(const std::string& s, bool present) {
 }  // namespace
 
 void export_corpus(const Corpus& corpus, const std::string& dir) {
+  LONGTAIL_TRACE_SPAN("telemetry.export_corpus");
+  LONGTAIL_METRIC_TIMER("telemetry.export_corpus_ms");
+  LONGTAIL_METRIC_COUNT("telemetry.io.events_written", corpus.events.size());
   std::filesystem::create_directories(dir);
   const auto path = [&](const char* name) { return dir + "/" + name; };
 
@@ -145,6 +150,8 @@ void export_corpus(const Corpus& corpus, const std::string& dir) {
 }
 
 Corpus import_corpus(const std::string& dir) {
+  LONGTAIL_TRACE_SPAN("telemetry.import_corpus");
+  LONGTAIL_METRIC_TIMER("telemetry.import_corpus_ms");
   Corpus corpus;
   const auto path = [&](const char* name) { return dir + "/" + name; };
   std::vector<std::string> cells;
@@ -246,6 +253,7 @@ Corpus import_corpus(const std::string& dir) {
           parse_i64(cells[4]), true});
     }
   }
+  LONGTAIL_METRIC_COUNT("telemetry.io.events_read", corpus.events.size());
   return corpus;
 }
 

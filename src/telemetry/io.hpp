@@ -7,7 +7,8 @@
 //   domains.tsv    id, name, alexa_rank, gsb, blacklist, whitelist
 //   urls.tsv       id, domain_id, alexa_rank
 //   files.tsv      id, sha, size, signed, signer, ca, packed, packer
-//   processes.tsv  id, sha, category, browser, signed, signer, ca, packed, packer
+//   processes.tsv  id, sha, category, browser, signed, signer, ca, packed,
+//                  packer
 //   events.tsv     file, machine, process, url, time
 //
 // The format is meant for interchange with external tooling (pandas, R)

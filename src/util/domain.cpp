@@ -34,8 +34,9 @@ std::string_view url_host(std::string_view url) noexcept {
     url.remove_prefix(at + 1);
   const auto end = url.find_first_of("/?#");
   if (end != std::string_view::npos) url = url.substr(0, end);
-  if (const auto colon = url.rfind(':'); colon != std::string_view::npos &&
-                                         url.find(']') == std::string_view::npos)
+  if (const auto colon = url.rfind(':');
+      colon != std::string_view::npos &&
+      url.find(']') == std::string_view::npos)
     url = url.substr(0, colon);
   return url;
 }

@@ -15,7 +15,8 @@ namespace longtail::util {
 
 class StringInterner {
  public:
-  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
 
   // Returns the id for `s`, inserting it if unseen.
   std::uint32_t intern(std::string_view s) {

@@ -51,7 +51,8 @@ DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
   if (total <= 0.0) {
     // Degenerate: fall back to uniform.
     std::fill(prob_.begin(), prob_.end(), 1.0);
-    for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < n; ++i)
+      alias_[i] = static_cast<std::uint32_t>(i);
     return;
   }
 

@@ -65,7 +65,8 @@ class TopK {
 
   [[nodiscard]] std::vector<std::pair<Key, std::uint64_t>> top(
       std::size_t k) const {
-    std::vector<std::pair<Key, std::uint64_t>> v(counts_.begin(), counts_.end());
+    std::vector<std::pair<Key, std::uint64_t>> v(counts_.begin(),
+                                                 counts_.end());
     std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
       if (a.second != b.second) return a.second > b.second;
       return a.first < b.first;  // deterministic tie-break

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/trace.hpp"
+
 namespace longtail::util {
 
 namespace {
@@ -33,6 +35,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Carry the submitting thread's open trace span across to the worker so
+  // spans recorded inside the task nest below it (no-op when tracing is
+  // off; tasks themselves are unchanged).
+  if (trace::enabled()) {
+    task = [parent = trace::current_span(), inner = std::move(task)] {
+      trace::ParentScope scope(parent);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

@@ -1,0 +1,132 @@
+// RAII span tracer with Chrome trace-event JSON export.
+//
+// Setting LONGTAIL_TRACE=<path> enables tracing; every
+// LONGTAIL_TRACE_SPAN("stage.name") then records a complete ("ph":"X")
+// event carrying begin/duration timestamps, the recording thread's stable
+// id, and the id of the enclosing span. At process exit (or on an explicit
+// trace::flush()) the combined event stream is written to <path> as
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// When LONGTAIL_TRACE is unset, every macro reduces to one branch on a
+// cached bool: no clock reads, no allocation, no locking, and — because
+// instrumentation never touches RNG or data state — bit-identical pipeline
+// output.
+//
+// Span nesting is tracked per thread with an implicit stack. ThreadPool
+// tasks inherit the submitting thread's open span as their parent (see
+// ThreadPool::submit), so worker spans recorded inside a parallel_for
+// nest below the span that launched the loop even though they run on a
+// different thread.
+//
+// Recording is thread-safe and lock-free on the hot path: each thread
+// appends to its own buffer; the global registry mutex is taken only on a
+// thread's first span and at flush time, where buffers are combined and
+// sorted by start time so the output is stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace longtail::util::trace {
+
+// True when span recording is active (LONGTAIL_TRACE set, or overridden
+// via set_enabled). Cached after the first call.
+bool enabled() noexcept;
+
+// Test/tool hook: force recording on or off regardless of the
+// environment. `path` replaces the output file; empty keeps recording
+// in memory only (flush() then writes nothing but render_json() works).
+void set_enabled(bool on, std::string path = {});
+
+// Id of the calling thread's innermost open span (0 = none).
+std::uint64_t current_span() noexcept;
+
+// Restores a captured span id as the calling thread's parent for the
+// scope's lifetime; ThreadPool uses this to carry the submitting
+// thread's span across to workers.
+class ParentScope {
+ public:
+  explicit ParentScope(std::uint64_t parent) noexcept;
+  ~ParentScope();
+  ParentScope(const ParentScope&) = delete;
+  ParentScope& operator=(const ParentScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+// One recorded span; only used by tests and the JSON renderer.
+struct Event {
+  std::string name;
+  std::string detail;  // optional free-form annotation ("args.detail")
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = top-level
+  std::uint32_t tid = 0;     // stable per-thread id (0 = first thread seen)
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+// RAII span. `name` must outlive the span (string literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) begin(name);
+  }
+  Span(const char* name, std::string detail) {
+    if (enabled()) {
+      begin(name);
+      detail_ = std::move(detail);
+    }
+  }
+  ~Span() {
+    if (armed_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool armed_ = false;
+  const char* name_ = nullptr;
+  std::string detail_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+// Zero-duration instant event ("ph":"i"), e.g. phase markers.
+void instant(const char* name);
+
+// All events recorded so far, sorted by (start_ns, id).
+std::vector<Event> snapshot_for_testing();
+
+// Renders the Chrome trace-event JSON document for everything recorded.
+std::string render_json();
+
+// Writes render_json() to the configured path. Returns false when no
+// path is configured or the file cannot be written. Registered with
+// atexit() automatically when tracing is enabled with a path.
+bool flush();
+
+// Drops all recorded events (buffers stay registered).
+void reset_for_testing();
+
+}  // namespace longtail::util::trace
+
+#define LONGTAIL_TRACE_CONCAT2(a, b) a##b
+#define LONGTAIL_TRACE_CONCAT(a, b) LONGTAIL_TRACE_CONCAT2(a, b)
+
+// Opens a span for the rest of the enclosing scope.
+#define LONGTAIL_TRACE_SPAN(name)                        \
+  ::longtail::util::trace::Span LONGTAIL_TRACE_CONCAT(   \
+      longtail_trace_span_, __LINE__)(name)
+
+// Span with a free-form detail string (only evaluated when enabled).
+#define LONGTAIL_TRACE_SPAN_DETAIL(name, detail)                      \
+  ::longtail::util::trace::Span LONGTAIL_TRACE_CONCAT(                \
+      longtail_trace_span_, __LINE__)(                                \
+      name, ::longtail::util::trace::enabled() ? (detail) : std::string())

@@ -45,7 +45,9 @@ double ZipfSampler::h_integral_inverse(double x) const noexcept {
   return std::exp(log1p_over_x(t) * x);
 }
 
-double ZipfSampler::h(double x) const noexcept { return std::exp(-s_ * std::log(x)); }
+double ZipfSampler::h(double x) const noexcept {
+  return std::exp(-s_ * std::log(x));
+}
 
 std::uint64_t ZipfSampler::sample(Rng& rng) const noexcept {
   if (n_ == 1) return 1;

@@ -132,7 +132,8 @@ TEST(Signers, SigningRatesFollowPaperShape) {
   // Droppers/PUPs heavily signed; bots/bankers rarely (Table VI).
   EXPECT_GT(t(model::MalwareType::kDropper).signed_pct, 60.0);
   EXPECT_LT(t(model::MalwareType::kBot).signed_pct, 25.0);
-  EXPECT_LT(t(model::MalwareType::kBanker).signed_pct, 25.0);  // few bankers at test scale
+  // Few bankers at test scale.
+  EXPECT_LT(t(model::MalwareType::kBanker).signed_pct, 25.0);
   // Malicious files signed more than benign overall.
   EXPECT_GT(rates.malicious.signed_pct, rates.benign.signed_pct);
   // Browser-delivered more often signed (row-by-row comparison).

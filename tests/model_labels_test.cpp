@@ -27,7 +27,8 @@ TEST(Labels, UnknownTypeStringParsesToNullopt) {
 TEST(Labels, SpecificityOrderingMatchesPaper) {
   // §II-C: banker is more specific than trojan; dropper more specific than
   // a generic Artemis (undefined) label.
-  EXPECT_GT(specificity(MalwareType::kBanker), specificity(MalwareType::kTrojan));
+  EXPECT_GT(specificity(MalwareType::kBanker),
+            specificity(MalwareType::kTrojan));
   EXPECT_GT(specificity(MalwareType::kDropper),
             specificity(MalwareType::kUndefined));
   EXPECT_GT(specificity(MalwareType::kRansomware),

@@ -4,7 +4,8 @@
 // Reads one sample per line from stdin. Each line lists the AV detections
 // of one file as engine=label pairs separated by tabs:
 //
-//   Symantec=Trojan.Zbot\tMcAfee=Downloader-FYH!6C7411D1C043\tMicrosoft=PWS:Win32/Zbot
+//   Symantec=Trojan.Zbot\tMcAfee=Downloader-FYH!6C7411D1C043\t
+//   Microsoft=PWS:Win32/Zbot
 //
 // Prints the derived behaviour type and the resolution rule that produced
 // it. Engines outside the five leading vendors are accepted and ignored,

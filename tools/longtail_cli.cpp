@@ -105,7 +105,8 @@ int cmd_summary(const Options& opt) {
       "files:             %s  (benign %s, likely-benign %s, malicious %s, "
       "likely-malicious %s, unknown %s)\nprocesses:         %s\n"
       "urls:              %s  (benign %s, malicious %s)\n",
-      util::with_commas(o.machines).c_str(), util::with_commas(o.events).c_str(),
+      util::with_commas(o.machines).c_str(),
+      util::with_commas(o.events).c_str(),
       util::with_commas(o.files).c_str(), util::pct(o.file_benign).c_str(),
       util::pct(o.file_likely_benign).c_str(),
       util::pct(o.file_malicious).c_str(),
