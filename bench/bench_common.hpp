@@ -16,10 +16,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
 #include <string>
 #include <string_view>
 
 #include "core/longtail.hpp"
+#include "synth/dataset_io.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -44,12 +47,56 @@ inline double bench_scale(double fallback = 0.10) {
   return fallback;
 }
 
+// Cache file name for the binary dataset at this scale. The file format
+// version is part of the name so a codec bump never reads stale caches.
+inline std::string corpus_cache_path(const std::string& dir, double scale) {
+  char name[96];
+  std::snprintf(name, sizeof(name), "longtail_ds_v%u_s%g.bin",
+                synth::kDatasetBinaryVersion, scale);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+// With LONGTAIL_CORPUS_CACHE=<dir> set, loads the binary dataset for this
+// scale from the cache (or generates it once and saves it). Cache status
+// goes to stderr so table stdout stays byte-identical either way.
+inline synth::Dataset make_dataset(double scale) {
+  const char* dir = std::getenv("LONGTAIL_CORPUS_CACHE");
+  if (dir == nullptr || *dir == '\0')
+    return synth::generate_dataset(synth::paper_calibration(scale));
+
+  const std::string path = corpus_cache_path(dir, scale);
+  if (std::filesystem::exists(path)) {
+    try {
+      auto ds = synth::load_dataset_binary(path);
+      std::fprintf(stderr, "[longtail] corpus cache hit: %s\n", path.c_str());
+      return ds;
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr,
+                   "[longtail] corpus cache unreadable (%s), regenerating: "
+                   "%s\n",
+                   ex.what(), path.c_str());
+    }
+  }
+  std::fprintf(stderr, "[longtail] corpus cache miss: %s\n", path.c_str());
+  auto ds = synth::generate_dataset(synth::paper_calibration(scale));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  try {
+    synth::save_dataset_binary(ds, path);
+    std::fprintf(stderr, "[longtail] corpus cache saved: %s\n", path.c_str());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "[longtail] corpus cache save failed: %s\n",
+                 ex.what());
+  }
+  return ds;
+}
+
 inline core::LongtailPipeline make_pipeline(double default_scale = 0.10) {
   const double scale = bench_scale(default_scale);
   std::printf("[longtail] generating corpus at scale %.2f of the paper's "
               "dataset (LONGTAIL_SCALE to override)\n\n",
               scale);
-  return core::LongtailPipeline::generate(scale);
+  return core::LongtailPipeline(make_dataset(scale));
 }
 
 inline void print_header(const std::string& title, const std::string& note) {

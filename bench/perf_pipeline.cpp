@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -107,16 +108,39 @@ struct TrajectoryRun {
   unsigned threads = 0;
   double generate_ms = 0;
   double annotate_ms = 0;
+  double analysis_ms = 0;
   double experiments_ms = 0;
   double eval_ms = 0;
   std::uint64_t events = 0;
   std::uint64_t fingerprint = 0;
+  std::uint64_t analysis_checksum = 0;
   std::uint64_t eval_checksum = 0;
 
   [[nodiscard]] double total_ms() const {
-    return generate_ms + annotate_ms + experiments_ms + eval_ms;
+    return generate_ms + annotate_ms + analysis_ms + experiments_ms + eval_ms;
   }
 };
+
+// The measurement-study bundle: the §IV/§V passes that now run on the
+// shared corpus-scan layer. The checksum pins their outputs across thread
+// counts.
+std::uint64_t run_analysis_bundle(const analysis::AnnotatedCorpus& a) {
+  std::uint64_t sum = 0;
+  const auto monthly = analysis::monthly_summary(a);
+  sum = sum * 1'000'003 + monthly.overall.events + monthly.overall.files;
+  const auto rates = analysis::signing_rates(a);
+  sum = sum * 1'000'003 + rates.benign.files + rates.malicious.files;
+  const auto prevalence = analysis::prevalence_distributions(a);
+  sum = sum * 1'000'003 + prevalence.all.size();
+  const auto popularity = analysis::domain_popularity(a);
+  sum = sum * 1'000'003 + popularity.overall.size();
+  const auto transitions = analysis::transition_analysis(a);
+  sum = sum * 1'000'003 + transitions.adware.transitioned +
+        transitions.dropper.initiator_machines;
+  const auto behavior = analysis::malicious_process_behavior(a);
+  sum = sum * 1'000'003 + behavior.overall.machines;
+  return sum;
+}
 
 TrajectoryRun run_trajectory_pass(double scale, unsigned threads) {
   util::set_global_threads(threads);
@@ -134,6 +158,10 @@ TrajectoryRun run_trajectory_pass(double scale, unsigned threads) {
   run.annotate_ms = bench::time_ms([&] {
     pipeline =
         std::make_unique<core::LongtailPipeline>(std::move(dataset));
+  });
+
+  run.analysis_ms = bench::time_ms([&] {
+    run.analysis_checksum = run_analysis_bundle(pipeline->annotated());
   });
 
   // The §VI fan-out: one rule experiment per consecutive month window.
@@ -176,8 +204,8 @@ void emit_trajectory() {
     const auto& r = runs.back();
     std::printf(
         "  threads=%-2u total %8.1f ms (gen %7.1f, annotate %6.1f, "
-        "experiments %7.1f, eval %6.1f)  %9.0f events/s\n",
-        r.threads, r.total_ms(), r.generate_ms, r.annotate_ms,
+        "analysis %6.1f, experiments %7.1f, eval %6.1f)  %9.0f events/s\n",
+        r.threads, r.total_ms(), r.generate_ms, r.annotate_ms, r.analysis_ms,
         r.experiments_ms, r.eval_ms,
         1000.0 * static_cast<double>(r.events) / r.total_ms());
   }
@@ -188,6 +216,7 @@ void emit_trajectory() {
   double best_total = serial.total_ms();
   for (const auto& r : runs) {
     deterministic = deterministic && r.fingerprint == serial.fingerprint &&
+                    r.analysis_checksum == serial.analysis_checksum &&
                     r.eval_checksum == serial.eval_checksum &&
                     r.events == serial.events;
     best_total = std::min(best_total, r.total_ms());
@@ -204,6 +233,7 @@ void emit_trajectory() {
                      .field("threads", r.threads)
                      .field("generate_ms", r.generate_ms)
                      .field("annotate_ms", r.annotate_ms)
+                     .field("analysis_ms", r.analysis_ms)
                      .field("experiments_ms", r.experiments_ms)
                      .field("eval_ms", r.eval_ms)
                      .field("total_ms", r.total_ms())
@@ -215,6 +245,28 @@ void emit_trajectory() {
                      .str();
   }
   runs_json += "]";
+
+  // Binary corpus cache: save/load round-trip at the trajectory scale.
+  // The load must beat regeneration (serial generate_ms) for the
+  // LONGTAIL_CORPUS_CACHE path to be worth taking.
+  const auto cache_file =
+      (std::filesystem::temp_directory_path() / "longtail_perf_cache.bin")
+          .string();
+  auto cached = synth::generate_dataset(synth::paper_calibration(scale));
+  const double save_ms =
+      bench::time_ms([&] { synth::save_dataset_binary(cached, cache_file); });
+  synth::Dataset reloaded;
+  const double load_ms = bench::time_ms(
+      [&] { reloaded = synth::load_dataset_binary(cache_file); });
+  const bool cache_roundtrip =
+      core::dataset_fingerprint(reloaded) == serial.fingerprint;
+  std::filesystem::remove(cache_file);
+  std::printf(
+      "[longtail] dataset cache: save %.1f ms, load %.1f ms "
+      "(generate %.1f ms, %.1fx), fingerprint %s\n",
+      save_ms, load_ms, serial.generate_ms,
+      load_ms > 0 ? serial.generate_ms / load_ms : 0.0,
+      cache_roundtrip ? "preserved" : "MISMATCH");
 
   // Per-stage attribution: the metrics snapshot carries stage timing
   // histograms and event counters accumulated across all trajectory
@@ -230,6 +282,11 @@ void emit_trajectory() {
           .field("best_total_ms", best_total)
           .field("speedup", serial.total_ms() / best_total)
           .field("deterministic", deterministic)
+          .field("dataset_save_ms", save_ms)
+          .field("dataset_load_ms", load_ms)
+          .field("dataset_load_speedup",
+                 load_ms > 0 ? serial.generate_ms / load_ms : 0.0)
+          .field("dataset_cache_roundtrip", cache_roundtrip)
           .raw("metrics", util::metrics::snapshot_json())
           .str();
   bench::write_bench_json("BENCH_pipeline.json", json);

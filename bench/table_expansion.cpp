@@ -27,8 +27,8 @@ int main() {
   // Distinct machines that downloaded any matched unknown file.
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
       file_machines;
-  for (const auto& e : a.corpus->events)
-    file_machines[e.file.raw()].push_back(e.machine.raw());
+  for (const auto e : a.corpus->events)
+    file_machines[e.file().raw()].push_back(e.machine().raw());
 
   for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
     const auto exp = pipeline.run_rule_experiment(

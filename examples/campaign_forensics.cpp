@@ -24,14 +24,14 @@ int main(int argc, char** argv) {
   std::unordered_set<std::uint32_t> fakeav_files, fakeav_machines;
   util::TopK<std::uint32_t> fakeav_domains;
   std::uint64_t fakeav_signed = 0;
-  for (const auto& e : corpus.events) {
-    if (!a.is_malicious(e.file) ||
-        a.type_of(e.file) != model::MalwareType::kFakeAv)
+  for (const auto e : corpus.events) {
+    if (!a.is_malicious(e.file()) ||
+        a.type_of(e.file()) != model::MalwareType::kFakeAv)
       continue;
-    fakeav_machines.insert(e.machine.raw());
-    fakeav_domains.add(corpus.urls[e.url.raw()].domain.raw());
-    if (fakeav_files.insert(e.file.raw()).second &&
-        corpus.files[e.file.raw()].is_signed)
+    fakeav_machines.insert(e.machine().raw());
+    fakeav_domains.add(corpus.urls[e.url().raw()].domain.raw());
+    if (fakeav_files.insert(e.file().raw()).second &&
+        corpus.files[e.file().raw()].is_signed)
       ++fakeav_signed;
   }
   std::printf("\nfakeav campaign: %s samples infected %s machines "
@@ -81,23 +81,23 @@ int main(int argc, char** argv) {
     bool saw_dropper = false;
     int malicious_count = 0;
     for (const auto i : timeline) {
-      const auto& e = corpus.events[i];
-      if (!a.is_malicious(e.file)) continue;
+      const auto e = corpus.events[i];
+      if (!a.is_malicious(e.file())) continue;
       ++malicious_count;
-      saw_dropper |= a.type_of(e.file) == model::MalwareType::kDropper;
+      saw_dropper |= a.type_of(e.file()) == model::MalwareType::kDropper;
     }
     if (!saw_dropper || malicious_count < 3 || timeline.size() > 10) continue;
 
     std::printf("\ntimeline of machine %u (dropper-initiated chain):\n", m);
     for (const auto i : timeline) {
-      const auto& e = corpus.events[i];
-      const auto verdict = a.verdict(e.file);
+      const auto e = corpus.events[i];
+      const auto verdict = a.verdict(e.file());
       std::string what{to_string(verdict)};
       if (verdict == model::Verdict::kMalicious)
-        what += std::string("/") + std::string(to_string(a.type_of(e.file)));
+        what += std::string("/") + std::string(to_string(a.type_of(e.file())));
       std::printf("  day %3lld  %-22s from %s\n",
-                  static_cast<long long>(model::day_of(e.time)), what.c_str(),
-                  std::string(corpus.domain_of_url(e.url)).c_str());
+                  static_cast<long long>(model::day_of(e.time())), what.c_str(),
+                  std::string(corpus.domain_of_url(e.url())).c_str());
     }
     break;
   }

@@ -26,20 +26,20 @@ class ToyReputationDetector {
  public:
   ToyReputationDetector(const analysis::AnnotatedCorpus& a,
                         model::Timestamp train_end) {
-    for (const auto& e : a.corpus->events) {
-      if (e.time >= train_end) break;
-      const auto domain = a.corpus->urls[e.url.raw()].domain.raw();
+    for (const auto e : a.corpus->events) {
+      if (e.time() >= train_end) break;
+      const auto domain = a.corpus->urls[e.url().raw()].domain.raw();
       auto& d = domains_[domain];
-      if (a.is_malicious(e.file))
+      if (a.is_malicious(e.file()))
         ++d.bad;
-      else if (a.is_benign(e.file))
+      else if (a.is_benign(e.file()))
         ++d.good;
-      const auto& meta = a.corpus->files[e.file.raw()];
+      const auto& meta = a.corpus->files[e.file().raw()];
       if (meta.is_signed) {
         auto& s = signers_[meta.signer.raw()];
-        if (a.is_malicious(e.file))
+        if (a.is_malicious(e.file()))
           ++s.bad;
-        else if (a.is_benign(e.file))
+        else if (a.is_benign(e.file()))
           ++s.good;
       }
     }
@@ -121,10 +121,10 @@ int main(int argc, char** argv) {
   Score gt_only, with_expansion;
   const auto [begin, end] = a.index.month_range(model::Month::kMay);
   for (std::uint32_t i = begin; i < end; ++i) {
-    const auto& e = a.corpus->events[i];
+    const auto e = a.corpus->events[i];
     const bool flagged = detector.flags(a, e);
 
-    const auto verdict = a.verdict(e.file);
+    const auto verdict = a.verdict(e.file());
     if (verdict == model::Verdict::kMalicious ||
         verdict == model::Verdict::kBenign) {
       const bool malicious = verdict == model::Verdict::kMalicious;
@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
                                          : with_expansion.tn);
       ++cell2;
     } else if (verdict == model::Verdict::kUnknown) {
-      const auto it = expanded.find(e.file.raw());
+      const auto it = expanded.find(e.file().raw());
       if (it == expanded.end()) continue;  // still unknown: not scoreable
       auto& cell = it->second
                        ? (flagged ? with_expansion.tp : with_expansion.fn)

@@ -2,13 +2,24 @@
 
 #include <unordered_set>
 
+#include "telemetry/scan.hpp"
+
 namespace longtail::analysis {
 
 MachineCoverage machine_coverage(const AnnotatedCorpus& a) {
-  std::array<std::unordered_set<std::uint32_t>, model::kNumVerdicts> sets;
-  for (const auto& e : a.corpus->events)
-    sets[static_cast<std::size_t>(a.verdict(e.file))].insert(
-        e.machine.raw());
+  using VerdictSets =
+      std::array<std::unordered_set<std::uint32_t>, model::kNumVerdicts>;
+  const VerdictSets sets = telemetry::scan_reduce(
+      *a.corpus, [] { return VerdictSets{}; },
+      [&](VerdictSets& acc, const auto& e) {
+        acc[static_cast<std::size_t>(a.verdict(e.file()))].insert(
+            e.machine().raw());
+      },
+      [](VerdictSets& total, VerdictSets&& shard) {
+        for (std::size_t v = 0; v < model::kNumVerdicts; ++v)
+          total[v].merge(shard[v]);
+      },
+      "analysis.machine_coverage");
 
   MachineCoverage out;
   out.active_machines = a.index.num_active_machines();

@@ -3,21 +3,32 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "telemetry/scan.hpp"
+
 namespace longtail::analysis {
 
 namespace {
 
 using model::Verdict;
+// domain id -> set of member ids (machines or files, depending on the
+// table). Shard results merge by set union, which is order-insensitive.
+using DomainSets =
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>;
+
+void merge_sets(DomainSets& total, DomainSets&& shard) {
+  for (auto& [domain, members] : shard) {
+    auto [it, inserted] = total.try_emplace(domain, std::move(members));
+    if (!inserted) it->second.merge(members);
+  }
+}
 
 std::uint32_t domain_of(const AnnotatedCorpus& a, model::UrlId url) {
   return a.corpus->urls[url.raw()].domain.raw();
 }
 
-std::vector<DomainCount> top_named(
-    const AnnotatedCorpus& a,
-    const std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>&
-        sets,
-    std::size_t top_k) {
+std::vector<DomainCount> top_named(const AnnotatedCorpus& a,
+                                   const DomainSets& sets,
+                                   std::size_t top_k) {
   util::TopK<std::uint32_t> counter;
   for (const auto& [domain, members] : sets)
     counter.add(domain, members.size());
@@ -31,46 +42,63 @@ std::vector<DomainCount> top_named(
 
 DomainPopularity domain_popularity(const AnnotatedCorpus& a,
                                    std::size_t top_k) {
-  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> overall,
-      benign, malicious;
-  for (const auto& e : a.corpus->events) {
-    const auto domain = domain_of(a, e.url);
-    overall[domain].insert(e.machine.raw());
-    switch (a.verdict(e.file)) {
-      case Verdict::kBenign:
-        benign[domain].insert(e.machine.raw());
-        break;
-      case Verdict::kMalicious:
-        malicious[domain].insert(e.machine.raw());
-        break;
-      default:
-        break;
-    }
-  }
-  return DomainPopularity{top_named(a, overall, top_k),
-                          top_named(a, benign, top_k),
-                          top_named(a, malicious, top_k)};
+  struct Acc {
+    DomainSets overall, benign, malicious;
+  };
+  const Acc acc = telemetry::scan_reduce(
+      *a.corpus, [] { return Acc{}; },
+      [&](Acc& s, const auto& e) {
+        const auto domain = domain_of(a, e.url());
+        s.overall[domain].insert(e.machine().raw());
+        switch (a.verdict(e.file())) {
+          case Verdict::kBenign:
+            s.benign[domain].insert(e.machine().raw());
+            break;
+          case Verdict::kMalicious:
+            s.malicious[domain].insert(e.machine().raw());
+            break;
+          default:
+            break;
+        }
+      },
+      [](Acc& total, Acc&& shard) {
+        merge_sets(total.overall, std::move(shard.overall));
+        merge_sets(total.benign, std::move(shard.benign));
+        merge_sets(total.malicious, std::move(shard.malicious));
+      },
+      "analysis.domain_popularity");
+  return DomainPopularity{top_named(a, acc.overall, top_k),
+                          top_named(a, acc.benign, top_k),
+                          top_named(a, acc.malicious, top_k)};
 }
 
 DomainFileCounts files_per_domain(const AnnotatedCorpus& a,
                                   std::size_t top_k) {
-  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> benign,
-      malicious;
-  for (const auto& e : a.corpus->events) {
-    const auto domain = domain_of(a, e.url);
-    switch (a.verdict(e.file)) {
-      case Verdict::kBenign:
-        benign[domain].insert(e.file.raw());
-        break;
-      case Verdict::kMalicious:
-        malicious[domain].insert(e.file.raw());
-        break;
-      default:
-        break;
-    }
-  }
-  DomainFileCounts out{top_named(a, benign, top_k),
-                       top_named(a, malicious, top_k), 0};
+  struct Acc {
+    DomainSets benign, malicious;
+  };
+  const Acc acc = telemetry::scan_reduce(
+      *a.corpus, [] { return Acc{}; },
+      [&](Acc& s, const auto& e) {
+        const auto domain = domain_of(a, e.url());
+        switch (a.verdict(e.file())) {
+          case Verdict::kBenign:
+            s.benign[domain].insert(e.file().raw());
+            break;
+          case Verdict::kMalicious:
+            s.malicious[domain].insert(e.file().raw());
+            break;
+          default:
+            break;
+        }
+      },
+      [](Acc& total, Acc&& shard) {
+        merge_sets(total.benign, std::move(shard.benign));
+        merge_sets(total.malicious, std::move(shard.malicious));
+      },
+      "analysis.files_per_domain");
+  DomainFileCounts out{top_named(a, acc.benign, top_k),
+                       top_named(a, acc.malicious, top_k), 0};
   std::unordered_set<std::string_view> benign_top;
   for (const auto& [name, count] : out.benign) benign_top.insert(name);
   for (const auto& [name, count] : out.malicious)
@@ -80,15 +108,19 @@ DomainFileCounts files_per_domain(const AnnotatedCorpus& a,
 
 std::array<std::vector<DomainCount>, model::kNumMalwareTypes>
 domains_per_type(const AnnotatedCorpus& a, std::size_t top_k) {
-  std::array<std::unordered_map<std::uint32_t,
-                                std::unordered_set<std::uint32_t>>,
-             model::kNumMalwareTypes>
-      sets;
-  for (const auto& e : a.corpus->events) {
-    if (a.verdict(e.file) != Verdict::kMalicious) continue;
-    const auto type = static_cast<std::size_t>(a.type_of(e.file));
-    sets[type][domain_of(a, e.url)].insert(e.file.raw());
-  }
+  using TypeSets = std::array<DomainSets, model::kNumMalwareTypes>;
+  const TypeSets sets = telemetry::scan_reduce(
+      *a.corpus, [] { return TypeSets{}; },
+      [&](TypeSets& s, const auto& e) {
+        if (a.verdict(e.file()) != Verdict::kMalicious) return;
+        const auto type = static_cast<std::size_t>(a.type_of(e.file()));
+        s[type][domain_of(a, e.url())].insert(e.file().raw());
+      },
+      [](TypeSets& total, TypeSets&& shard) {
+        for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+          merge_sets(total[t], std::move(shard[t]));
+      },
+      "analysis.domains_per_type");
   std::array<std::vector<DomainCount>, model::kNumMalwareTypes> out;
   for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
     out[t] = top_named(a, sets[t], top_k);
@@ -97,10 +129,15 @@ domains_per_type(const AnnotatedCorpus& a, std::size_t top_k) {
 
 std::vector<DomainCount> top_unknown_domains(const AnnotatedCorpus& a,
                                              std::size_t top_k) {
-  util::TopK<std::uint32_t> downloads;
-  for (const auto& e : a.corpus->events)
-    if (a.verdict(e.file) == Verdict::kUnknown)
-      downloads.add(domain_of(a, e.url));
+  const util::TopK<std::uint32_t> downloads = telemetry::scan_reduce(
+      *a.corpus, [] { return util::TopK<std::uint32_t>{}; },
+      [&](util::TopK<std::uint32_t>& acc, const auto& e) {
+        if (a.verdict(e.file()) == Verdict::kUnknown)
+          acc.add(domain_of(a, e.url()));
+      },
+      [](util::TopK<std::uint32_t>& total,
+         util::TopK<std::uint32_t>&& shard) { total.merge(shard); },
+      "analysis.top_unknown_domains");
   std::vector<DomainCount> out;
   for (const auto& [domain, count] : downloads.top(top_k))
     out.emplace_back(a.corpus->domain_names.at(domain), count);
@@ -109,9 +146,14 @@ std::vector<DomainCount> top_unknown_domains(const AnnotatedCorpus& a,
 
 AlexaDistribution alexa_of_domains_hosting(const AnnotatedCorpus& a,
                                            Verdict target) {
-  std::unordered_set<std::uint32_t> domains;
-  for (const auto& e : a.corpus->events)
-    if (a.verdict(e.file) == target) domains.insert(domain_of(a, e.url));
+  const std::unordered_set<std::uint32_t> domains = telemetry::scan_reduce(
+      *a.corpus, [] { return std::unordered_set<std::uint32_t>{}; },
+      [&](std::unordered_set<std::uint32_t>& acc, const auto& e) {
+        if (a.verdict(e.file()) == target) acc.insert(domain_of(a, e.url()));
+      },
+      [](std::unordered_set<std::uint32_t>& total,
+         std::unordered_set<std::uint32_t>&& shard) { total.merge(shard); },
+      "analysis.alexa_of_domains");
 
   AlexaDistribution out;
   out.domains = domains.size();

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "telemetry/scan.hpp"
 #include "util/stats.hpp"
 
 namespace longtail::analysis {
@@ -20,25 +21,41 @@ struct Acc {
   std::unordered_set<std::uint32_t> counted_malicious;
 };
 
-void add(Acc& acc, const AnnotatedCorpus& a, const model::DownloadEvent& e) {
-  acc.processes.insert(e.process.raw());
-  acc.machines.insert(e.machine.raw());
-  switch (a.verdict(e.file)) {
+void add(Acc& acc, const AnnotatedCorpus& a,
+         const telemetry::EventStore::EventRef& e) {
+  acc.processes.insert(e.process().raw());
+  acc.machines.insert(e.machine().raw());
+  switch (a.verdict(e.file())) {
     case Verdict::kUnknown:
-      acc.unknown_files.insert(e.file.raw());
+      acc.unknown_files.insert(e.file().raw());
       break;
     case Verdict::kBenign:
-      acc.benign_files.insert(e.file.raw());
+      acc.benign_files.insert(e.file().raw());
       break;
     case Verdict::kMalicious:
-      acc.malicious_files.insert(e.file.raw());
-      acc.infected.insert(e.machine.raw());
-      if (acc.counted_malicious.insert(e.file.raw()).second)
-        ++acc.type_file_counts[static_cast<std::size_t>(a.type_of(e.file))];
+      acc.malicious_files.insert(e.file().raw());
+      acc.infected.insert(e.machine().raw());
+      if (acc.counted_malicious.insert(e.file().raw()).second)
+        ++acc.type_file_counts[static_cast<std::size_t>(a.type_of(e.file()))];
       break;
     default:
       break;
   }
+}
+
+// Shard merge; replays `counted_malicious` so per-type counts stay
+// distinct-file counts, identical to the serial pass.
+void merge(Acc& total, const AnnotatedCorpus& a, Acc&& o) {
+  total.processes.merge(o.processes);
+  total.machines.merge(o.machines);
+  total.infected.merge(o.infected);
+  total.unknown_files.merge(o.unknown_files);
+  total.benign_files.merge(o.benign_files);
+  total.malicious_files.merge(o.malicious_files);
+  for (const auto f : o.counted_malicious)
+    if (total.counted_malicious.insert(f).second)
+      ++total.type_file_counts[static_cast<std::size_t>(
+          a.type_of(model::FileId{f}))];
 }
 
 ProcessBehaviorRow finish(const Acc& acc) {
@@ -60,14 +77,24 @@ ProcessBehaviorRow finish(const Acc& acc) {
 }  // namespace
 
 MalProcBehavior malicious_process_behavior(const AnnotatedCorpus& a) {
-  std::array<Acc, model::kNumMalwareTypes> per_type;
-  Acc overall;
-  for (const auto& e : a.corpus->events) {
-    if (a.verdict(e.process) != Verdict::kMalicious) continue;
-    const auto t = static_cast<std::size_t>(a.type_of(e.process));
-    add(per_type[t], a, e);
-    add(overall, a, e);
-  }
+  struct Tables {
+    std::array<Acc, model::kNumMalwareTypes> per_type;
+    Acc overall;
+  };
+  auto [per_type, overall] = telemetry::scan_reduce(
+      *a.corpus, [] { return Tables{}; },
+      [&](Tables& s, const auto& e) {
+        if (a.verdict(e.process()) != Verdict::kMalicious) return;
+        const auto t = static_cast<std::size_t>(a.type_of(e.process()));
+        add(s.per_type[t], a, e);
+        add(s.overall, a, e);
+      },
+      [&](Tables& total, Tables&& shard) {
+        for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+          merge(total.per_type[t], a, std::move(shard.per_type[t]));
+        merge(total.overall, a, std::move(shard.overall));
+      },
+      "analysis.malicious_process_behavior");
   MalProcBehavior out;
   for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
     out.per_type[t] = finish(per_type[t]);

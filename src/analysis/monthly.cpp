@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "telemetry/scan.hpp"
 #include "util/stats.hpp"
 
 namespace longtail::analysis {
@@ -13,13 +14,36 @@ using model::Verdict;
 struct Tally {
   std::unordered_set<std::uint32_t> machines, processes, files, urls;
 
-  void add(const model::DownloadEvent& e) {
-    machines.insert(e.machine.raw());
-    processes.insert(e.process.raw());
-    files.insert(e.file.raw());
-    urls.insert(e.url.raw());
+  void add(const telemetry::EventStore::EventRef& e) {
+    machines.insert(e.machine().raw());
+    processes.insert(e.process().raw());
+    files.insert(e.file().raw());
+    urls.insert(e.url().raw());
+  }
+
+  void merge(Tally&& other) {
+    machines.merge(other.machines);
+    processes.merge(other.processes);
+    files.merge(other.files);
+    urls.merge(other.urls);
+  }
+
+  void absorb(const Tally& other) {
+    machines.insert(other.machines.begin(), other.machines.end());
+    processes.insert(other.processes.begin(), other.processes.end());
+    files.insert(other.files.begin(), other.files.end());
+    urls.insert(other.urls.begin(), other.urls.end());
   }
 };
+
+Tally tally_range(const AnnotatedCorpus& a, std::uint32_t begin,
+                  std::uint32_t end) {
+  return telemetry::scan_reduce(
+      *a.corpus, begin, end, [] { return Tally{}; },
+      [](Tally& acc, const auto& e) { acc.add(e); },
+      [](Tally& total, Tally&& shard) { total.merge(std::move(shard)); },
+      "analysis.monthly");
+}
 
 MonthlyRow summarize(const AnnotatedCorpus& a, const Tally& t,
                      std::uint64_t events) {
@@ -78,23 +102,19 @@ MonthlyRow summarize(const AnnotatedCorpus& a, const Tally& t,
 MonthlySummary monthly_summary(const AnnotatedCorpus& a) {
   MonthlySummary out;
   Tally overall;
-  const auto& events = a.corpus->events;
 
   for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m) {
-    Tally month;
     const auto [begin, end] =
         a.index.month_range(static_cast<model::Month>(m));
-    for (std::uint32_t i = begin; i < end; ++i) {
-      month.add(events[i]);
-      overall.add(events[i]);
-    }
+    const Tally month = tally_range(a, begin, end);
+    overall.absorb(month);
     out.months[m] = summarize(a, month, end - begin);
   }
   // Include any spill past July in the overall row.
   const auto [aug_begin, aug_end] = a.index.month_range(model::Month::kAugust);
-  for (std::uint32_t i = aug_begin; i < aug_end; ++i) overall.add(events[i]);
+  overall.merge(tally_range(a, aug_begin, aug_end));
 
-  out.overall = summarize(a, overall, events.size());
+  out.overall = summarize(a, overall, a.corpus->events.size());
   return out;
 }
 

@@ -1,81 +1,131 @@
 #include "analysis/prevalence.hpp"
 
+#include "telemetry/scan.hpp"
+
 namespace longtail::analysis {
 
 PrevalenceDistributions prevalence_distributions(const AnnotatedCorpus& a,
                                                  std::uint32_t sigma) {
-  PrevalenceDistributions out;
-  std::uint64_t ones = 0, capped = 0, total = 0;
-  for (const auto f : a.index.observed_files()) {
-    const auto prev = a.index.prevalence(f);
-    const auto x = static_cast<double>(prev);
-    out.all.add(x);
-    switch (a.verdict(f)) {
-      case model::Verdict::kBenign: out.benign.add(x); break;
-      case model::Verdict::kMalicious: out.malicious.add(x); break;
-      case model::Verdict::kUnknown: out.unknown.add(x); break;
-      default: break;  // likely-* excluded, as in the paper
-    }
-    ++total;
-    if (prev == 1) ++ones;
-    if (prev >= sigma) ++capped;
-  }
+  struct Acc {
+    PrevalenceDistributions dists;
+    std::uint64_t ones = 0, capped = 0, total = 0;
+  };
+  const auto& observed = a.index.observed_files();
+  Acc acc = telemetry::scan_reduce_indexed(
+      observed.size(), [] { return Acc{}; },
+      [&](Acc& s, std::size_t i) {
+        const auto f = observed[i];
+        const auto prev = a.index.prevalence(f);
+        const auto x = static_cast<double>(prev);
+        s.dists.all.add(x);
+        switch (a.verdict(f)) {
+          case model::Verdict::kBenign: s.dists.benign.add(x); break;
+          case model::Verdict::kMalicious: s.dists.malicious.add(x); break;
+          case model::Verdict::kUnknown: s.dists.unknown.add(x); break;
+          default: break;  // likely-* excluded, as in the paper
+        }
+        ++s.total;
+        if (prev == 1) ++s.ones;
+        if (prev >= sigma) ++s.capped;
+      },
+      [](Acc& total, Acc&& shard) {
+        total.dists.all.merge(std::move(shard.dists.all));
+        total.dists.benign.merge(std::move(shard.dists.benign));
+        total.dists.malicious.merge(std::move(shard.dists.malicious));
+        total.dists.unknown.merge(std::move(shard.dists.unknown));
+        total.ones += shard.ones;
+        total.capped += shard.capped;
+        total.total += shard.total;
+      },
+      "analysis.prevalence_distributions");
+
+  PrevalenceDistributions out = std::move(acc.dists);
   out.all.finalize();
   out.benign.finalize();
   out.malicious.finalize();
   out.unknown.finalize();
-  if (total > 0) {
+  if (acc.total > 0) {
     out.prevalence_one_fraction =
-        static_cast<double>(ones) / static_cast<double>(total);
+        static_cast<double>(acc.ones) / static_cast<double>(acc.total);
     out.at_cap_fraction =
-        static_cast<double>(capped) / static_cast<double>(total);
+        static_cast<double>(acc.capped) / static_cast<double>(acc.total);
   }
   return out;
 }
 
 std::array<util::EmpiricalCdf, model::kNumMalwareTypes> prevalence_by_type(
     const AnnotatedCorpus& a) {
-  std::array<util::EmpiricalCdf, model::kNumMalwareTypes> out;
-  for (const auto f : a.index.observed_files()) {
-    if (a.verdict(f) != model::Verdict::kMalicious) continue;
-    out[static_cast<std::size_t>(a.type_of(f))].add(
-        static_cast<double>(a.index.prevalence(f)));
-  }
+  using Cdfs = std::array<util::EmpiricalCdf, model::kNumMalwareTypes>;
+  const auto& observed = a.index.observed_files();
+  Cdfs out = telemetry::scan_reduce_indexed(
+      observed.size(), [] { return Cdfs{}; },
+      [&](Cdfs& s, std::size_t i) {
+        const auto f = observed[i];
+        if (a.verdict(f) != model::Verdict::kMalicious) return;
+        s[static_cast<std::size_t>(a.type_of(f))].add(
+            static_cast<double>(a.index.prevalence(f)));
+      },
+      [](Cdfs& total, Cdfs&& shard) {
+        for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+          total[t].merge(std::move(shard[t]));
+      },
+      "analysis.prevalence_by_type");
   for (auto& cdf : out) cdf.finalize();
   return out;
 }
 
 std::array<double, model::kNumMalwareTypes> type_breakdown(
     const AnnotatedCorpus& a) {
-  std::array<std::uint64_t, model::kNumMalwareTypes> counts{};
-  std::uint64_t total = 0;
-  for (std::uint32_t f = 0; f < a.corpus->files.size(); ++f) {
-    if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) continue;
-    ++counts[static_cast<std::size_t>(a.file_types[f])];
-    ++total;
-  }
+  struct Acc {
+    std::array<std::uint64_t, model::kNumMalwareTypes> counts{};
+    std::uint64_t total = 0;
+  };
+  const Acc acc = telemetry::scan_reduce_indexed(
+      a.corpus->files.size(), [] { return Acc{}; },
+      [&](Acc& s, std::size_t f) {
+        if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) return;
+        ++s.counts[static_cast<std::size_t>(a.file_types[f])];
+        ++s.total;
+      },
+      [](Acc& total, Acc&& shard) {
+        for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+          total.counts[t] += shard.counts[t];
+        total.total += shard.total;
+      },
+      "analysis.type_breakdown");
   std::array<double, model::kNumMalwareTypes> out{};
-  if (total == 0) return out;
-  for (std::size_t i = 0; i < counts.size(); ++i)
-    out[i] = 100.0 * static_cast<double>(counts[i]) /
-             static_cast<double>(total);
+  if (acc.total == 0) return out;
+  for (std::size_t i = 0; i < acc.counts.size(); ++i)
+    out[i] = 100.0 * static_cast<double>(acc.counts[i]) /
+             static_cast<double>(acc.total);
   return out;
 }
 
 FamilyDistribution family_distribution(const AnnotatedCorpus& a,
                                        std::size_t top_k) {
-  FamilyDistribution out;
-  util::TopK<std::uint32_t> counter;
-  for (std::uint32_t f = 0; f < a.corpus->files.size(); ++f) {
-    if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) continue;
-    ++out.total_malicious;
-    const auto family = a.file_families[f];
-    if (family == AnnotatedCorpus::kNoFamily) continue;
-    ++out.with_family;
-    counter.add(family);
-  }
-  out.distinct_families = counter.distinct();
-  for (const auto& [id, count] : counter.top(top_k))
+  struct Acc {
+    FamilyDistribution dist;
+    util::TopK<std::uint32_t> counter;
+  };
+  Acc acc = telemetry::scan_reduce_indexed(
+      a.corpus->files.size(), [] { return Acc{}; },
+      [&](Acc& s, std::size_t f) {
+        if (a.labels.file_verdicts[f] != model::Verdict::kMalicious) return;
+        ++s.dist.total_malicious;
+        const auto family = a.file_families[f];
+        if (family == AnnotatedCorpus::kNoFamily) return;
+        ++s.dist.with_family;
+        s.counter.add(family);
+      },
+      [](Acc& total, Acc&& shard) {
+        total.dist.total_malicious += shard.dist.total_malicious;
+        total.dist.with_family += shard.dist.with_family;
+        total.counter.merge(shard.counter);
+      },
+      "analysis.family_distribution");
+  FamilyDistribution out = std::move(acc.dist);
+  out.distinct_families = acc.counter.distinct();
+  for (const auto& [id, count] : acc.counter.top(top_k))
     out.top.emplace_back(std::string(a.derived_families.at(id)), count);
   return out;
 }

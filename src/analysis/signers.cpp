@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "telemetry/scan.hpp"
 #include "util/stats.hpp"
 
 namespace longtail::analysis {
@@ -14,12 +15,19 @@ using model::Verdict;
 
 // Files with at least one browser-initiated download event.
 std::vector<bool> browser_downloaded(const AnnotatedCorpus& a) {
-  std::vector<bool> out(a.corpus->files.size(), false);
-  for (const auto& e : a.corpus->events)
-    if (a.corpus->processes[e.process.raw()].category ==
-        ProcessCategory::kBrowser)
-      out[e.file.raw()] = true;
-  return out;
+  return telemetry::scan_reduce(
+      *a.corpus,
+      [&] { return std::vector<bool>(a.corpus->files.size(), false); },
+      [&](std::vector<bool>& acc, const auto& e) {
+        if (a.corpus->processes[e.process().raw()].category ==
+            ProcessCategory::kBrowser)
+          acc[e.file().raw()] = true;
+      },
+      [](std::vector<bool>& total, std::vector<bool>&& shard) {
+        for (std::size_t f = 0; f < shard.size(); ++f)
+          if (shard[f]) total[f] = true;
+      },
+      "analysis.browser_downloaded");
 }
 
 void accumulate(SignedRateRow& row, bool is_signed, bool via_browser,
@@ -35,50 +43,77 @@ void accumulate(SignedRateRow& row, bool is_signed, bool via_browser,
 }  // namespace
 
 SigningRates signing_rates(const AnnotatedCorpus& a) {
-  SigningRates out;
   const auto via_browser = browser_downloaded(a);
 
-  std::array<std::uint64_t, model::kNumMalwareTypes> type_signed{},
-      type_browser_signed{};
-  std::uint64_t b_signed = 0, b_browser_signed = 0;
-  std::uint64_t u_signed = 0, u_browser_signed = 0;
-  std::uint64_t m_signed = 0, m_browser_signed = 0;
+  struct Acc {
+    SigningRates rates;
+    std::array<std::uint64_t, model::kNumMalwareTypes> type_signed{},
+        type_browser_signed{};
+    std::uint64_t b_signed = 0, b_browser_signed = 0;
+    std::uint64_t u_signed = 0, u_browser_signed = 0;
+    std::uint64_t m_signed = 0, m_browser_signed = 0;
+  };
+  const auto& observed = a.index.observed_files();
+  Acc acc = telemetry::scan_reduce_indexed(
+      observed.size(), [] { return Acc{}; },
+      [&](Acc& s, std::size_t i) {
+        const auto f = observed[i];
+        const auto& meta = a.corpus->files[f.raw()];
+        const bool browser = via_browser[f.raw()];
+        switch (a.verdict(f)) {
+          case Verdict::kBenign:
+            accumulate(s.rates.benign, meta.is_signed, browser, s.b_signed,
+                       s.b_browser_signed);
+            break;
+          case Verdict::kUnknown:
+            accumulate(s.rates.unknown, meta.is_signed, browser, s.u_signed,
+                       s.u_browser_signed);
+            break;
+          case Verdict::kMalicious: {
+            const auto t = static_cast<std::size_t>(a.type_of(f));
+            accumulate(s.rates.per_type[t], meta.is_signed, browser,
+                       s.type_signed[t], s.type_browser_signed[t]);
+            accumulate(s.rates.malicious, meta.is_signed, browser, s.m_signed,
+                       s.m_browser_signed);
+            break;
+          }
+          default:
+            break;
+        }
+      },
+      [](Acc& total, Acc&& shard) {
+        auto add_row = [](SignedRateRow& row, const SignedRateRow& o) {
+          row.files += o.files;
+          row.browser_files += o.browser_files;
+        };
+        for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t) {
+          add_row(total.rates.per_type[t], shard.rates.per_type[t]);
+          total.type_signed[t] += shard.type_signed[t];
+          total.type_browser_signed[t] += shard.type_browser_signed[t];
+        }
+        add_row(total.rates.benign, shard.rates.benign);
+        add_row(total.rates.unknown, shard.rates.unknown);
+        add_row(total.rates.malicious, shard.rates.malicious);
+        total.b_signed += shard.b_signed;
+        total.b_browser_signed += shard.b_browser_signed;
+        total.u_signed += shard.u_signed;
+        total.u_browser_signed += shard.u_browser_signed;
+        total.m_signed += shard.m_signed;
+        total.m_browser_signed += shard.m_browser_signed;
+      },
+      "analysis.signing_rates");
 
-  for (const auto f : a.index.observed_files()) {
-    const auto& meta = a.corpus->files[f.raw()];
-    const bool browser = via_browser[f.raw()];
-    switch (a.verdict(f)) {
-      case Verdict::kBenign:
-        accumulate(out.benign, meta.is_signed, browser, b_signed,
-                   b_browser_signed);
-        break;
-      case Verdict::kUnknown:
-        accumulate(out.unknown, meta.is_signed, browser, u_signed,
-                   u_browser_signed);
-        break;
-      case Verdict::kMalicious: {
-        const auto t = static_cast<std::size_t>(a.type_of(f));
-        accumulate(out.per_type[t], meta.is_signed, browser, type_signed[t],
-                   type_browser_signed[t]);
-        accumulate(out.malicious, meta.is_signed, browser, m_signed,
-                   m_browser_signed);
-        break;
-      }
-      default:
-        break;
-    }
-  }
-
+  SigningRates out = std::move(acc.rates);
   auto finish = [](SignedRateRow& row, std::uint64_t signed_total,
                    std::uint64_t browser_signed) {
     row.signed_pct = util::percent(signed_total, row.files);
     row.browser_signed_pct = util::percent(browser_signed, row.browser_files);
   };
   for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
-    finish(out.per_type[t], type_signed[t], type_browser_signed[t]);
-  finish(out.benign, b_signed, b_browser_signed);
-  finish(out.unknown, u_signed, u_browser_signed);
-  finish(out.malicious, m_signed, m_browser_signed);
+    finish(out.per_type[t], acc.type_signed[t], acc.type_browser_signed[t]);
+  finish(out.benign, acc.b_signed, acc.b_browser_signed);
+  finish(out.unknown, acc.u_signed, acc.u_browser_signed);
+  finish(out.malicious, acc.m_signed, acc.m_browser_signed);
   return out;
 }
 
@@ -95,29 +130,42 @@ struct SignerSets {
 };
 
 SignerSets collect_signers(const AnnotatedCorpus& a) {
-  SignerSets s;
-  for (const auto f : a.index.observed_files()) {
-    const auto& meta = a.corpus->files[f.raw()];
-    if (!meta.is_signed) continue;
-    const auto signer = meta.signer.raw();
-    switch (a.verdict(f)) {
-      case Verdict::kBenign:
-        s.benign_signers.insert(signer);
-        s.benign_counts.add(signer);
-        break;
-      case Verdict::kMalicious: {
-        const auto t = static_cast<std::size_t>(a.type_of(f));
-        s.type_signers[t].insert(signer);
-        s.malicious_signers.insert(signer);
-        s.malicious_counts.add(signer);
-        s.type_counts[t].add(signer);
-        break;
-      }
-      default:
-        break;
-    }
-  }
-  return s;
+  const auto& observed = a.index.observed_files();
+  return telemetry::scan_reduce_indexed(
+      observed.size(), [] { return SignerSets{}; },
+      [&](SignerSets& s, std::size_t i) {
+        const auto f = observed[i];
+        const auto& meta = a.corpus->files[f.raw()];
+        if (!meta.is_signed) return;
+        const auto signer = meta.signer.raw();
+        switch (a.verdict(f)) {
+          case Verdict::kBenign:
+            s.benign_signers.insert(signer);
+            s.benign_counts.add(signer);
+            break;
+          case Verdict::kMalicious: {
+            const auto t = static_cast<std::size_t>(a.type_of(f));
+            s.type_signers[t].insert(signer);
+            s.malicious_signers.insert(signer);
+            s.malicious_counts.add(signer);
+            s.type_counts[t].add(signer);
+            break;
+          }
+          default:
+            break;
+        }
+      },
+      [](SignerSets& total, SignerSets&& shard) {
+        total.benign_signers.merge(shard.benign_signers);
+        total.malicious_signers.merge(shard.malicious_signers);
+        total.benign_counts.merge(shard.benign_counts);
+        total.malicious_counts.merge(shard.malicious_counts);
+        for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t) {
+          total.type_signers[t].merge(shard.type_signers[t]);
+          total.type_counts[t].merge(shard.type_counts[t]);
+        }
+      },
+      "analysis.collect_signers");
 }
 
 }  // namespace

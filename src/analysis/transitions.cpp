@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/scan.hpp"
+
 namespace longtail::analysis {
 
 namespace {
@@ -23,6 +25,9 @@ struct CurveAccumulator {
   std::uint64_t machines = 0;
   std::uint64_t transitioned = 0;
 
+  // Default-constructible so it can sit in sharded_for's slot vector
+  // before the shard result is assigned over it.
+  CurveAccumulator() = default;
   explicit CurveAccumulator(std::size_t max_days)
       : transitions_by_day(max_days + 1, 0) {}
 
@@ -33,6 +38,14 @@ struct CurveAccumulator {
     const auto d = std::min<std::size_t>(
         static_cast<std::size_t>(delta_days), transitions_by_day.size() - 1);
     ++transitions_by_day[d];
+  }
+
+  // Purely additive, so shard merges commute.
+  void merge(const CurveAccumulator& o) {
+    machines += o.machines;
+    transitioned += o.transitioned;
+    for (std::size_t d = 0; d < transitions_by_day.size(); ++d)
+      transitions_by_day[d] += o.transitions_by_day[d];
   }
 
   [[nodiscard]] TransitionCurve finish() const {
@@ -56,13 +69,25 @@ struct CurveAccumulator {
 
 TransitionAnalysis transition_analysis(const AnnotatedCorpus& a,
                                        std::size_t max_days) {
-  CurveAccumulator benign(max_days), adware(max_days), pup(max_days),
-      dropper(max_days);
+  struct Curves {
+    CurveAccumulator benign, adware, pup, dropper;
+    Curves() = default;
+    explicit Curves(std::size_t days)
+        : benign(days), adware(days), pup(days), dropper(days) {}
+  };
 
   const auto& events = a.corpus->events;
-  for (std::uint32_t m = 0; m < a.corpus->machine_count; ++m) {
-    const auto timeline = a.index.machine_events(model::MachineId{m});
-    if (timeline.empty()) continue;
+  // Machines are independent timelines; shard over the machine id space
+  // and merge the (additive) per-curve tallies in shard order.
+  const auto scan_machine = [&](Curves& curves, std::size_t machine) {
+    CurveAccumulator& benign = curves.benign;
+    CurveAccumulator& adware = curves.adware;
+    CurveAccumulator& pup = curves.pup;
+    CurveAccumulator& dropper = curves.dropper;
+    const auto timeline =
+        a.index.machine_events(model::MachineId{
+            static_cast<std::uint32_t>(machine)});
+    if (timeline.empty()) return;
 
     // Timeline position of the first initiator download of each kind;
     // "subsequent" malware means strictly after that event, so the
@@ -73,11 +98,11 @@ TransitionAnalysis transition_analysis(const AnnotatedCorpus& a,
     bool saw_malicious = false;
 
     for (std::size_t pos = 0; pos < timeline.size(); ++pos) {
-      const auto& e = events[timeline[pos]];
-      const auto v = a.verdict(e.file);
+      const auto e = events[timeline[pos]];
+      const auto v = a.verdict(e.file());
       if (v == Verdict::kMalicious) {
         saw_malicious = true;
-        switch (a.type_of(e.file)) {
+        switch (a.type_of(e.file())) {
           case MalwareType::kAdware:
             if (first_adware == kNone)
               first_adware = static_cast<std::ptrdiff_t>(pos);
@@ -100,12 +125,13 @@ TransitionAnalysis transition_analysis(const AnnotatedCorpus& a,
     }
 
     auto delta_to_other_malware = [&](std::ptrdiff_t from) -> std::int64_t {
-      const auto since = events[timeline[static_cast<std::size_t>(from)]].time;
+      const auto since =
+          events[timeline[static_cast<std::size_t>(from)]].time();
       for (std::size_t pos = static_cast<std::size_t>(from) + 1;
            pos < timeline.size(); ++pos) {
-        const auto& e = events[timeline[pos]];
-        if (is_other_malware(a, e.file) && e.time >= since)
-          return (e.time - since) / model::kSecondsPerDay;
+        const auto e = events[timeline[pos]];
+        if (is_other_malware(a, e.file()) && e.time() >= since)
+          return (e.time() - since) / model::kSecondsPerDay;
       }
       return -1;
     };
@@ -117,10 +143,20 @@ TransitionAnalysis transition_analysis(const AnnotatedCorpus& a,
       dropper.record(delta_to_other_malware(first_dropper));
     if (first_clean_benign != kNone)
       benign.record(delta_to_other_malware(first_clean_benign));
-  }
+  };
 
-  return TransitionAnalysis{benign.finish(), adware.finish(), pup.finish(),
-                            dropper.finish()};
+  const Curves curves = telemetry::scan_reduce_indexed(
+      a.corpus->machine_count, [&] { return Curves(max_days); }, scan_machine,
+      [](Curves& total, Curves&& shard) {
+        total.benign.merge(shard.benign);
+        total.adware.merge(shard.adware);
+        total.pup.merge(shard.pup);
+        total.dropper.merge(shard.dropper);
+      },
+      "analysis.transitions");
+
+  return TransitionAnalysis{curves.benign.finish(), curves.adware.finish(),
+                            curves.pup.finish(), curves.dropper.finish()};
 }
 
 }  // namespace longtail::analysis

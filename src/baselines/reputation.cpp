@@ -2,10 +2,26 @@
 
 #include <unordered_set>
 
+#include "telemetry/scan.hpp"
+
 namespace longtail::baselines {
 
 namespace {
+
 using model::Verdict;
+
+// Shard merge for file -> per-event lists. Combines run in ascending shard
+// order, so appending keeps each file's list in corpus (time) order.
+void merge_vec_map(
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>& total,
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>&& shard) {
+  for (auto& [key, vec] : shard) {
+    auto [it, inserted] = total.try_emplace(key, std::move(vec));
+    if (!inserted)
+      it->second.insert(it->second.end(), vec.begin(), vec.end());
+  }
+}
+
 }  // namespace
 
 PrevalenceReputation::PrevalenceReputation(
@@ -17,15 +33,24 @@ PrevalenceReputation::PrevalenceReputation(
   struct MachineCounts {
     std::uint32_t benign = 0, malicious = 0;
   };
-  std::unordered_map<std::uint32_t, MachineCounts> counts;
-  for (const auto& e : a.corpus->events) {
-    if (e.time >= train_end) break;
-    const auto v = a.verdict(e.file);
-    if (v == Verdict::kBenign)
-      ++counts[e.machine.raw()].benign;
-    else if (v == Verdict::kMalicious)
-      ++counts[e.machine.raw()].malicious;
-  }
+  using CountMap = std::unordered_map<std::uint32_t, MachineCounts>;
+  const auto train_n = telemetry::lower_bound_time(*a.corpus, train_end);
+  const CountMap counts = telemetry::scan_reduce(
+      *a.corpus, 0, train_n, [] { return CountMap{}; },
+      [&](CountMap& m, const auto& e) {
+        const auto v = a.verdict(e.file());
+        if (v == Verdict::kBenign)
+          ++m[e.machine().raw()].benign;
+        else if (v == Verdict::kMalicious)
+          ++m[e.machine().raw()].malicious;
+      },
+      [](CountMap& total, CountMap&& shard) {
+        for (const auto& [machine, c] : shard) {
+          total[machine].benign += c.benign;
+          total[machine].malicious += c.malicious;
+        }
+      },
+      "baselines.prevalence_train");
   machine_risk_.reserve(counts.size());
   for (const auto& [machine, c] : counts)
     machine_risk_[machine] =
@@ -33,8 +58,12 @@ PrevalenceReputation::PrevalenceReputation(
         static_cast<float>(c.malicious + c.benign + 2);
 
   // File -> machines over the whole corpus (test-window files included).
-  for (const auto& e : a.corpus->events)
-    file_machines_[e.file.raw()].push_back(e.machine.raw());
+  file_machines_ = telemetry::scan_reduce(
+      *a.corpus, [] { return decltype(file_machines_){}; },
+      [](decltype(file_machines_)& m, const auto& e) {
+        m[e.file().raw()].push_back(e.machine().raw());
+      },
+      merge_vec_map, "baselines.prevalence_index");
 }
 
 BaselineVerdict PrevalenceReputation::classify(
@@ -67,18 +96,31 @@ BaselineVerdict PrevalenceReputation::classify(
 UrlReputation::UrlReputation(const analysis::AnnotatedCorpus& a,
                              model::Timestamp train_end, Config config)
     : config_(config) {
-  for (const auto& e : a.corpus->events) {
-    if (e.time >= train_end) break;
-    const auto domain = a.corpus->urls[e.url.raw()].domain.raw();
-    const auto v = a.verdict(e.file);
-    if (v == Verdict::kBenign)
-      ++domains_[domain].benign;
-    else if (v == Verdict::kMalicious)
-      ++domains_[domain].malicious;
-  }
-  for (const auto& e : a.corpus->events)
-    file_domains_[e.file.raw()].push_back(
-        a.corpus->urls[e.url.raw()].domain.raw());
+  using DomainMap = std::unordered_map<std::uint32_t, DomainStats>;
+  const auto train_n = telemetry::lower_bound_time(*a.corpus, train_end);
+  domains_ = telemetry::scan_reduce(
+      *a.corpus, 0, train_n, [] { return DomainMap{}; },
+      [&](DomainMap& m, const auto& e) {
+        const auto domain = a.corpus->urls[e.url().raw()].domain.raw();
+        const auto v = a.verdict(e.file());
+        if (v == Verdict::kBenign)
+          ++m[domain].benign;
+        else if (v == Verdict::kMalicious)
+          ++m[domain].malicious;
+      },
+      [](DomainMap& total, DomainMap&& shard) {
+        for (const auto& [domain, s] : shard) {
+          total[domain].benign += s.benign;
+          total[domain].malicious += s.malicious;
+        }
+      },
+      "baselines.url_train");
+  file_domains_ = telemetry::scan_reduce(
+      *a.corpus, [] { return decltype(file_domains_){}; },
+      [&](decltype(file_domains_)& m, const auto& e) {
+        m[e.file().raw()].push_back(a.corpus->urls[e.url().raw()].domain.raw());
+      },
+      merge_vec_map, "baselines.url_index");
 }
 
 BaselineVerdict UrlReputation::classify(

@@ -78,19 +78,20 @@ std::vector<TauEvaluation> LongtailPipeline::evaluate_taus(
 }
 
 std::uint64_t dataset_fingerprint(const synth::Dataset& ds) {
-  std::uint64_t h = util::kFnvOffset;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= util::mix64(v + 0x9E3779B97F4A7C15ULL);
-    h *= util::kFnvPrime;
-  };
+  // Word-wise mixer shared with telemetry::corpus_fingerprint. The mixing
+  // sequence below is pinned: bench trajectories track the value from
+  // commit to commit, and the determinism test asserts it is identical
+  // across thread counts.
+  util::FnvMixer mix;
 
-  mix(ds.corpus.events.size());
-  for (const auto& e : ds.corpus.events) {
-    mix(e.file.raw());
-    mix(e.machine.raw());
-    mix(e.process.raw());
-    mix(e.url.raw());
-    mix(static_cast<std::uint64_t>(e.time));
+  const auto& ev = ds.corpus.events;
+  mix(ev.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    mix(ev.file_column()[i].raw());
+    mix(ev.machine_column()[i].raw());
+    mix(ev.process_column()[i].raw());
+    mix(ev.url_column()[i].raw());
+    mix(static_cast<std::uint64_t>(ev.time_column()[i]));
   }
   mix(ds.corpus.files.size());
   for (std::uint32_t f = 0; f < ds.corpus.files.size(); ++f) {
@@ -121,7 +122,7 @@ std::uint64_t dataset_fingerprint(const synth::Dataset& ds) {
     mix(url.domain.raw());
     mix(url.alexa_rank);
   }
-  return h;
+  return mix.value();
 }
 
 }  // namespace longtail::core

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "telemetry/scan.hpp"
+
 namespace longtail::deploy {
 
 namespace {
@@ -18,15 +20,21 @@ std::vector<features::Instance> OnlineLabeler::training_window(
   const auto begin = model::month_begin(month);
   const auto end = model::month_end(month);
 
-  // First event of each file within the window.
-  std::unordered_map<std::uint32_t, std::uint32_t> first;
+  // First event of each file within the window (ascending-shard combine
+  // keeps the earliest index, matching a serial first-wins pass).
+  using FirstMap = std::unordered_map<std::uint32_t, std::uint32_t>;
   const auto& events = annotated_.corpus->events;
-  for (std::uint32_t i = 0; i < events.size(); ++i) {
-    const auto& e = events[i];
-    if (e.time < begin) continue;
-    if (e.time >= end) break;
-    first.try_emplace(e.file.raw(), i);
-  }
+  const auto lo = telemetry::lower_bound_time(*annotated_.corpus, begin);
+  const auto hi = telemetry::lower_bound_time(*annotated_.corpus, end);
+  const FirstMap first = telemetry::scan_reduce(
+      *annotated_.corpus, lo, hi, [] { return FirstMap{}; },
+      [](FirstMap& m, const auto& e) {
+        m.try_emplace(e.file().raw(), static_cast<std::uint32_t>(e.index()));
+      },
+      [](FirstMap& total, FirstMap&& shard) {
+        for (const auto& [file, i] : shard) total.try_emplace(file, i);
+      },
+      "deploy.training_window");
 
   std::vector<features::Instance> out;
   for (const auto& [file, event_index] : first) {
@@ -65,7 +73,7 @@ std::vector<MonthlyDeployStats> OnlineLabeler::run() {
 
     const auto [begin, end] = annotated_.index.month_range(deploy_month);
     for (std::uint32_t i = begin; i < end; ++i) {
-      const auto& e = annotated_.corpus->events[i];
+      const auto e = annotated_.corpus->events[i];
       ++stats.events;
       const auto x = features::extract_features(annotated_, e, space_);
       const auto decision = classifier.classify(x);
@@ -79,7 +87,7 @@ std::vector<MonthlyDeployStats> OnlineLabeler::run() {
           decision != rules::Decision::kBenign)
         continue;
       // Score against the final retrospective verdict where one exists.
-      const auto final_verdict = annotated_.verdict(e.file);
+      const auto final_verdict = annotated_.verdict(e.file());
       if (final_verdict == Verdict::kMalicious) {
         ++stats.final_malicious_decided;
         if (decision == rules::Decision::kMalicious) ++stats.true_positives;

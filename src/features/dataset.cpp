@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "telemetry/scan.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -13,18 +14,25 @@ namespace {
 using model::Verdict;
 
 // First event of each file within [begin, end), in corpus (time) order.
+// Shards fold time-ordered slices and combines run in ascending shard
+// order, so try_emplace keeps the earliest event index — same first-wins
+// result as the serial pass.
 std::unordered_map<std::uint32_t, std::uint32_t> first_events_in(
     const analysis::AnnotatedCorpus& a, model::Timestamp begin,
     model::Timestamp end) {
-  std::unordered_map<std::uint32_t, std::uint32_t> first;
-  const auto& events = a.corpus->events;
-  for (std::uint32_t i = 0; i < events.size(); ++i) {
-    const auto& e = events[i];
-    if (e.time < begin) continue;
-    if (e.time >= end) break;  // events are time-sorted
-    first.try_emplace(e.file.raw(), i);
-  }
-  return first;
+  using FirstMap = std::unordered_map<std::uint32_t, std::uint32_t>;
+  const auto lo = telemetry::lower_bound_time(*a.corpus, begin);
+  const auto hi = telemetry::lower_bound_time(*a.corpus, end);
+  return telemetry::scan_reduce(
+      *a.corpus, lo, hi, [] { return FirstMap{}; },
+      [](FirstMap& first, const auto& e) {
+        first.try_emplace(e.file().raw(),
+                          static_cast<std::uint32_t>(e.index()));
+      },
+      [](FirstMap& total, FirstMap&& shard) {
+        for (const auto& [file, i] : shard) total.try_emplace(file, i);
+      },
+      "features.first_events");
 }
 
 // Deterministic instance order regardless of hash-map iteration.

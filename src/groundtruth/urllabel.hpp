@@ -13,6 +13,7 @@
 
 #include "model/event.hpp"
 #include "model/labels.hpp"
+#include "util/thread_pool.hpp"
 
 namespace longtail::groundtruth {
 
@@ -35,13 +36,19 @@ class UrlLabeler {
     return UrlVerdict::kUnknown;
   }
 
-  // Labels every URL in the corpus tables.
+  // Labels every URL in the corpus tables. Each slot is owned by its
+  // index, so the parallel fill is deterministic; the large grain keeps
+  // the per-URL work (a couple of flag tests) from drowning in dispatch.
   [[nodiscard]] std::vector<UrlVerdict> label_all(
       std::span<const model::UrlMeta> urls,
       std::span<const model::DomainMeta> domains) const {
-    std::vector<UrlVerdict> out;
-    out.reserve(urls.size());
-    for (const auto& u : urls) out.push_back(label(u, domains[u.domain.raw()]));
+    std::vector<UrlVerdict> out(urls.size());
+    util::parallel_for(
+        urls.size(),
+        [&](std::size_t i) {
+          out[i] = label(urls[i], domains[urls[i].domain.raw()]);
+        },
+        /*grain=*/4096);
     return out;
   }
 

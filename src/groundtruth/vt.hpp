@@ -86,6 +86,14 @@ class VtDatabase {
                                              : kNone;
   }
 
+  // Table sizes, for serialization (synth/dataset_io).
+  [[nodiscard]] std::size_t file_report_count() const noexcept {
+    return file_reports_.size();
+  }
+  [[nodiscard]] std::size_t process_report_count() const noexcept {
+    return process_reports_.size();
+  }
+
  private:
   std::vector<std::optional<VtReport>> file_reports_;
   std::vector<std::optional<VtReport>> process_reports_;

@@ -32,6 +32,17 @@ class Whitelist {
     return processes_.size();
   }
 
+  // Enumeration for serialization (synth/dataset_io). Unordered — sort
+  // before writing anything order-sensitive.
+  [[nodiscard]] const std::unordered_set<model::FileId>& files()
+      const noexcept {
+    return files_;
+  }
+  [[nodiscard]] const std::unordered_set<model::ProcessId>& processes()
+      const noexcept {
+    return processes_;
+  }
+
  private:
   std::unordered_set<model::FileId> files_;
   std::unordered_set<model::ProcessId> processes_;

@@ -1,0 +1,185 @@
+#include "synth/dataset_io.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "telemetry/binary.hpp"
+#include "util/binary.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace longtail::synth {
+
+namespace {
+
+template <typename Enum>
+void write_enum_vec(util::BinaryWriter& out, const std::vector<Enum>& v) {
+  static_assert(sizeof(Enum) == 1);
+  out.pod_array(std::span<const Enum>(v));
+}
+
+template <typename Enum>
+void read_enum_vec(util::BinaryReader& in, std::vector<Enum>& v) {
+  static_assert(sizeof(Enum) == 1);
+  v = in.pod_array<Enum>();
+}
+
+void write_bool_vec(util::BinaryWriter& out, const std::vector<bool>& v) {
+  std::vector<std::uint8_t> bytes(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) bytes[i] = v[i] ? 1 : 0;
+  out.pod_array(std::span<const std::uint8_t>(bytes));
+}
+
+std::vector<bool> read_bool_vec(util::BinaryReader& in) {
+  const auto bytes = in.pod_array<std::uint8_t>();
+  std::vector<bool> v(bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) v[i] = bytes[i] != 0;
+  return v;
+}
+
+template <typename Id>
+void write_id_set(util::BinaryWriter& out,
+                  const std::unordered_set<Id>& set) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(set.size());
+  for (const Id id : set) ids.push_back(id.raw());
+  std::sort(ids.begin(), ids.end());
+  out.pod_array(std::span<const std::uint32_t>(ids));
+}
+
+void write_reports(util::BinaryWriter& out, const groundtruth::VtDatabase& vt,
+                   std::size_t n, auto make_id) {
+  out.u64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& report = vt.query(make_id(i));
+    out.u8(report.has_value() ? 1 : 0);
+    if (!report) continue;
+    out.i64(report->first_scan);
+    out.i64(report->last_scan);
+    out.u32(static_cast<std::uint32_t>(report->detections.size()));
+    for (const auto& det : report->detections) {
+      out.u16(det.engine);
+      out.i64(det.signature_time);
+      out.str(det.label);
+    }
+  }
+}
+
+void read_reports(util::BinaryReader& in, groundtruth::VtDatabase& vt,
+                  auto make_id) {
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (in.u8() == 0) continue;
+    groundtruth::VtReport report;
+    report.first_scan = in.i64();
+    report.last_scan = in.i64();
+    report.detections.resize(in.u32());
+    for (auto& det : report.detections) {
+      det.engine = in.u16();
+      det.signature_time = in.i64();
+      det.label = in.str();
+    }
+    vt.put(make_id(i), std::move(report));
+  }
+}
+
+}  // namespace
+
+void save_dataset_binary(const Dataset& dataset, const std::string& path) {
+  LONGTAIL_TRACE_SPAN("synth.save_dataset");
+  LONGTAIL_METRIC_TIMER("synth.save_dataset_ms");
+  util::BinaryWriter out(path);
+  out.u32(kDatasetBinaryMagic);
+  out.u32(kDatasetBinaryVersion);
+  out.f64(dataset.profile.scale);
+  out.u64(dataset.profile.seed);
+  out.u32(dataset.profile.sigma);
+
+  out.u64(telemetry::corpus_fingerprint(dataset.corpus));
+  telemetry::write_corpus_body(out, dataset.corpus);
+
+  const TruthTable& t = dataset.truth;
+  write_enum_vec(out, t.file_nature);
+  write_enum_vec(out, t.file_type);
+  out.pod_array(std::span<const std::uint32_t>(t.file_family));
+  write_bool_vec(out, t.file_family_extractable);
+  write_enum_vec(out, t.file_intended);
+  write_enum_vec(out, t.process_nature);
+  write_enum_vec(out, t.process_type);
+  write_enum_vec(out, t.process_intended);
+
+  write_id_set(out, dataset.whitelist.files());
+  write_id_set(out, dataset.whitelist.processes());
+
+  write_reports(out, dataset.vt, dataset.vt.file_report_count(),
+                [](std::size_t i) {
+                  return model::FileId{static_cast<std::uint32_t>(i)};
+                });
+  write_reports(out, dataset.vt, dataset.vt.process_report_count(),
+                [](std::size_t i) {
+                  return model::ProcessId{static_cast<std::uint32_t>(i)};
+                });
+
+  out.u64(dataset.collection_stats.accepted);
+  out.u64(dataset.collection_stats.dropped_not_executed);
+  out.u64(dataset.collection_stats.dropped_prevalence_cap);
+  out.u64(dataset.collection_stats.dropped_whitelisted_url);
+  out.finish();
+}
+
+Dataset load_dataset_binary(const std::string& path) {
+  LONGTAIL_TRACE_SPAN("synth.load_dataset");
+  LONGTAIL_METRIC_TIMER("synth.load_dataset_ms");
+  util::BinaryReader in(path);
+  if (in.u32() != kDatasetBinaryMagic)
+    throw std::runtime_error("not a dataset binary: " + path);
+  const std::uint32_t version = in.u32();
+  if (version != kDatasetBinaryVersion)
+    throw std::runtime_error("unsupported dataset binary version " +
+                             std::to_string(version) + ": " + path);
+  const double scale = in.f64();
+  const std::uint64_t seed = in.u64();
+  const std::uint32_t sigma = in.u32();
+
+  Dataset ds;
+  ds.profile = paper_calibration(scale);
+  ds.profile.seed = seed;
+  ds.profile.sigma = sigma;
+
+  const std::uint64_t expected = in.u64();
+  ds.corpus = telemetry::read_corpus_body(in);
+  if (telemetry::corpus_fingerprint(ds.corpus) != expected)
+    throw std::runtime_error("dataset binary fingerprint mismatch: " + path);
+
+  read_enum_vec(in, ds.truth.file_nature);
+  read_enum_vec(in, ds.truth.file_type);
+  ds.truth.file_family = in.pod_array<std::uint32_t>();
+  ds.truth.file_family_extractable = read_bool_vec(in);
+  read_enum_vec(in, ds.truth.file_intended);
+  read_enum_vec(in, ds.truth.process_nature);
+  read_enum_vec(in, ds.truth.process_type);
+  read_enum_vec(in, ds.truth.process_intended);
+
+  for (const std::uint32_t raw : in.pod_array<std::uint32_t>())
+    ds.whitelist.add(model::FileId{raw});
+  for (const std::uint32_t raw : in.pod_array<std::uint32_t>())
+    ds.whitelist.add(model::ProcessId{raw});
+
+  ds.vt.set_file_count(ds.corpus.files.size());
+  ds.vt.set_process_count(ds.corpus.processes.size());
+  read_reports(in, ds.vt, [](std::uint64_t i) {
+    return model::FileId{static_cast<std::uint32_t>(i)};
+  });
+  read_reports(in, ds.vt, [](std::uint64_t i) {
+    return model::ProcessId{static_cast<std::uint32_t>(i)};
+  });
+
+  ds.collection_stats.accepted = in.u64();
+  ds.collection_stats.dropped_not_executed = in.u64();
+  ds.collection_stats.dropped_prevalence_cap = in.u64();
+  ds.collection_stats.dropped_whitelisted_url = in.u64();
+  return ds;
+}
+
+}  // namespace longtail::synth

@@ -1,0 +1,26 @@
+// Binary persistence for a complete generated Dataset — the corpus plus
+// everything annotation needs (whitelist, VT evidence, hidden truth,
+// collection stats). This is what the bench corpus cache
+// (LONGTAIL_CORPUS_CACHE) stores: reloading a saved dataset reproduces the
+// pipeline's outputs byte-for-byte without paying for regeneration.
+//
+// The corpus section reuses the telemetry binary codec
+// (telemetry/binary.hpp) and its fingerprint check. The calibration
+// profile is not serialized wholesale: the file records (scale, seed,
+// sigma) and the loader rebuilds `paper_calibration(scale)` — datasets
+// generated from hand-edited profiles should not be cached.
+#pragma once
+
+#include <string>
+
+#include "synth/generator.hpp"
+
+namespace longtail::synth {
+
+inline constexpr std::uint32_t kDatasetBinaryMagic = 0x5344544CU;  // "LTDS"
+inline constexpr std::uint32_t kDatasetBinaryVersion = 1;
+
+void save_dataset_binary(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Dataset load_dataset_binary(const std::string& path);
+
+}  // namespace longtail::synth

@@ -1,0 +1,41 @@
+// Compact binary corpus format — the fast alternative to the TSV
+// interchange in telemetry/io.hpp. Columnar event arrays are written with
+// single bulk copies, so loading a saved corpus is far cheaper than
+// regenerating it (or re-parsing TSV).
+//
+// Layout (all little-endian; see docs/corpus-format.md):
+//   u32 magic "LTCP" | u32 version | u64 corpus_fingerprint | body
+// The fingerprint in the header is recomputed on load and must match —
+// a truncated or bit-rotted file fails loudly instead of feeding the
+// pipeline a silently-corrupt corpus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/corpus.hpp"
+
+namespace longtail::util {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace longtail::util
+
+namespace longtail::telemetry {
+
+inline constexpr std::uint32_t kCorpusBinaryMagic = 0x5043544CU;  // "LTCP"
+inline constexpr std::uint32_t kCorpusBinaryVersion = 1;
+
+// Order-sensitive FNV/mix64 fingerprint over every column and metadata
+// table of the corpus (events, files, processes, urls, domains, name
+// pools, machine_count). Stable across save/load and TSV round-trips.
+[[nodiscard]] std::uint64_t corpus_fingerprint(const Corpus& corpus);
+
+void save_binary(const Corpus& corpus, const std::string& path);
+[[nodiscard]] Corpus load_binary(const std::string& path);
+
+// Stream-level body codec, shared with the dataset cache
+// (synth/dataset_io.cpp), which embeds a corpus section in its own file.
+void write_corpus_body(util::BinaryWriter& out, const Corpus& corpus);
+[[nodiscard]] Corpus read_corpus_body(util::BinaryReader& in);
+
+}  // namespace longtail::telemetry

@@ -7,48 +7,83 @@
 
 namespace longtail::telemetry {
 
-std::vector<model::DownloadEvent> CollectionServer::filter(
-    std::span<const model::DownloadEvent> raw,
-    std::span<const model::UrlMeta> url_meta) {
-  LONGTAIL_TRACE_SPAN("telemetry.collection_filter");
-  LONGTAIL_METRIC_TIMER("telemetry.collection_filter_ms");
-  const CollectionStats before = stats_;
-  std::vector<model::DownloadEvent> accepted;
-  accepted.reserve(raw.size());
+namespace {
 
-  for (const model::DownloadEvent& e : raw) {
+// Shared replay core: `get(i)` yields the i-th raw event. The prevalence
+// state is inherently sequential (each decision depends on the machines
+// seen so far), so the filter itself stays a single ordered pass.
+template <typename Get>
+EventStore run_filter(
+    std::size_t n, Get&& get, std::span<const model::UrlMeta> url_meta,
+    const CollectionPolicy& policy, CollectionStats& stats,
+    std::unordered_map<model::FileId, std::unordered_set<model::MachineId>>&
+        machines_per_file) {
+  EventStore accepted;
+  accepted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const model::DownloadEvent e = get(i);
     if (!e.executed) {
-      ++stats_.dropped_not_executed;
+      ++stats.dropped_not_executed;
       continue;
     }
     assert(e.url.raw() < url_meta.size());
     const model::DomainId domain = url_meta[e.url.raw()].domain;
-    if (policy_.whitelisted_domains.contains(domain)) {
-      ++stats_.dropped_whitelisted_url;
+    if (policy.whitelisted_domains.contains(domain)) {
+      ++stats.dropped_whitelisted_url;
       continue;
     }
-    auto& machines = machines_per_file_[e.file];
-    if (!machines.contains(e.machine) && machines.size() >= policy_.sigma) {
-      ++stats_.dropped_prevalence_cap;
+    auto& machines = machines_per_file[e.file];
+    if (!machines.contains(e.machine) && machines.size() >= policy.sigma) {
+      ++stats.dropped_prevalence_cap;
       continue;
     }
     machines.insert(e.machine);
-    ++stats_.accepted;
+    ++stats.accepted;
     accepted.push_back(e);
   }
+  return accepted;
+}
+
+void record_stats_delta(const CollectionStats& before,
+                        const CollectionStats& after) {
   // Mirror this call's stats delta into the metrics registry (one add per
   // counter, outside the hot loop).
   LONGTAIL_METRIC_COUNT("telemetry.events_accepted",
-                        stats_.accepted - before.accepted);
+                        after.accepted - before.accepted);
   LONGTAIL_METRIC_COUNT(
       "telemetry.dropped.not_executed",
-      stats_.dropped_not_executed - before.dropped_not_executed);
+      after.dropped_not_executed - before.dropped_not_executed);
   LONGTAIL_METRIC_COUNT(
       "telemetry.dropped.whitelisted_url",
-      stats_.dropped_whitelisted_url - before.dropped_whitelisted_url);
+      after.dropped_whitelisted_url - before.dropped_whitelisted_url);
   LONGTAIL_METRIC_COUNT(
       "telemetry.dropped.prevalence_cap",
-      stats_.dropped_prevalence_cap - before.dropped_prevalence_cap);
+      after.dropped_prevalence_cap - before.dropped_prevalence_cap);
+}
+
+}  // namespace
+
+EventStore CollectionServer::filter(std::span<const model::DownloadEvent> raw,
+                                    std::span<const model::UrlMeta> url_meta) {
+  LONGTAIL_TRACE_SPAN("telemetry.collection_filter");
+  LONGTAIL_METRIC_TIMER("telemetry.collection_filter_ms");
+  const CollectionStats before = stats_;
+  EventStore accepted =
+      run_filter(raw.size(), [&](std::size_t i) { return raw[i]; }, url_meta,
+                 policy_, stats_, machines_per_file_);
+  record_stats_delta(before, stats_);
+  return accepted;
+}
+
+EventStore CollectionServer::filter(const EventStore& raw,
+                                    std::span<const model::UrlMeta> url_meta) {
+  LONGTAIL_TRACE_SPAN("telemetry.collection_filter");
+  LONGTAIL_METRIC_TIMER("telemetry.collection_filter_ms");
+  const CollectionStats before = stats_;
+  EventStore accepted = run_filter(
+      raw.size(), [&](std::size_t i) { return model::DownloadEvent(raw[i]); },
+      url_meta, policy_, stats_, machines_per_file_);
+  record_stats_delta(before, stats_);
   return accepted;
 }
 

@@ -22,6 +22,7 @@
 
 #include "model/event.hpp"
 #include "model/ids.hpp"
+#include "telemetry/event_store.hpp"
 
 namespace longtail::telemetry {
 
@@ -50,11 +51,14 @@ class CollectionServer {
   explicit CollectionServer(CollectionPolicy policy)
       : policy_(std::move(policy)) {}
 
-  // Replays `raw` (must be time-sorted) through the reporting rules.
-  // `url_domain` maps each UrlId to its DomainId.
-  [[nodiscard]] std::vector<model::DownloadEvent> filter(
-      std::span<const model::DownloadEvent> raw,
-      std::span<const model::UrlMeta> url_meta);
+  // Replays `raw` (must be time-sorted) through the reporting rules and
+  // returns the accepted stream in columnar form. `url_meta` maps each
+  // UrlId to its DomainId.
+  [[nodiscard]] EventStore filter(std::span<const model::DownloadEvent> raw,
+                                  std::span<const model::UrlMeta> url_meta);
+  // Same rules over an already-columnar stream.
+  [[nodiscard]] EventStore filter(const EventStore& raw,
+                                  std::span<const model::UrlMeta> url_meta);
 
   [[nodiscard]] const CollectionStats& stats() const noexcept {
     return stats_;

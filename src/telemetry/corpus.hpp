@@ -12,13 +12,15 @@
 
 #include "model/event.hpp"
 #include "model/ids.hpp"
+#include "telemetry/event_store.hpp"
 #include "util/interner.hpp"
 
 namespace longtail::telemetry {
 
 struct Corpus {
-  // Time-sorted stream of reported download events.
-  std::vector<model::DownloadEvent> events;
+  // Time-sorted stream of reported download events, stored columnar (see
+  // event_store.hpp). Scan it through telemetry/scan.hpp.
+  EventStore events;
 
   // Entity metadata, indexed by the dense ids in the events.
   std::vector<model::FileMeta> files;

@@ -8,11 +8,14 @@
 namespace longtail::telemetry {
 
 CorpusIndex::CorpusIndex(const Corpus& corpus) : corpus_(&corpus) {
-  const auto& events = corpus.events;
-  assert(std::is_sorted(events.begin(), events.end(),
-                        [](const auto& a, const auto& b) {
-                          return a.time < b.time;
-                        }));
+  // The index walks the raw columns directly: one pass touches only the
+  // columns it needs (times for month offsets, machines for the counting
+  // sort), which is the point of the SoA layout.
+  const auto files = corpus.events.file_column();
+  const auto machines = corpus.events.machine_column();
+  const auto times = corpus.events.time_column();
+  const std::size_t n = times.size();
+  assert(std::is_sorted(times.begin(), times.end()));
 
   const std::size_t nf = corpus.files.size();
   prevalence_.assign(nf, 0);
@@ -27,19 +30,19 @@ CorpusIndex::CorpusIndex(const Corpus& corpus) : corpus_(&corpus) {
 
   std::vector<std::uint32_t> machine_counts(corpus.machine_count + 1, 0);
 
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const auto& e = events[i];
-    file_machines[e.file].insert(e.machine);
-    auto& fs = first_seen_[e.file.raw()];
-    fs = std::min(fs, e.time);
-    auto& ls = last_seen_[e.file.raw()];
-    ls = std::max(ls, e.time);
-    ++machine_counts[e.machine.raw()];
+  for (std::size_t i = 0; i < n; ++i) {
+    const model::FileId f = files[i];
+    file_machines[f].insert(machines[i]);
+    auto& fs = first_seen_[f.raw()];
+    fs = std::min(fs, times[i]);
+    auto& ls = last_seen_[f.raw()];
+    ls = std::max(ls, times[i]);
+    ++machine_counts[machines[i].raw()];
   }
 
   observed_files_.reserve(file_machines.size());
-  for (const auto& [f, machines] : file_machines) {
-    prevalence_[f.raw()] = static_cast<std::uint32_t>(machines.size());
+  for (const auto& [f, ms] : file_machines) {
+    prevalence_[f.raw()] = static_cast<std::uint32_t>(ms.size());
     observed_files_.push_back(f);
   }
   std::sort(observed_files_.begin(), observed_files_.end());
@@ -48,12 +51,12 @@ CorpusIndex::CorpusIndex(const Corpus& corpus) : corpus_(&corpus) {
   machine_offsets_.assign(corpus.machine_count + 1, 0);
   for (std::uint32_t m = 0; m < corpus.machine_count; ++m)
     machine_offsets_[m + 1] = machine_offsets_[m] + machine_counts[m];
-  machine_event_idx_.resize(events.size());
+  machine_event_idx_.resize(n);
   {
     std::vector<std::size_t> cursor(machine_offsets_.begin(),
                                     machine_offsets_.end() - 1);
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      const auto m = events[i].machine.raw();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto m = machines[i].raw();
       machine_event_idx_[cursor[m]++] = static_cast<std::uint32_t>(i);
     }
   }
@@ -65,10 +68,8 @@ CorpusIndex::CorpusIndex(const Corpus& corpus) : corpus_(&corpus) {
   month_offsets_.assign(model::kNumCalendarMonths + 1, 0);
   for (std::size_t m = 0; m <= model::kNumCalendarMonths; ++m) {
     const model::Timestamp boundary = model::kMonthStart[m];
-    const auto it = std::lower_bound(
-        events.begin(), events.end(), boundary,
-        [](const auto& ev, model::Timestamp t) { return ev.time < t; });
-    month_offsets_[m] = static_cast<std::uint32_t>(it - events.begin());
+    const auto it = std::lower_bound(times.begin(), times.end(), boundary);
+    month_offsets_[m] = static_cast<std::uint32_t>(it - times.begin());
   }
 }
 

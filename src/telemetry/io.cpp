@@ -144,8 +144,8 @@ void export_corpus(const Corpus& corpus, const std::string& dir) {
     util::DelimitedWriter out(path("events.tsv"), kTab);
     out.row("file", "machine", "process", "url", "time");
     for (const auto& e : corpus.events)
-      out.row(e.file.raw(), e.machine.raw(), e.process.raw(), e.url.raw(),
-              e.time);
+      out.row(e.file().raw(), e.machine().raw(), e.process().raw(),
+              e.url().raw(), e.time());
   }
 }
 

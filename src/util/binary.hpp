@@ -1,0 +1,129 @@
+// Minimal binary stream helpers for the compact corpus format
+// (telemetry/binary.cpp) and the dataset cache (synth/dataset_io.cpp).
+//
+// Fixed-width little-endian integers, length-prefixed strings, and bulk
+// POD-array copies. The format is only written and read on little-endian
+// hosts (enforced below), so values are stored in native byte order.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace longtail::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "binary corpus format assumes a little-endian host");
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+    if (!out_) throw std::runtime_error("cannot write " + path);
+  }
+
+  void u8(std::uint8_t v) { bytes(&v, sizeof v); }
+  void u16(std::uint16_t v) { bytes(&v, sizeof v); }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void pod_array(std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(data.size());
+    bytes(data.data(), data.size_bytes());
+  }
+
+  void bytes(const void* p, std::size_t n) {
+    out_.write(static_cast<const char*>(p),
+               static_cast<std::streamsize>(n));
+    if (!out_) throw std::runtime_error("write failed: " + path_);
+  }
+
+  void finish() {
+    out_.flush();
+    if (!out_) throw std::runtime_error("write failed: " + path_);
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : path_(path), in_(path, std::ios::binary) {
+    if (!in_) throw std::runtime_error("cannot read " + path);
+  }
+
+  [[nodiscard]] std::uint8_t u8() { return read_pod<std::uint8_t>(); }
+  [[nodiscard]] std::uint16_t u16() { return read_pod<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return read_pod<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return read_pod<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t i64() { return read_pod<std::int64_t>(); }
+  [[nodiscard]] double f64() { return read_pod<double>(); }
+
+  [[nodiscard]] std::string str() {
+    std::string s(checked_count(u32(), 1), '\0');
+    bytes(s.data(), s.size());
+    return s;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> pod_array() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> v(checked_count(u64(), sizeof(T)));
+    bytes(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  void bytes(void* p, std::size_t n) {
+    in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n)
+      throw std::runtime_error("truncated binary file: " + path_);
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T read_pod() {
+    T v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+
+  // Reject counts that would outrun the file — a corrupt header must fail
+  // with a clean error, not an allocation blow-up.
+  [[nodiscard]] std::size_t checked_count(std::uint64_t n,
+                                          std::size_t elem_size) {
+    if (remaining_ == static_cast<std::uintmax_t>(-1)) {
+      const auto pos = in_.tellg();
+      in_.seekg(0, std::ios::end);
+      remaining_ = static_cast<std::uintmax_t>(in_.tellg());
+      in_.seekg(pos);
+    }
+    if (elem_size != 0 && n > remaining_ / elem_size)
+      throw std::runtime_error("corrupt binary file (bad count): " + path_);
+    return static_cast<std::size_t>(n);
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  std::uintmax_t remaining_ = static_cast<std::uintmax_t>(-1);
+};
+
+}  // namespace longtail::util

@@ -10,10 +10,31 @@
 #include <string>
 #include <string_view>
 
+#include "util/rng.hpp"
+
 namespace longtail::util {
 
 constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+// Incremental word-wise fingerprint mixer: each 64-bit value is offset by
+// the golden-ratio constant, avalanche-mixed, then folded into a running
+// FNV-1a-style state. Used by `core::dataset_fingerprint` and
+// `telemetry::corpus_fingerprint`; the mixing sequence is part of the
+// pinned fingerprint values, so never reorder or re-seed it.
+class FnvMixer {
+ public:
+  constexpr void mix(std::uint64_t v) noexcept {
+    h_ ^= mix64(v + 0x9E3779B97F4A7C15ULL);
+    h_ *= kFnvPrime;
+  }
+  constexpr void operator()(std::uint64_t v) noexcept { mix(v); }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
 
 constexpr std::uint64_t fnv1a64(std::string_view s,
                                 std::uint64_t seed = kFnvOffset) noexcept {

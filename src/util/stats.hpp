@@ -19,6 +19,16 @@ class EmpiricalCdf {
     samples_.insert(samples_.end(), n, x);
   }
 
+  // Absorb another CDF's samples (order-insensitive: finalize() sorts).
+  void merge(EmpiricalCdf&& other) {
+    if (samples_.empty()) {
+      samples_ = std::move(other.samples_);
+      return;
+    }
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
   // Must be called after all add()s and before queries.
   void finalize() { std::sort(samples_.begin(), samples_.end()); }
 
@@ -62,6 +72,11 @@ template <typename Key>
 class TopK {
  public:
   void add(const Key& k, std::uint64_t n = 1) { counts_[k] += n; }
+
+  // Absorb another counter (commutative; top() sorts deterministically).
+  void merge(const TopK& other) {
+    for (const auto& [k, n] : other.counts_) counts_[k] += n;
+  }
 
   [[nodiscard]] std::vector<std::pair<Key, std::uint64_t>> top(
       std::size_t k) const {

@@ -60,8 +60,8 @@ TEST_F(FeatureExtractionTest, ExtractsAllEightFeatures) {
 TEST_F(FeatureExtractionTest, UnsignedFilesGetNotSignedValue) {
   const auto& a = pipeline().annotated();
   FeatureSpace space;
-  for (const auto& e : a.corpus->events) {
-    if (a.corpus->files[e.file.raw()].is_signed) continue;
+  for (const auto e : a.corpus->events) {
+    if (a.corpus->files[e.file().raw()].is_signed) continue;
     const auto x = extract_features(a, e, space);
     EXPECT_EQ(space.name(Feature::kFileSigner, x.at(Feature::kFileSigner)),
               "not-signed");
@@ -112,7 +112,7 @@ TEST_F(FeatureExtractionTest, WindowRespectsTimeBounds) {
   const auto [begin, end] = a.index.month_range(model::Month::kMay);
   std::unordered_set<std::uint32_t> may_files;
   for (std::uint32_t i = begin; i < end; ++i)
-    may_files.insert(a.corpus->events[i].file.raw());
+    may_files.insert(a.corpus->events[i].file().raw());
   for (const auto& inst : instances)
     EXPECT_TRUE(may_files.contains(inst.file.raw()));
 }

@@ -34,15 +34,15 @@ TEST(Generator, TablesAreConsistentlySized) {
 TEST(Generator, EventsAreTimeSortedAndInRange) {
   const auto& ds = dataset();
   model::Timestamp prev = 0;
-  for (const auto& e : ds.corpus.events) {
-    EXPECT_GE(e.time, prev);
-    prev = e.time;
-    EXPECT_LT(e.time, model::kMonthStart[model::kNumCalendarMonths]);
-    EXPECT_LT(e.file.raw(), ds.corpus.files.size());
-    EXPECT_LT(e.machine.raw(), ds.corpus.machine_count);
-    EXPECT_LT(e.process.raw(), ds.corpus.processes.size());
-    EXPECT_LT(e.url.raw(), ds.corpus.urls.size());
-    EXPECT_TRUE(e.executed);  // collection server filtered the rest
+  for (const auto e : ds.corpus.events) {
+    EXPECT_GE(e.time(), prev);
+    prev = e.time();
+    EXPECT_LT(e.time(), model::kMonthStart[model::kNumCalendarMonths]);
+    EXPECT_LT(e.file().raw(), ds.corpus.files.size());
+    EXPECT_LT(e.machine().raw(), ds.corpus.machine_count);
+    EXPECT_LT(e.process().raw(), ds.corpus.processes.size());
+    EXPECT_LT(e.url().raw(), ds.corpus.urls.size());
+    EXPECT_TRUE(e.executed());  // collection server filtered the rest
   }
 }
 
@@ -57,9 +57,9 @@ TEST(Generator, DeterministicForSameSeed) {
   const auto b = generate_dataset(0.01);
   ASSERT_EQ(a.corpus.events.size(), b.corpus.events.size());
   for (std::size_t i = 0; i < a.corpus.events.size(); i += 97) {
-    EXPECT_EQ(a.corpus.events[i].file, b.corpus.events[i].file);
-    EXPECT_EQ(a.corpus.events[i].machine, b.corpus.events[i].machine);
-    EXPECT_EQ(a.corpus.events[i].time, b.corpus.events[i].time);
+    EXPECT_EQ(a.corpus.events[i].file(), b.corpus.events[i].file());
+    EXPECT_EQ(a.corpus.events[i].machine(), b.corpus.events[i].machine());
+    EXPECT_EQ(a.corpus.events[i].time(), b.corpus.events[i].time());
   }
 }
 
@@ -74,7 +74,7 @@ TEST(Generator, DifferentSeedsDiffer) {
                           i < b.corpus.events.size();
        i += 101) {
     ++checked;
-    same += a.corpus.events[i].machine == b.corpus.events[i].machine;
+    same += a.corpus.events[i].machine() == b.corpus.events[i].machine();
   }
   EXPECT_LT(same, checked / 2);
 }
@@ -192,14 +192,14 @@ TEST(Generator, FakeavFilesRouteToSocialEngineeringDomains) {
   const analysis::AnnotatedCorpus a = analysis::annotate(
       ds.corpus, ds.whitelist, ds.vt);
   std::uint64_t fakeav_events = 0, on_whitelisted_vendor = 0;
-  for (const auto& e : ds.corpus.events) {
-    if (ds.truth.file_intended[e.file.raw()] != model::Verdict::kMalicious)
+  for (const auto e : ds.corpus.events) {
+    if (ds.truth.file_intended[e.file().raw()] != model::Verdict::kMalicious)
       continue;
-    if (ds.truth.file_type[e.file.raw()] != model::MalwareType::kFakeAv)
+    if (ds.truth.file_type[e.file().raw()] != model::MalwareType::kFakeAv)
       continue;
     ++fakeav_events;
     const auto& domain =
-        ds.corpus.domains[ds.corpus.urls[e.url.raw()].domain.raw()];
+        ds.corpus.domains[ds.corpus.urls[e.url().raw()].domain.raw()];
     on_whitelisted_vendor += domain.on_curated_whitelist;
   }
   ASSERT_GT(fakeav_events, 20u);
@@ -211,12 +211,12 @@ TEST(Generator, FakeavFilesRouteToSocialEngineeringDomains) {
 TEST(Generator, BenignFilesAvoidBlacklistedDomains) {
   const auto& ds = dataset();
   std::uint64_t benign_events = 0, on_blacklisted = 0;
-  for (const auto& e : ds.corpus.events) {
-    if (ds.truth.file_intended[e.file.raw()] != model::Verdict::kBenign)
+  for (const auto e : ds.corpus.events) {
+    if (ds.truth.file_intended[e.file().raw()] != model::Verdict::kBenign)
       continue;
     ++benign_events;
     const auto& domain =
-        ds.corpus.domains[ds.corpus.urls[e.url.raw()].domain.raw()];
+        ds.corpus.domains[ds.corpus.urls[e.url().raw()].domain.raw()];
     on_blacklisted += domain.on_private_blacklist;
   }
   ASSERT_GT(benign_events, 100u);

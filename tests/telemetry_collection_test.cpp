@@ -54,7 +54,7 @@ TEST(CollectionServer, DropsWhitelistedDomains) {
   const auto urls = two_urls();
   const auto out = server.filter(raw, urls);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].url, (UrlId{0}));
+  EXPECT_EQ(out[0].url(), (UrlId{0}));
   EXPECT_EQ(server.stats().dropped_whitelisted_url, 1u);
 }
 

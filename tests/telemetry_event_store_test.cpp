@@ -1,0 +1,129 @@
+#include "telemetry/event_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace longtail::telemetry {
+namespace {
+
+using model::DownloadEvent;
+using model::FileId;
+using model::MachineId;
+using model::ProcessId;
+using model::UrlId;
+
+DownloadEvent ev(std::uint32_t f, std::uint32_t m, model::Timestamp t,
+                 bool executed = true) {
+  DownloadEvent e{FileId{f}, MachineId{m}, ProcessId{0}, UrlId{0}, t};
+  e.executed = executed;
+  return e;
+}
+
+TEST(EventStore, StartsEmpty) {
+  EventStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.begin(), store.end());
+}
+
+TEST(EventStore, PushBackRoundTripsFields) {
+  EventStore store;
+  store.push_back(DownloadEvent{FileId{3}, MachineId{7}, ProcessId{11},
+                                UrlId{13}, 1000});
+  ASSERT_EQ(store.size(), 1u);
+  const auto e = store[0];
+  EXPECT_EQ(e.file(), (FileId{3}));
+  EXPECT_EQ(e.machine(), (MachineId{7}));
+  EXPECT_EQ(e.process(), (ProcessId{11}));
+  EXPECT_EQ(e.url(), (UrlId{13}));
+  EXPECT_EQ(e.time(), 1000);
+  EXPECT_TRUE(e.executed());
+  EXPECT_EQ(e.index(), 0u);
+}
+
+TEST(EventStore, EventRefConvertsToDownloadEvent) {
+  EventStore store = {ev(1, 2, 30, /*executed=*/false)};
+  const DownloadEvent e = store[0];
+  EXPECT_EQ(e.file, (FileId{1}));
+  EXPECT_EQ(e.machine, (MachineId{2}));
+  EXPECT_EQ(e.time, 30);
+  EXPECT_FALSE(e.executed);
+}
+
+TEST(EventStore, InitializerListAssignment) {
+  EventStore store;
+  store = {ev(0, 0, 10), ev(1, 1, 20), ev(2, 0, 30)};
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.front().time(), 10);
+  EXPECT_EQ(store.back().time(), 30);
+}
+
+TEST(EventStore, ColumnsMatchRows) {
+  const EventStore store = {ev(5, 6, 70), ev(8, 9, 100)};
+  ASSERT_EQ(store.file_column().size(), 2u);
+  EXPECT_EQ(store.file_column()[1], (FileId{8}));
+  EXPECT_EQ(store.machine_column()[0], (MachineId{6}));
+  EXPECT_EQ(store.time_column()[1], 100);
+}
+
+TEST(EventStore, IterationVisitsAllInOrder) {
+  const EventStore store = {ev(0, 0, 1), ev(1, 0, 2), ev(2, 0, 3)};
+  model::Timestamp expected = 1;
+  for (const auto e : store) {
+    EXPECT_EQ(e.time(), expected);
+    ++expected;
+  }
+  // Random-access iterator arithmetic.
+  auto it = store.begin();
+  EXPECT_EQ((*(it + 2)).time(), 3);
+  EXPECT_EQ(store.end() - store.begin(), 3);
+}
+
+TEST(EventStore, IteratorWorksWithAlgorithms) {
+  const EventStore store = {ev(0, 0, 1), ev(1, 0, 5), ev(2, 0, 9)};
+  const auto n = std::count_if(store.begin(), store.end(),
+                               [](const auto& e) { return e.time() > 2; });
+  EXPECT_EQ(n, 2);
+  EXPECT_TRUE(std::is_sorted(
+      store.begin(), store.end(),
+      [](const auto& a, const auto& b) { return a.time() < b.time(); }));
+}
+
+TEST(EventStore, EqualityComparesAllColumns) {
+  const EventStore a = {ev(0, 0, 1), ev(1, 1, 2)};
+  EventStore b = {ev(0, 0, 1), ev(1, 1, 2)};
+  EXPECT_EQ(a, b);
+  b.set_time(1, 99);
+  EXPECT_NE(a, b);
+}
+
+TEST(EventStore, FromColumnsDefaultsExecuted) {
+  auto store = EventStore::from_columns(
+      {FileId{1}, FileId{2}}, {MachineId{0}, MachineId{1}},
+      {ProcessId{0}, ProcessId{0}}, {UrlId{0}, UrlId{0}}, {10, 20}, {});
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store[0].executed());
+  EXPECT_TRUE(store[1].executed());
+}
+
+TEST(EventStore, AssignFromVector) {
+  const std::vector<DownloadEvent> raw = {ev(1, 2, 3), ev(4, 5, 6)};
+  EventStore store;
+  store.assign(raw);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store[0].file(), (FileId{1}));
+  EXPECT_EQ(store[1].machine(), (MachineId{5}));
+}
+
+TEST(EventStore, ClearResetsAllColumns) {
+  EventStore store = {ev(1, 2, 3)};
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.file_column().empty());
+  EXPECT_TRUE(store.time_column().empty());
+}
+
+}  // namespace
+}  // namespace longtail::telemetry

@@ -63,7 +63,7 @@ TEST(CorpusIndex, MachineEventsAreTimeSorted) {
   const CorpusIndex idx(c);
   const auto events = idx.machine_events(MachineId{1});
   ASSERT_EQ(events.size(), 2u);
-  EXPECT_LT(c.events[events[0]].time, c.events[events[1]].time);
+  EXPECT_LT(c.events[events[0]].time(), c.events[events[1]].time());
 }
 
 TEST(CorpusIndex, MachineWithNoEvents) {

@@ -31,11 +31,11 @@ TEST(CorpusIo, RoundTripsGeneratedCorpus) {
   EXPECT_EQ(loaded.machine_count, ds.corpus.machine_count);
 
   for (std::size_t i = 0; i < loaded.events.size(); i += 53) {
-    EXPECT_EQ(loaded.events[i].file, ds.corpus.events[i].file);
-    EXPECT_EQ(loaded.events[i].machine, ds.corpus.events[i].machine);
-    EXPECT_EQ(loaded.events[i].process, ds.corpus.events[i].process);
-    EXPECT_EQ(loaded.events[i].url, ds.corpus.events[i].url);
-    EXPECT_EQ(loaded.events[i].time, ds.corpus.events[i].time);
+    EXPECT_EQ(loaded.events[i].file(), ds.corpus.events[i].file());
+    EXPECT_EQ(loaded.events[i].machine(), ds.corpus.events[i].machine());
+    EXPECT_EQ(loaded.events[i].process(), ds.corpus.events[i].process());
+    EXPECT_EQ(loaded.events[i].url(), ds.corpus.events[i].url());
+    EXPECT_EQ(loaded.events[i].time(), ds.corpus.events[i].time());
   }
   for (std::size_t i = 0; i < loaded.files.size(); i += 97) {
     const auto& a = loaded.files[i];
