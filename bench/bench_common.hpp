@@ -21,8 +21,11 @@
 #include <string>
 #include <string_view>
 
+#include <unistd.h>
+
 #include "core/longtail.hpp"
 #include "synth/dataset_io.hpp"
+#include "telemetry/faults.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -47,24 +50,31 @@ inline double bench_scale(double fallback = 0.10) {
   return fallback;
 }
 
-// Cache file name for the binary dataset at this scale. The file format
-// version is part of the name so a codec bump never reads stale caches.
-inline std::string corpus_cache_path(const std::string& dir, double scale) {
-  char name[96];
-  std::snprintf(name, sizeof(name), "longtail_ds_v%u_s%g.bin",
-                synth::kDatasetBinaryVersion, scale);
+// Cache file name for the binary dataset at this scale and fault profile.
+// The file format version is part of the name so a codec bump never reads
+// stale caches; the fault cache key keeps faulted datasets from shadowing
+// the fault-free one (empty for the zero profile, so fault-free paths are
+// unchanged).
+inline std::string corpus_cache_path(
+    const std::string& dir, double scale,
+    const telemetry::FaultProfile& faults = {}) {
+  const std::string fkey = faults.cache_key();
+  char name[112];
+  std::snprintf(name, sizeof(name), "longtail_ds_v%u_s%g%s%s.bin",
+                synth::kDatasetBinaryVersion, scale, fkey.empty() ? "" : "_",
+                fkey.c_str());
   return (std::filesystem::path(dir) / name).string();
 }
 
 // With LONGTAIL_CORPUS_CACHE=<dir> set, loads the binary dataset for this
-// scale from the cache (or generates it once and saves it). Cache status
+// profile from the cache (or generates it once and saves it). Cache status
 // goes to stderr so table stdout stays byte-identical either way.
-inline synth::Dataset make_dataset(double scale) {
+inline synth::Dataset make_dataset(const synth::CalibrationProfile& profile) {
   const char* dir = std::getenv("LONGTAIL_CORPUS_CACHE");
-  if (dir == nullptr || *dir == '\0')
-    return synth::generate_dataset(synth::paper_calibration(scale));
+  if (dir == nullptr || *dir == '\0') return synth::generate_dataset(profile);
 
-  const std::string path = corpus_cache_path(dir, scale);
+  const std::string path =
+      corpus_cache_path(dir, profile.scale, profile.faults);
   if (std::filesystem::exists(path)) {
     try {
       auto ds = synth::load_dataset_binary(path);
@@ -78,17 +88,33 @@ inline synth::Dataset make_dataset(double scale) {
     }
   }
   std::fprintf(stderr, "[longtail] corpus cache miss: %s\n", path.c_str());
-  auto ds = synth::generate_dataset(synth::paper_calibration(scale));
+  auto ds = synth::generate_dataset(profile);
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  // Atomic publish: write to a process-private temp name in the same
+  // directory, then rename onto the final path. A bench run killed
+  // mid-save can leave a stray .tmp file but never a truncated cache
+  // entry; concurrent writers each publish a complete image and the last
+  // rename wins. The unreadable→regenerate fallback above stays as the
+  // last line of defense.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<unsigned>(::getpid()));
   try {
-    synth::save_dataset_binary(ds, path);
+    synth::save_dataset_binary(ds, tmp);
+    std::filesystem::rename(tmp, path);
     std::fprintf(stderr, "[longtail] corpus cache saved: %s\n", path.c_str());
   } catch (const std::exception& ex) {
+    std::filesystem::remove(tmp, ec);
     std::fprintf(stderr, "[longtail] corpus cache save failed: %s\n",
                  ex.what());
   }
   return ds;
+}
+
+inline synth::Dataset make_dataset(double scale) {
+  auto profile = synth::paper_calibration(scale);
+  profile.faults = telemetry::faults_from_env();
+  return make_dataset(profile);
 }
 
 inline core::LongtailPipeline make_pipeline(double default_scale = 0.10) {
@@ -96,7 +122,12 @@ inline core::LongtailPipeline make_pipeline(double default_scale = 0.10) {
   std::printf("[longtail] generating corpus at scale %.2f of the paper's "
               "dataset (LONGTAIL_SCALE to override)\n\n",
               scale);
-  return core::LongtailPipeline(make_dataset(scale));
+  auto profile = synth::paper_calibration(scale);
+  profile.faults = telemetry::faults_from_env();
+  if (profile.faults.any())
+    std::fprintf(stderr, "[longtail] fault profile active: %s\n",
+                 profile.faults.spec().c_str());
+  return core::LongtailPipeline(make_dataset(profile));
 }
 
 inline void print_header(const std::string& title, const std::string& note) {

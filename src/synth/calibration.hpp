@@ -26,6 +26,7 @@
 
 #include "model/labels.hpp"
 #include "model/time.hpp"
+#include "telemetry/faults.hpp"
 
 namespace longtail::synth {
 
@@ -151,6 +152,13 @@ struct CalibrationProfile {
   std::uint64_t total_families = 363;
 
   std::uint32_t sigma = 20;  // collection-server prevalence cap
+
+  // Fault model for the agent→server transport and the VT evidence feed
+  // (telemetry/faults.hpp). All-zero by default: the generator then takes
+  // the exact seed code path and output is byte-identical to a
+  // fault-unaware build. `paper_calibration` never sets this; it comes
+  // from LONGTAIL_FAULTS (bench/table drivers) or from test code.
+  telemetry::FaultProfile faults;
 
   std::array<MonthCalibration, model::kNumCollectionMonths> months{};
   TypePct malware_type_pct{};  // Table II

@@ -68,13 +68,16 @@ void write_reports(util::BinaryWriter& out, const groundtruth::VtDatabase& vt,
 
 void read_reports(util::BinaryReader& in, groundtruth::VtDatabase& vt,
                   auto make_id) {
-  const std::uint64_t n = in.u64();
+  // Counts validated against the bytes left in the file (minimum record
+  // sizes: 1 byte per present-flag, 14 per detection) so a corrupt count
+  // is a typed error instead of a giant allocation.
+  const std::uint64_t n = in.checked_count(in.u64(), 1);
   for (std::uint64_t i = 0; i < n; ++i) {
     if (in.u8() == 0) continue;
     groundtruth::VtReport report;
     report.first_scan = in.i64();
     report.last_scan = in.i64();
-    report.detections.resize(in.u32());
+    report.detections.resize(in.checked_count(in.u32(), 14));
     for (auto& det : report.detections) {
       det.engine = in.u16();
       det.signature_time = in.i64();
@@ -95,6 +98,9 @@ void save_dataset_binary(const Dataset& dataset, const std::string& path) {
   out.f64(dataset.profile.scale);
   out.u64(dataset.profile.seed);
   out.u32(dataset.profile.sigma);
+  // Canonical fault spec ("" = fault-free); parsing it on load rebuilds
+  // the profile, so faulted datasets are cacheable too.
+  out.str(dataset.profile.faults.spec());
 
   out.u64(telemetry::corpus_fingerprint(dataset.corpus));
   telemetry::write_corpus_body(out, dataset.corpus);
@@ -125,6 +131,17 @@ void save_dataset_binary(const Dataset& dataset, const std::string& path) {
   out.u64(dataset.collection_stats.dropped_not_executed);
   out.u64(dataset.collection_stats.dropped_prevalence_cap);
   out.u64(dataset.collection_stats.dropped_whitelisted_url);
+  out.u64(dataset.collection_stats.dropped_duplicate);
+  out.u64(dataset.collection_stats.quarantined_malformed);
+  out.u64(dataset.collection_stats.dropped_stale);
+
+  out.u64(dataset.transport_stats.reports_offered);
+  out.u64(dataset.transport_stats.dropped_offline);
+  out.u64(dataset.transport_stats.delivered);
+  out.u64(dataset.transport_stats.duplicates);
+  out.u64(dataset.transport_stats.corrupted);
+
+  out.write_checksum();
   out.finish();
 }
 
@@ -141,11 +158,13 @@ Dataset load_dataset_binary(const std::string& path) {
   const double scale = in.f64();
   const std::uint64_t seed = in.u64();
   const std::uint32_t sigma = in.u32();
+  const std::string fault_spec = in.str();
 
   Dataset ds;
   ds.profile = paper_calibration(scale);
   ds.profile.seed = seed;
   ds.profile.sigma = sigma;
+  ds.profile.faults = telemetry::parse_fault_profile(fault_spec);
 
   const std::uint64_t expected = in.u64();
   ds.corpus = telemetry::read_corpus_body(in);
@@ -179,6 +198,17 @@ Dataset load_dataset_binary(const std::string& path) {
   ds.collection_stats.dropped_not_executed = in.u64();
   ds.collection_stats.dropped_prevalence_cap = in.u64();
   ds.collection_stats.dropped_whitelisted_url = in.u64();
+  ds.collection_stats.dropped_duplicate = in.u64();
+  ds.collection_stats.quarantined_malformed = in.u64();
+  ds.collection_stats.dropped_stale = in.u64();
+
+  ds.transport_stats.reports_offered = in.u64();
+  ds.transport_stats.dropped_offline = in.u64();
+  ds.transport_stats.delivered = in.u64();
+  ds.transport_stats.duplicates = in.u64();
+  ds.transport_stats.corrupted = in.u64();
+
+  in.verify_checksum();
   return ds;
 }
 

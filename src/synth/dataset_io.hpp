@@ -7,8 +7,15 @@
 // The corpus section reuses the telemetry binary codec
 // (telemetry/binary.hpp) and its fingerprint check. The calibration
 // profile is not serialized wholesale: the file records (scale, seed,
-// sigma) and the loader rebuilds `paper_calibration(scale)` — datasets
-// generated from hand-edited profiles should not be cached.
+// sigma, fault spec) and the loader rebuilds `paper_calibration(scale)` —
+// datasets generated from otherwise hand-edited profiles should not be
+// cached.
+//
+// Version 2 adds the fault-profile spec string, the hardened-ingest
+// collection counters, the transport channel stats, and a trailing
+// whole-file FNV-1a checksum (util::BinaryReader::verify_checksum): the
+// truth/whitelist/VT sections are outside the corpus fingerprint, so the
+// checksum is what turns a bit flip there into a typed load error.
 #pragma once
 
 #include <string>
@@ -18,7 +25,8 @@
 namespace longtail::synth {
 
 inline constexpr std::uint32_t kDatasetBinaryMagic = 0x5344544CU;  // "LTDS"
-inline constexpr std::uint32_t kDatasetBinaryVersion = 1;
+inline constexpr std::uint32_t kDatasetBinaryVersion =
+    2;  // 2: +faults, +transport stats, +checksum
 
 void save_dataset_binary(const Dataset& dataset, const std::string& path);
 [[nodiscard]] Dataset load_dataset_binary(const std::string& path);

@@ -174,6 +174,7 @@ class Generator {
   std::vector<FileDraft> drafts_;
   std::array<util::DiscreteSampler, kNumClasses> cat_samplers_;
   telemetry::CollectionStats collection_stats_;
+  telemetry::TransportStats transport_stats_;
 
   util::DiscreteSampler malicious_type_sampler_;
   util::DiscreteSampler unknown_mal_type_sampler_;
@@ -806,11 +807,22 @@ void Generator::finalize_corpus() {
 
   telemetry::CollectionPolicy policy;
   policy.sigma = profile_.sigma;
+  policy.reorder_horizon_s = profile_.faults.reorder_horizon_s();
   for (DomainId dom : world_.update_domains)
     policy.whitelisted_domains.insert(dom);
 
   telemetry::CollectionServer server(std::move(policy));
-  world_.corpus.events = server.filter(raw_events_, world_.corpus.urls);
+  if (profile_.faults.transport_active()) {
+    // Faulted path: replay the agent stream through the lossy channel and
+    // the hardened ingest (dedup → quarantine → reorder → §II-A rules).
+    telemetry::FaultyTransport transport(profile_.faults, profile_.seed);
+    const auto delivered = transport.deliver(raw_events_);
+    world_.corpus.events = server.filter_transport(
+        delivered, world_.corpus.urls, world_.corpus.files.size());
+    transport_stats_ = transport.stats();
+  } else {
+    world_.corpus.events = server.filter(raw_events_, world_.corpus.urls);
+  }
   world_.corpus.machine_count = world_.num_machines();
   collection_stats_ = server.stats();
 }
@@ -956,6 +968,26 @@ Generator::EvidenceDraft Generator::draft_file_evidence(
     case Verdict::kUnknown:
       break;  // no evidence, by definition
   }
+  // Ground-truth degradation (FaultProfile): the VT feed loses some
+  // submissions entirely and delivers engine signatures late. Drawn from a
+  // dedicated substream so the fault-free evidence above is untouched —
+  // with faults off this block never constructs an RNG.
+  if (profile_.faults.labels_active() &&
+      out.kind == EvidenceDraft::Kind::kReport) {
+    util::Rng frng = substream(0x4C41424CULL /* "LABL" */, file_index);
+    if (frng.bernoulli(profile_.faults.vt_loss_rate)) {
+      out.kind = EvidenceDraft::Kind::kNone;  // never (successfully) scanned
+      out.report = {};
+    } else if (profile_.faults.label_delay_mean_days > 0.0) {
+      for (auto& det : out.report.detections) {
+        det.signature_time += static_cast<Timestamp>(
+            frng.exponential(profile_.faults.label_delay_mean_days *
+                             model::kSecondsPerDay));
+        out.report.last_scan =
+            std::max(out.report.last_scan, det.signature_time);
+      }
+    }
+  }
   return out;
 }
 
@@ -1058,6 +1090,7 @@ Dataset Generator::run() {
   out.whitelist = std::move(world_.whitelist);
   out.vt = std::move(world_.vt);
   out.collection_stats = collection_stats_;
+  out.transport_stats = transport_stats_;
   out.profile = profile_;
   return out;
 }

@@ -18,6 +18,7 @@
 #include "synth/truth.hpp"
 #include "telemetry/collection.hpp"
 #include "telemetry/corpus.hpp"
+#include "telemetry/transport.hpp"
 
 namespace longtail::synth {
 
@@ -27,6 +28,9 @@ struct Dataset {
   groundtruth::Whitelist whitelist;
   groundtruth::VtDatabase vt;
   telemetry::CollectionStats collection_stats;
+  // Channel accounting when profile.faults has transport faults; all-zero
+  // (reports_offered == 0) on the fault-free path.
+  telemetry::TransportStats transport_stats;
   CalibrationProfile profile;
 };
 

@@ -173,7 +173,10 @@ Corpus read_corpus_body(util::BinaryReader& in) {
       std::move(file), std::move(machine), std::move(process), std::move(url),
       std::move(time), std::move(executed));
 
-  corpus.files.resize(in.u64());
+  // Record counts are validated against the bytes left in the file (using
+  // each record's minimum serialized size) before resizing — a corrupt
+  // count must be a typed error, not a giant allocation.
+  corpus.files.resize(in.checked_count(in.u64(), 37));
   for (auto& f : corpus.files) {
     f.sha.hi = in.u64();
     f.sha.lo = in.u64();
@@ -186,7 +189,7 @@ Corpus read_corpus_body(util::BinaryReader& in) {
     f.packer = model::PackerId{in.u32()};
   }
 
-  corpus.processes.resize(in.u64());
+  corpus.processes.resize(in.checked_count(in.u64(), 35));
   for (auto& p : corpus.processes) {
     p.sha.hi = in.u64();
     p.sha.lo = in.u64();
@@ -201,13 +204,13 @@ Corpus read_corpus_body(util::BinaryReader& in) {
     p.packer = model::PackerId{in.u32()};
   }
 
-  corpus.urls.resize(in.u64());
+  corpus.urls.resize(in.checked_count(in.u64(), 8));
   for (auto& u : corpus.urls) {
     u.domain = model::DomainId{in.u32()};
     u.alexa_rank = in.u32();
   }
 
-  corpus.domains.resize(in.u64());
+  corpus.domains.resize(in.checked_count(in.u64(), 5));
   for (auto& d : corpus.domains) {
     d.alexa_rank = in.u32();
     const std::uint8_t flags = in.u8();
@@ -233,6 +236,7 @@ void save_binary(const Corpus& corpus, const std::string& path) {
   out.u32(kCorpusBinaryVersion);
   out.u64(corpus_fingerprint(corpus));
   write_corpus_body(out, corpus);
+  out.write_checksum();
   out.finish();
   LONGTAIL_METRIC_COUNT("telemetry.io.events_written", corpus.events.size());
 }
@@ -249,6 +253,7 @@ Corpus load_binary(const std::string& path) {
                              std::to_string(version) + ": " + path);
   const std::uint64_t expected = in.u64();
   Corpus corpus = read_corpus_body(in);
+  in.verify_checksum();
   if (corpus_fingerprint(corpus) != expected)
     throw std::runtime_error("corpus binary fingerprint mismatch: " + path);
   LONGTAIL_METRIC_COUNT("telemetry.io.events_read", corpus.events.size());

@@ -5,9 +5,13 @@
 //
 // Layout (all little-endian; see docs/corpus-format.md):
 //   u32 magic "LTCP" | u32 version | u64 corpus_fingerprint | body
+//   | u64 checksum
 // The fingerprint in the header is recomputed on load and must match —
 // a truncated or bit-rotted file fails loudly instead of feeding the
-// pipeline a silently-corrupt corpus.
+// pipeline a silently-corrupt corpus. Since version 2 the file also ends
+// with a whole-file FNV-1a checksum (util::BinaryWriter::write_checksum),
+// so corruption anywhere in the image — including bytes the structural
+// fingerprint cannot see — is a typed load error.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +27,7 @@ class BinaryWriter;
 namespace longtail::telemetry {
 
 inline constexpr std::uint32_t kCorpusBinaryMagic = 0x5043544CU;  // "LTCP"
-inline constexpr std::uint32_t kCorpusBinaryVersion = 1;
+inline constexpr std::uint32_t kCorpusBinaryVersion = 2;  // 2: +checksum
 
 // Order-sensitive FNV/mix64 fingerprint over every column and metadata
 // table of the corpus (events, files, processes, urls, domains, name

@@ -1,13 +1,45 @@
 #include "telemetry/collection.hpp"
 
 #include <cassert>
+#include <limits>
+#include <map>
+#include <utility>
 
+#include "model/time.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace longtail::telemetry {
 
 namespace {
+
+// §II-A reporting rules for one event. Exactly one stats counter is
+// incremented per call, so counters always sum to the events examined.
+void apply_rules(
+    const model::DownloadEvent& e, std::span<const model::UrlMeta> url_meta,
+    const CollectionPolicy& policy, CollectionStats& stats,
+    std::unordered_map<model::FileId, std::unordered_set<model::MachineId>>&
+        machines_per_file,
+    EventStore& accepted) {
+  if (!e.executed) {
+    ++stats.dropped_not_executed;
+    return;
+  }
+  assert(e.url.raw() < url_meta.size());
+  const model::DomainId domain = url_meta[e.url.raw()].domain;
+  if (policy.whitelisted_domains.contains(domain)) {
+    ++stats.dropped_whitelisted_url;
+    return;
+  }
+  auto& machines = machines_per_file[e.file];
+  if (!machines.contains(e.machine) && machines.size() >= policy.sigma) {
+    ++stats.dropped_prevalence_cap;
+    return;
+  }
+  machines.insert(e.machine);
+  ++stats.accepted;
+  accepted.push_back(e);
+}
 
 // Shared replay core: `get(i)` yields the i-th raw event. The prevalence
 // state is inherently sequential (each decision depends on the machines
@@ -20,27 +52,8 @@ EventStore run_filter(
         machines_per_file) {
   EventStore accepted;
   accepted.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const model::DownloadEvent e = get(i);
-    if (!e.executed) {
-      ++stats.dropped_not_executed;
-      continue;
-    }
-    assert(e.url.raw() < url_meta.size());
-    const model::DomainId domain = url_meta[e.url.raw()].domain;
-    if (policy.whitelisted_domains.contains(domain)) {
-      ++stats.dropped_whitelisted_url;
-      continue;
-    }
-    auto& machines = machines_per_file[e.file];
-    if (!machines.contains(e.machine) && machines.size() >= policy.sigma) {
-      ++stats.dropped_prevalence_cap;
-      continue;
-    }
-    machines.insert(e.machine);
-    ++stats.accepted;
-    accepted.push_back(e);
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    apply_rules(get(i), url_meta, policy, stats, machines_per_file, accepted);
   return accepted;
 }
 
@@ -59,6 +72,13 @@ void record_stats_delta(const CollectionStats& before,
   LONGTAIL_METRIC_COUNT(
       "telemetry.dropped.prevalence_cap",
       after.dropped_prevalence_cap - before.dropped_prevalence_cap);
+  LONGTAIL_METRIC_COUNT("telemetry.dropped.duplicate",
+                        after.dropped_duplicate - before.dropped_duplicate);
+  LONGTAIL_METRIC_COUNT("telemetry.dropped.stale",
+                        after.dropped_stale - before.dropped_stale);
+  LONGTAIL_METRIC_COUNT(
+      "telemetry.quarantine.malformed",
+      after.quarantined_malformed - before.quarantined_malformed);
 }
 
 }  // namespace
@@ -83,6 +103,70 @@ EventStore CollectionServer::filter(const EventStore& raw,
   EventStore accepted = run_filter(
       raw.size(), [&](std::size_t i) { return model::DownloadEvent(raw[i]); },
       url_meta, policy_, stats_, machines_per_file_);
+  record_stats_delta(before, stats_);
+  return accepted;
+}
+
+EventStore CollectionServer::filter_transport(
+    std::span<const DeliveredReport> delivered,
+    std::span<const model::UrlMeta> url_meta, std::size_t num_files) {
+  LONGTAIL_TRACE_SPAN_DETAIL("telemetry.collection_filter_transport",
+                             "copies=" + std::to_string(delivered.size()));
+  LONGTAIL_METRIC_TIMER("telemetry.collection_filter_ms");
+  const CollectionStats before = stats_;
+
+  const auto horizon =
+      static_cast<model::Timestamp>(policy_.reorder_horizon_s);
+  const model::Timestamp period_end =
+      model::kMonthStart[model::kNumCalendarMonths];
+
+  EventStore accepted;
+  accepted.reserve(delivered.size());
+
+  std::unordered_set<std::uint64_t> seen_reports;
+  seen_reports.reserve(delivered.size());
+
+  // Reorder buffer: events whose reported time may still be overtaken,
+  // keyed by (reported time, report_id) — a unique total order, so the
+  // release sequence is deterministic.
+  std::map<std::pair<model::Timestamp, std::uint64_t>, model::DownloadEvent>
+      pending;
+  // Upper bound on reported times already released from the buffer; an
+  // event reported earlier than this cannot be emitted in order anymore.
+  model::Timestamp released_through =
+      std::numeric_limits<model::Timestamp>::min();
+
+  const auto release_until = [&](model::Timestamp watermark) {
+    while (!pending.empty() && pending.begin()->first.first <= watermark) {
+      apply_rules(pending.begin()->second, url_meta, policy_, stats_,
+                  machines_per_file_, accepted);
+      pending.erase(pending.begin());
+    }
+    released_through = std::max(released_through, watermark);
+  };
+
+  for (const auto& r : delivered) {
+    if (!seen_reports.insert(r.report_id).second) {
+      ++stats_.dropped_duplicate;
+      continue;
+    }
+    const model::DownloadEvent& e = r.event;
+    if (e.url.raw() >= url_meta.size() || e.file.raw() >= num_files ||
+        e.time < 0 || e.time >= period_end) {
+      ++stats_.quarantined_malformed;
+      continue;
+    }
+    // Advance the arrival watermark, then admit the new event — or drop
+    // it as stale if its slot in the order has already been released.
+    release_until(r.arrival - horizon);
+    if (e.time < released_through) {
+      ++stats_.dropped_stale;
+      continue;
+    }
+    pending.emplace(std::make_pair(e.time, r.report_id), e);
+  }
+  release_until(std::numeric_limits<model::Timestamp>::max());
+
   record_stats_delta(before, stats_);
   return accepted;
 }

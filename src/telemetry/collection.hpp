@@ -12,6 +12,23 @@
 // `CollectionServer::filter` replays a raw agent stream through these rules
 // and returns the event list the vendor's dataset would contain, together
 // with drop counters so the filtering behaviour itself is testable.
+//
+// `CollectionServer::filter_transport` is the hardened ingest path for a
+// stream that crossed a faulty channel (telemetry/transport.hpp). Before
+// the §II-A rules it:
+//   * drops retransmitted duplicate copies (same report_id — the server
+//     acks every receipt, so a copy whose predecessor was already received
+//     is discarded even if the predecessor was quarantined);
+//   * quarantines malformed payloads (out-of-range url/file id, timestamp
+//     outside the collection window) instead of counting them;
+//   * re-establishes occurrence-time order with a bounded reorder buffer:
+//     events are held until the arrival watermark passes
+//     `reorder_horizon_s`, then released in (time, report_id) order.
+//     Events arriving later than the horizon allows are dropped as stale
+//     rather than emitted out of order.
+// Every delivered copy increments exactly one stats counter, so
+// `accepted + all drop/quarantine counters == total_seen()` holds on both
+// ingest paths.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +40,7 @@
 #include "model/event.hpp"
 #include "model/ids.hpp"
 #include "telemetry/event_store.hpp"
+#include "telemetry/transport.hpp"
 
 namespace longtail::telemetry {
 
@@ -32,6 +50,11 @@ struct CollectionPolicy {
   // Domains whose downloads are never reported (software-update CDNs of
   // major vendors, per §II-A).
   std::unordered_set<model::DomainId> whitelisted_domains;
+  // Reorder-buffer horizon for `filter_transport`, in seconds: an event is
+  // released once the arrival watermark is this far past its reported
+  // time. Set from FaultProfile::reorder_horizon_s(); 0 releases
+  // immediately (correct when the channel preserves order).
+  double reorder_horizon_s = 0.0;
 };
 
 struct CollectionStats {
@@ -39,10 +62,17 @@ struct CollectionStats {
   std::uint64_t dropped_not_executed = 0;
   std::uint64_t dropped_prevalence_cap = 0;
   std::uint64_t dropped_whitelisted_url = 0;
+  // filter_transport only: retransmitted copies of a report already
+  // received, malformed payloads routed to quarantine, and events that
+  // arrived too late for the reorder buffer to restore their order.
+  std::uint64_t dropped_duplicate = 0;
+  std::uint64_t quarantined_malformed = 0;
+  std::uint64_t dropped_stale = 0;
 
   [[nodiscard]] std::uint64_t total_seen() const noexcept {
     return accepted + dropped_not_executed + dropped_prevalence_cap +
-           dropped_whitelisted_url;
+           dropped_whitelisted_url + dropped_duplicate +
+           quarantined_malformed + dropped_stale;
   }
 };
 
@@ -59,6 +89,14 @@ class CollectionServer {
   // Same rules over an already-columnar stream.
   [[nodiscard]] EventStore filter(const EventStore& raw,
                                   std::span<const model::UrlMeta> url_meta);
+
+  // Hardened ingest for a faulty channel: `delivered` must be sorted by
+  // arrival (FaultyTransport::deliver's output order). Runs dedup →
+  // quarantine → bounded reorder → §II-A rules. `num_files` bounds valid
+  // FileIds for payload validation.
+  [[nodiscard]] EventStore filter_transport(
+      std::span<const DeliveredReport> delivered,
+      std::span<const model::UrlMeta> url_meta, std::size_t num_files);
 
   [[nodiscard]] const CollectionStats& stats() const noexcept {
     return stats_;

@@ -1,0 +1,163 @@
+#include "telemetry/faults.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace longtail::telemetry {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%s=%g", out.empty() ? "" : ",", key, v);
+  out += buf;
+}
+
+double parse_rate(std::string_view key, std::string_view value, double lo,
+                  double hi) {
+  const std::string v(value);
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || !std::isfinite(x) || x < lo ||
+      x > hi)
+    throw std::runtime_error("fault spec: bad value for '" +
+                             std::string(key) + "': '" + v + "'");
+  return x;
+}
+
+}  // namespace
+
+std::string FaultProfile::spec() const {
+  const FaultProfile defaults;
+  std::string out;
+  if (drop_rate != defaults.drop_rate) append_kv(out, "drop", drop_rate);
+  if (ack_loss_rate != defaults.ack_loss_rate)
+    append_kv(out, "dup", ack_loss_rate);
+  if (max_retransmits != defaults.max_retransmits)
+    append_kv(out, "retries", max_retransmits);
+  if (backoff_base_s != defaults.backoff_base_s)
+    append_kv(out, "backoff", backoff_base_s);
+  if (backoff_cap_s != defaults.backoff_cap_s)
+    append_kv(out, "backoff_cap", backoff_cap_s);
+  if (delivery_jitter_s != defaults.delivery_jitter_s)
+    append_kv(out, "jitter", delivery_jitter_s);
+  if (clock_skew_s != defaults.clock_skew_s)
+    append_kv(out, "skew", clock_skew_s);
+  if (corrupt_rate != defaults.corrupt_rate)
+    append_kv(out, "corrupt", corrupt_rate);
+  if (vt_loss_rate != defaults.vt_loss_rate)
+    append_kv(out, "vt_loss", vt_loss_rate);
+  if (label_delay_mean_days != defaults.label_delay_mean_days)
+    append_kv(out, "label_delay", label_delay_mean_days);
+  return out;
+}
+
+std::string FaultProfile::cache_key() const {
+  if (!any()) return {};
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "f%08x",
+                static_cast<unsigned>(util::fnv1a64(spec()) & 0xFFFFFFFFu));
+  return buf;
+}
+
+std::optional<FaultProfile> named_fault_profile(std::string_view name) {
+  FaultProfile p;
+  if (name == "off" || name == "none") return p;
+  if (name == "mild") {
+    p.drop_rate = 0.002;
+    p.ack_loss_rate = 0.005;
+    p.delivery_jitter_s = 30.0;
+    p.clock_skew_s = 15.0;
+    p.corrupt_rate = 0.0005;
+    p.vt_loss_rate = 0.01;
+    p.label_delay_mean_days = 3.0;
+    return p;
+  }
+  if (name == "moderate") {
+    p.drop_rate = 0.01;
+    p.ack_loss_rate = 0.03;
+    p.delivery_jitter_s = 120.0;
+    p.clock_skew_s = 60.0;
+    p.corrupt_rate = 0.002;
+    p.vt_loss_rate = 0.05;
+    p.label_delay_mean_days = 14.0;
+    return p;
+  }
+  if (name == "severe") {
+    p.drop_rate = 0.05;
+    p.ack_loss_rate = 0.10;
+    p.delivery_jitter_s = 600.0;
+    p.clock_skew_s = 300.0;
+    p.corrupt_rate = 0.01;
+    p.vt_loss_rate = 0.15;
+    p.label_delay_mean_days = 45.0;
+    return p;
+  }
+  return std::nullopt;
+}
+
+FaultProfile parse_fault_profile(std::string_view text) {
+  if (const auto named = named_fault_profile(text)) return *named;
+
+  FaultProfile p;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos)
+      throw std::runtime_error("fault spec: expected key=value, got '" +
+                               std::string(item) + "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "drop") {
+      p.drop_rate = parse_rate(key, value, 0.0, 1.0);
+    } else if (key == "dup") {
+      p.ack_loss_rate = parse_rate(key, value, 0.0, 1.0);
+    } else if (key == "retries") {
+      p.max_retransmits =
+          static_cast<std::uint32_t>(parse_rate(key, value, 0.0, 64.0));
+    } else if (key == "backoff") {
+      p.backoff_base_s = parse_rate(key, value, 0.0, 1e9);
+    } else if (key == "backoff_cap") {
+      p.backoff_cap_s = parse_rate(key, value, 0.0, 1e9);
+    } else if (key == "jitter") {
+      p.delivery_jitter_s = parse_rate(key, value, 0.0, 1e9);
+    } else if (key == "skew") {
+      p.clock_skew_s = parse_rate(key, value, 0.0, 1e9);
+    } else if (key == "corrupt") {
+      p.corrupt_rate = parse_rate(key, value, 0.0, 1.0);
+    } else if (key == "vt_loss") {
+      p.vt_loss_rate = parse_rate(key, value, 0.0, 1.0);
+    } else if (key == "label_delay") {
+      p.label_delay_mean_days = parse_rate(key, value, 0.0, 1e6);
+    } else {
+      throw std::runtime_error("fault spec: unknown key '" +
+                               std::string(key) + "'");
+    }
+  }
+  return p;
+}
+
+FaultProfile faults_from_env() {
+  const char* env = std::getenv("LONGTAIL_FAULTS");
+  if (env == nullptr || *env == '\0') return {};
+  try {
+    return parse_fault_profile(env);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr,
+                 "[longtail] warning: invalid LONGTAIL_FAULTS='%s' (%s); "
+                 "running fault-free\n",
+                 env, ex.what());
+    return {};
+  }
+}
+
+}  // namespace longtail::telemetry

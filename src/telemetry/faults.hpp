@@ -1,0 +1,116 @@
+// The deterministic fault model for the agent→collection-server transport
+// and the ground-truth evidence feed.
+//
+// Real vendor telemetry is not the idealized, loss-free, perfectly ordered
+// stream the seed pipeline replays: agents go offline mid-upload, lost
+// acks trigger retransmitted duplicates, machine clocks drift, payloads
+// arrive mangled, and VirusTotal labels trickle in late or never (the
+// label churn documented by the VT-feed measurement literature). A
+// `FaultProfile` quantifies each of those failure modes as a rate; the
+// transport layer (telemetry/transport.hpp) draws every fault from a
+// per-event RNG substream of the profile seed, so a faulted run is
+// bit-identical across `LONGTAIL_THREADS` values and across reruns.
+//
+// Profiles come from three places:
+//   * all-zero default — faults off; the pipeline byte-matches the seed;
+//   * named presets ("mild", "moderate", "severe") — the degradation
+//     sweep of bench/table_robustness.cpp;
+//   * a rate-spec string ("drop=0.01,dup=0.05,skew=120,...") — ad hoc,
+//     via the LONGTAIL_FAULTS environment variable (see faults_from_env).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace longtail::telemetry {
+
+struct FaultProfile {
+  // --- transport faults (agent → collection server) ---
+  // P(a report never arrives): the agent was offline or the upload was
+  // lost past the retry budget.
+  double drop_rate = 0.0;
+  // P(the server's ack is lost after a delivery). Each lost ack makes the
+  // agent retransmit — the server receives a duplicate copy.
+  double ack_loss_rate = 0.0;
+  // Retry budget: at most this many retransmitted copies per report.
+  std::uint32_t max_retransmits = 3;
+  // Capped exponential backoff between retransmits, in seconds: the k-th
+  // retransmit is sent min(backoff_base_s * 2^k, backoff_cap_s) after the
+  // previous copy.
+  double backoff_base_s = 30.0;
+  double backoff_cap_s = 480.0;
+  // Per-report network delay, uniform in [0, delivery_jitter_s]: reports
+  // from different machines overtake each other within this bound.
+  double delivery_jitter_s = 0.0;
+  // Per-machine agent clock offset, uniform in [-clock_skew_s,
+  // +clock_skew_s]: the *reported* event timestamps of one machine are
+  // all shifted by its offset (bounded, so a bounded reorder buffer can
+  // restore time order).
+  double clock_skew_s = 0.0;
+  // P(a delivered payload is malformed): one field arrives corrupted in a
+  // detectable way (out-of-range url/file id, impossible timestamp). The
+  // collection server must quarantine these, not count them.
+  double corrupt_rate = 0.0;
+
+  // --- ground-truth faults (VT evidence feed) ---
+  // P(a file's VT report never materializes): the sample was never
+  // (successfully) submitted, so the labeler sees "unknown".
+  double vt_loss_rate = 0.0;
+  // Mean extra delay, in days, on every engine signature: labels arrive
+  // later than they did in the idealized feed, so as-of-time verdicts
+  // (deploy::OnlineLabeler) train on staler evidence. Exponentially
+  // distributed per detection.
+  double label_delay_mean_days = 0.0;
+
+  [[nodiscard]] bool transport_active() const noexcept {
+    return drop_rate > 0.0 || ack_loss_rate > 0.0 ||
+           delivery_jitter_s > 0.0 || clock_skew_s > 0.0 ||
+           corrupt_rate > 0.0;
+  }
+  [[nodiscard]] bool labels_active() const noexcept {
+    return vt_loss_rate > 0.0 || label_delay_mean_days > 0.0;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return transport_active() || labels_active();
+  }
+
+  // Upper bound on how far a report's *reported* occurrence time can lag
+  // behind the arrival watermark: one network-jitter window plus the
+  // worst-case spread between two machines' clocks. The collection
+  // server's reorder buffer uses this as its horizon, so in-budget
+  // reorderings are always repaired and only pathological stragglers are
+  // dropped as stale.
+  [[nodiscard]] double reorder_horizon_s() const noexcept {
+    return delivery_jitter_s + 2.0 * clock_skew_s;
+  }
+
+  // Canonical "k=v,k=v" spec (only non-default fields). Parsing the
+  // result reproduces the profile; also the cache-key ingredient.
+  [[nodiscard]] std::string spec() const;
+
+  // Short stable hex tag of the spec, for cache file names. The zero
+  // profile returns an empty string so fault-free cache paths are
+  // unchanged from the fault-unaware code.
+  [[nodiscard]] std::string cache_key() const;
+};
+
+// Named presets for the degradation sweep. Recognized: "off"/"none",
+// "mild", "moderate", "severe". Returns nullopt for unknown names.
+[[nodiscard]] std::optional<FaultProfile> named_fault_profile(
+    std::string_view name);
+
+// Parses a profile from a named preset or a "k=v,k=v" rate spec. Keys:
+// drop, dup (ack-loss rate), retries, backoff (base seconds), backoff_cap,
+// jitter (seconds), skew (seconds), corrupt, vt_loss, label_delay (days).
+// Throws std::runtime_error on unknown keys or malformed values.
+[[nodiscard]] FaultProfile parse_fault_profile(std::string_view text);
+
+// The LONGTAIL_FAULTS environment knob: unset/empty means the zero
+// profile (faults off — the byte-identical seed path). An invalid value
+// warns on stderr and falls back to the zero profile rather than
+// silently perturbing the dataset.
+[[nodiscard]] FaultProfile faults_from_env();
+
+}  // namespace longtail::telemetry

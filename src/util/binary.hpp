@@ -4,6 +4,14 @@
 // Fixed-width little-endian integers, length-prefixed strings, and bulk
 // POD-array copies. The format is only written and read on little-endian
 // hosts (enforced below), so values are stored in native byte order.
+//
+// Both ends keep a running FNV-1a hash of every byte written/read. A
+// format ends its file with `write_checksum()` (the hash as a trailing
+// u64, itself unhashed) and its loader ends with `verify_checksum()` —
+// any bit flip or truncation anywhere in the image then fails with a
+// typed std::runtime_error instead of loading silently-corrupt data.
+// (The corpus fingerprint only covers the corpus section; the checksum
+// covers everything, including truth/whitelist/VT sections.)
 #pragma once
 
 #include <bit>
@@ -17,10 +25,22 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/hash.hpp"
+
 namespace longtail::util {
 
 static_assert(std::endian::native == std::endian::little,
               "binary corpus format assumes a little-endian host");
+
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* p,
+                                 std::size_t n) noexcept {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
 
 class BinaryWriter {
  public:
@@ -49,10 +69,21 @@ class BinaryWriter {
   }
 
   void bytes(const void* p, std::size_t n) {
+    hash_ = fnv1a_bytes(hash_, p, n);
     out_.write(static_cast<const char*>(p),
                static_cast<std::streamsize>(n));
     if (!out_) throw std::runtime_error("write failed: " + path_);
   }
+
+  // Appends the running whole-file hash as a trailing u64 (excluded from
+  // the hash itself). Call last, just before finish().
+  void write_checksum() {
+    const std::uint64_t h = hash_;
+    out_.write(reinterpret_cast<const char*>(&h), sizeof h);
+    if (!out_) throw std::runtime_error("write failed: " + path_);
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return hash_; }
 
   void finish() {
     out_.flush();
@@ -62,6 +93,7 @@ class BinaryWriter {
  private:
   std::string path_;
   std::ofstream out_;
+  std::uint64_t hash_ = kFnvOffset;
 };
 
 class BinaryReader {
@@ -96,18 +128,28 @@ class BinaryReader {
     in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
     if (static_cast<std::size_t>(in_.gcount()) != n)
       throw std::runtime_error("truncated binary file: " + path_);
+    hash_ = fnv1a_bytes(hash_, p, n);
   }
 
- private:
-  template <typename T>
-  [[nodiscard]] T read_pod() {
-    T v;
-    bytes(&v, sizeof v);
-    return v;
+  // Reads the trailing u64 written by BinaryWriter::write_checksum and
+  // compares it against the running hash of every byte read so far. Call
+  // after the last field of the format.
+  void verify_checksum() {
+    const std::uint64_t expected = hash_;
+    std::uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof stored);
+    if (static_cast<std::size_t>(in_.gcount()) != sizeof stored)
+      throw std::runtime_error("truncated binary file: " + path_);
+    if (stored != expected)
+      throw std::runtime_error("binary file checksum mismatch: " + path_);
   }
+
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return hash_; }
 
   // Reject counts that would outrun the file — a corrupt header must fail
-  // with a clean error, not an allocation blow-up.
+  // with a clean error, not an allocation blow-up. `elem_size` is a lower
+  // bound on the serialized bytes per element; formats that read N
+  // variable-size records call this before resizing containers by N.
   [[nodiscard]] std::size_t checked_count(std::uint64_t n,
                                           std::size_t elem_size) {
     if (remaining_ == static_cast<std::uintmax_t>(-1)) {
@@ -121,9 +163,18 @@ class BinaryReader {
     return static_cast<std::size_t>(n);
   }
 
+ private:
+  template <typename T>
+  [[nodiscard]] T read_pod() {
+    T v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+
   std::string path_;
   std::ifstream in_;
   std::uintmax_t remaining_ = static_cast<std::uintmax_t>(-1);
+  std::uint64_t hash_ = kFnvOffset;
 };
 
 }  // namespace longtail::util

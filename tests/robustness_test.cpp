@@ -3,11 +3,17 @@
 // crashes on arbitrary bytes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <vector>
 
 #include "avclass/avclass.hpp"
 #include "avtype/avtype.hpp"
+#include "synth/dataset_io.hpp"
+#include "synth/generator.hpp"
+#include "telemetry/binary.hpp"
 #include "telemetry/io.hpp"
 #include "util/domain.hpp"
 #include "util/rng.hpp"
@@ -126,6 +132,128 @@ TEST_F(CorpusImportErrors, BadDigestThrows) {
         "id\tsha\tsize\tsigned\tsigner\tca\tpacked\tpacker\n"
         "0\tnothex\t10\t0\t-\t-\t0\t-\n");
   EXPECT_THROW(telemetry::import_corpus(dir_), std::runtime_error);
+}
+
+// ------------------------------------------------- binary loader fuzzing
+//
+// The LTCP corpus and LTDS dataset readers must turn ANY damaged image
+// into a typed std::runtime_error — never a crash, hang, allocation
+// blow-up, or silent partial load. Since format version 2 both files end
+// with a whole-file FNV-1a checksum, so every single-bit flip and every
+// truncation is detectable by construction; these tests hold the readers
+// to that.
+
+class BinaryFuzz : public ::testing::Test {
+ protected:
+  static std::string temp_path(const char* name) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "longtail_robust_fuzz";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+
+  static const synth::Dataset& dataset() {
+    static const synth::Dataset ds = synth::generate_dataset(0.01);
+    return ds;
+  }
+
+  static std::string file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static void write_file(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Sampled positions covering the whole image plus every byte of the
+  // header region (magic, version, fingerprint, leading counts) — flipping
+  // any section boundary lands in one of these.
+  static std::vector<std::size_t> sample_positions(std::size_t size,
+                                                   std::size_t samples) {
+    std::vector<std::size_t> pos;
+    for (std::size_t i = 0; i < std::min<std::size_t>(size, 32); ++i)
+      pos.push_back(i);
+    const std::size_t stride = std::max<std::size_t>(1, size / samples);
+    for (std::size_t i = 32; i < size; i += stride) pos.push_back(i);
+    if (size > 0) pos.push_back(size - 1);  // the checksum's last byte
+    return pos;
+  }
+
+  template <typename LoadFn>
+  void expect_all_bit_flips_rejected(const std::string& image,
+                                     const char* scratch_name, LoadFn load) {
+    const auto scratch = temp_path(scratch_name);
+    for (const std::size_t at : sample_positions(image.size(), 192)) {
+      for (const unsigned bit : {0u, 7u}) {
+        std::string damaged = image;
+        damaged[at] = static_cast<char>(damaged[at] ^ (1u << bit));
+        write_file(scratch, damaged);
+        EXPECT_THROW((void)load(scratch), std::runtime_error)
+            << "bit " << bit << " at byte " << at << " loaded anyway";
+      }
+    }
+  }
+
+  template <typename LoadFn>
+  void expect_all_truncations_rejected(const std::string& image,
+                                       const char* scratch_name,
+                                       LoadFn load) {
+    const auto scratch = temp_path(scratch_name);
+    for (const std::size_t len : sample_positions(image.size(), 128)) {
+      write_file(scratch, image.substr(0, len));
+      EXPECT_THROW((void)load(scratch), std::runtime_error)
+          << "truncation to " << len << " bytes loaded anyway";
+    }
+  }
+
+  template <typename LoadFn>
+  void expect_random_bytes_rejected(const char* scratch_name, LoadFn load) {
+    const auto scratch = temp_path(scratch_name);
+    util::Rng rng(1234);
+    for (int i = 0; i < 64; ++i) {
+      write_file(scratch, random_bytes(rng, 4096));
+      EXPECT_THROW((void)load(scratch), std::runtime_error);
+    }
+  }
+};
+
+TEST_F(BinaryFuzz, CorpusLoaderRejectsRandomBytes) {
+  expect_random_bytes_rejected("ltcp_random.bin", telemetry::load_binary);
+}
+
+TEST_F(BinaryFuzz, CorpusLoaderRejectsEveryBitFlip) {
+  const auto path = temp_path("ltcp_good.bin");
+  telemetry::save_binary(dataset().corpus, path);
+  expect_all_bit_flips_rejected(file_bytes(path), "ltcp_flip.bin",
+                                telemetry::load_binary);
+}
+
+TEST_F(BinaryFuzz, CorpusLoaderRejectsEveryTruncation) {
+  const auto path = temp_path("ltcp_good.bin");
+  telemetry::save_binary(dataset().corpus, path);
+  expect_all_truncations_rejected(file_bytes(path), "ltcp_trunc.bin",
+                                  telemetry::load_binary);
+}
+
+TEST_F(BinaryFuzz, DatasetLoaderRejectsRandomBytes) {
+  expect_random_bytes_rejected("ltds_random.bin", synth::load_dataset_binary);
+}
+
+TEST_F(BinaryFuzz, DatasetLoaderRejectsEveryBitFlip) {
+  const auto path = temp_path("ltds_good.bin");
+  synth::save_dataset_binary(dataset(), path);
+  expect_all_bit_flips_rejected(file_bytes(path), "ltds_flip.bin",
+                                synth::load_dataset_binary);
+}
+
+TEST_F(BinaryFuzz, DatasetLoaderRejectsEveryTruncation) {
+  const auto path = temp_path("ltds_good.bin");
+  synth::save_dataset_binary(dataset(), path);
+  expect_all_truncations_rejected(file_bytes(path), "ltds_trunc.bin",
+                                  synth::load_dataset_binary);
 }
 
 }  // namespace
