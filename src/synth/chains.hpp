@@ -1,0 +1,107 @@
+// Deterministic infection-chain demand matching (Fig. 5).
+//
+// The generator models the paper's downloader→malware chains as a
+// demand/consumer problem: every resolved event of a labeled chain
+// initiator (adware / PUP / dropper) *produces* a demand — "this machine
+// is primed for follow-up malware at time t" — and every event slot of a
+// labeled other-malware file may *consume* one, inheriting the demand's
+// machine and a type-specific transition delta.
+//
+// The serial generator resolved this with two mutable queues, which made
+// the phase inherently order-dependent. This engine replaces the queues
+// with a seeded hash-partition assignment that is bit-identical across
+// LONGTAIL_THREADS and reruns by construction:
+//
+//   1. Demands are sharded into K fixed partitions by
+//      hash(seed, machine); consumers by hash(seed, file). The shard
+//      count is a constant, never the thread count.
+//   2. Partitions match independently (and in parallel): demands are
+//      shuffled with a per-partition substream and handed out in order
+//      to the partition's consumers, preferring each consumer's queue
+//      kind and never giving one file the same machine twice.
+//   3. Consumers whose partition ran dry spill into a single serial
+//      fixup pass over the leftover demands of every partition, so
+//      global supply is exhausted before any consumer goes unmatched.
+//
+// Because every random draw comes from a substream keyed on (seed,
+// partition) or (seed, fixup), the assignment is a pure function of the
+// inputs. See docs/synth-chains.md for the design discussion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/labels.hpp"
+#include "model/time.hpp"
+#include "synth/calibration.hpp"
+#include "util/rng.hpp"
+
+namespace longtail::synth::chains {
+
+// Fixed partition count: data-derived determinism (never the thread
+// count). 16 partitions keep every partition large enough to satisfy
+// most consumers locally at the default scales while exposing ample
+// parallelism.
+inline constexpr std::size_t kDefaultPartitions = 16;
+
+// Sentinel for "no demand assigned".
+inline constexpr std::uint32_t kUnmatched = 0xFFFF'FFFFu;
+
+// The two demand queues of the serial implementation, now tags.
+enum class QueueKind : std::uint8_t { kAdwarePup = 0, kDropper = 1 };
+inline constexpr std::size_t kNumQueueKinds = 2;
+
+// One primed machine: an initiator event that may attract follow-ups.
+struct Demand {
+  model::MachineId machine;
+  model::Timestamp time = 0;
+  model::MalwareType initiator = model::MalwareType::kUndefined;
+  QueueKind kind = QueueKind::kAdwarePup;
+};
+
+// One event slot of an other-malware file that wants to land on a primed
+// machine. Consumers of the same file must be contiguous in the input
+// (the generator emits them in file-id order).
+struct Consumer {
+  std::uint32_t file = 0;
+  QueueKind preferred = QueueKind::kAdwarePup;
+};
+
+struct MatchStats {
+  std::uint64_t demands = 0;
+  std::uint64_t consumers = 0;
+  std::uint64_t matched = 0;          // total assignments
+  std::uint64_t spilled = 0;          // consumers sent to the fixup pass
+  std::uint64_t fixup_matched = 0;    // assignments made by the fixup
+  std::uint64_t leftover_demands = 0; // demands nobody consumed
+};
+
+struct MatchResult {
+  // demand_for_consumer[c] = index into the demand span, or kUnmatched.
+  std::vector<std::uint32_t> demand_for_consumer;
+  // Demands that survived matching, in deterministic order.
+  std::vector<std::uint32_t> leftover_demands;
+  MatchStats stats;
+};
+
+// Matches consumers to demands. Deterministic in (seed, demands,
+// consumers, partitions); independent of LONGTAIL_THREADS. Guarantees:
+//   * every demand is assigned to at most one consumer;
+//   * no two consumers of the same file receive the same machine;
+//   * a consumer goes unmatched only when every remaining demand's
+//     machine is already used by its file (or supply ran out).
+MatchResult match_demands(std::uint64_t seed,
+                          std::span<const Demand> demands,
+                          std::span<const Consumer> consumers,
+                          std::size_t partitions = kDefaultPartitions);
+
+// Fig. 5 transition delta: seconds from an initiator event to the
+// follow-up download, keyed by the initiating type. Day-0 mass plus an
+// exponential tail (shared by the generator and the engine tests).
+model::Timestamp transition_delta(model::MalwareType initiator,
+                                  const TransitionCalibration& tr,
+                                  util::Rng& rng);
+
+}  // namespace longtail::synth::chains

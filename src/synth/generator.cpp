@@ -6,7 +6,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include <span>
+
 #include "groundtruth/avsim.hpp"
+#include "synth/chains.hpp"
 #include "synth/world.hpp"
 #include "util/hash.hpp"
 #include "util/metrics.hpp"
@@ -30,6 +33,28 @@ using model::UrlId;
 using model::Verdict;
 
 constexpr std::size_t idx(MalwareType t) { return static_cast<std::size_t>(t); }
+
+// Chain roles (Fig. 5): adware/PUP/dropper events prime machines for
+// follow-up malware; labeled other-malware events consume those demands.
+constexpr bool is_chain_initiator(MalwareType t) {
+  return t == MalwareType::kAdware || t == MalwareType::kPup ||
+         t == MalwareType::kDropper;
+}
+constexpr bool is_other_malware_type(MalwareType t) {
+  return t != MalwareType::kAdware && t != MalwareType::kPup &&
+         t != MalwareType::kUndefined;
+}
+
+// Substream salts for the parallel resolution phases. Each phase keys
+// its per-item generator on (seed, salt, item) so the draws are
+// independent of thread count and of every other phase.
+constexpr std::uint64_t kIndependentSalt = 0x494E4451ULL;  // "INDQ"
+constexpr std::uint64_t kChainPlanSalt = 0x43504C4EULL;    // "CPLN"
+constexpr std::uint64_t kChainFillSalt = 0x4346494CULL;    // "CFIL"
+constexpr std::uint64_t kPendingSalt = 0x50454E44ULL;      // "PEND"
+constexpr std::uint64_t kRepeatSalt = 0x52505453ULL;       // "RPTS"
+constexpr std::uint64_t kMatchRoundA = 0x43484E31ULL;      // "CHN1"
+constexpr std::uint64_t kMatchRoundB = 0x43484E32ULL;      // "CHN2"
 
 // Downloader categories for the joint (file class x downloader) matrix.
 constexpr int kCatBrowser = 0;
@@ -101,19 +126,19 @@ class Generator {
   void materialize_files();
   void resolve_events();
   void resolve_pending();
+  void resolve_repeats();
   void add_decoys();
   void finalize_corpus();
   [[nodiscard]] EvidenceDraft draft_file_evidence(std::uint32_t file_index,
                                                   const FileDraft& d) const;
   void build_file_evidence();
 
-  // Independent per-file RNG substream: derived from the master seed and
-  // the file index alone (splitmix-style), so the values a file draws are
-  // the same whether files are processed serially or across N threads.
+  // Independent per-item RNG substream: derived from the master seed and
+  // the item index alone, so the values an item draws are the same
+  // whether items are processed serially or across N threads.
   [[nodiscard]] util::Rng substream(std::uint64_t salt,
                                     std::uint64_t index) const {
-    return util::Rng(util::mix64(profile_.seed ^ salt) ^
-                     util::mix64(index * 0x9E3779B97F4A7C15ULL + salt));
+    return util::substream(profile_.seed, salt, index);
   }
 
   [[nodiscard]] int class_key(const FileDraft& d) const {
@@ -143,10 +168,53 @@ class Generator {
 
   enum class MachinePool { kPlain, kRisky, kHeavy };
 
-  DomainId pick_domain(const FileDraft& d);
+  // One resolved event, staged by a parallel worker and applied serially
+  // in deterministic order. Secondary URLs are minted at merge time
+  // (url_on_domain mutates the shared URL table) — workers only record
+  // the chosen domain.
+  struct EventPlan {
+    std::uint32_t file = 0;
+    MachineId machine;
+    ProcessId process;
+    UrlId url;
+    DomainId domain;
+    Timestamp time = 0;
+    bool needs_url = false;
+  };
+
+  // Per-file worker output: events plus the demands/pending slots the
+  // file contributed, merged in file-id order.
+  struct FileResolution {
+    std::vector<EventPlan> events;
+    std::vector<chains::Demand> demands;
+    std::vector<PendingMalProcEvent> pending;
+  };
+
+  // Pre-match sweep output for one event slot of a chain file: every
+  // draw that does not depend on the matched machine happens here, so
+  // the fill pass is a pure function of (plan, match assignment).
+  struct SlotPlan {
+    Timestamp time = 0;
+    std::uint64_t slot_seed = 0;
+    DomainId domain;
+    int cat = 0;
+    bool is_pending = false;
+    bool wants_demand = false;
+    bool primary_url = true;
+    chains::QueueKind preferred = chains::QueueKind::kAdwarePup;
+  };
+
+  [[nodiscard]] FileResolution resolve_independent_file(
+      std::uint32_t f) const;
+  [[nodiscard]] std::vector<SlotPlan> plan_chain_file(std::uint32_t f) const;
+  [[nodiscard]] FileResolution fill_chain_file(
+      std::uint32_t f, const std::vector<SlotPlan>& plan,
+      std::span<const chains::Demand> demands,
+      std::span<const std::uint32_t> assignment) const;
+  void emit_plan(const EventPlan& p, bool track_registry);
+
+  DomainId pick_domain(const FileDraft& d, util::Rng& rng) const;
   UrlId url_on_domain(DomainId domain);
-  // Fig. 5 infection-transition delta, keyed by initiator type.
-  Timestamp delta_for(MalwareType initiator);
 
   // Machines are active in short sessions (~5-day buckets, ~5% of buckets
   // active): people install software in bursts. This produces the paper's
@@ -161,10 +229,8 @@ class Generator {
            5;
   }
   MachineId pick_machine(MachinePool pool, const std::vector<MachineId>& used,
-                         Timestamp t);
-  ProcessId process_for(int cat, MachineId machine);
-  void emit(std::uint32_t file, MachineId machine, ProcessId process,
-            UrlId url, Timestamp t, bool executed = true);
+                         Timestamp t, util::Rng& rng) const;
+  ProcessId process_for(int cat, MachineId machine, util::Rng& rng) const;
 
   CalibrationProfile profile_;
   util::Rng rng_;
@@ -383,7 +449,7 @@ void Generator::draft_files() {
   }
 }
 
-DomainId Generator::pick_domain(const FileDraft& d) {
+DomainId Generator::pick_domain(const FileDraft& d, util::Rng& rng) const {
   struct RoleWeight {
     const std::vector<DomainId>* pool;
     double weight;
@@ -456,12 +522,12 @@ DomainId Generator::pick_domain(const FileDraft& d) {
 
   double total = 0;
   for (std::size_t i = 0; i < n; ++i) total += roles[i].weight;
-  double r = rng_.uniform01() * total;
+  double r = rng.uniform01() * total;
   for (std::size_t i = 0; i < n; ++i) {
     r -= roles[i].weight;
     if (r < 0 || i == n - 1) {
       const auto& pool = *roles[i].pool;
-      return pool[head_heavy(pool.size(), roles[i].alpha)];
+      return pool[head_heavy(rng, pool.size(), roles[i].alpha)];
     }
   }
   return w.tail_domains.front();
@@ -482,7 +548,7 @@ UrlId Generator::url_on_domain(DomainId domain) {
 
 MachineId Generator::pick_machine(MachinePool pool,
                                   const std::vector<MachineId>& used,
-                                  Timestamp t) {
+                                  Timestamp t, util::Rng& rng) const {
   const auto& sampler = pool == MachinePool::kHeavy
                             ? world_.machine_sampler_heavy
                             : pool == MachinePool::kRisky
@@ -492,14 +558,15 @@ MachineId Generator::pick_machine(MachinePool pool,
   // fallback after the try budget accepts a session mismatch rather than
   // looping forever.
   for (int attempt = 0; attempt < 40; ++attempt) {
-    const MachineId m{static_cast<std::uint32_t>(sampler.sample(rng_))};
+    const MachineId m{static_cast<std::uint32_t>(sampler.sample(rng))};
     if (!machine_active_at(m, t)) continue;
     if (std::find(used.begin(), used.end(), m) == used.end()) return m;
   }
-  return MachineId{static_cast<std::uint32_t>(sampler.sample(rng_))};
+  return MachineId{static_cast<std::uint32_t>(sampler.sample(rng))};
 }
 
-ProcessId Generator::process_for(int cat, MachineId machine) {
+ProcessId Generator::process_for(int cat, MachineId machine,
+                                 util::Rng& rng) const {
   const auto& w = world_;
   const std::uint64_t mhash =
       util::mix64(machine.raw() * 0x9E3779B97F4A7C15ULL + 17);
@@ -530,167 +597,264 @@ ProcessId Generator::process_for(int cat, MachineId machine) {
       const auto& range = w.other_procs;
       return ProcessId{
           range.begin +
-          static_cast<std::uint32_t>(head_heavy(range.size(), 1.8))};
+          static_cast<std::uint32_t>(head_heavy(rng, range.size(), 1.8))};
     }
     case kCatUnknownProc: {
       const auto& pool = w.unknown_procs;
-      return pool[head_heavy(pool.size(), 1.5)];
+      return pool[head_heavy(rng, pool.size(), 1.5)];
     }
     default: {  // malicious process of type (cat - kCatMalProcBase)
       const auto& pool = w.malproc_pool[static_cast<std::size_t>(
           cat - kCatMalProcBase)];
       if (pool.empty()) return w.unknown_procs.front();
-      return pool[head_heavy(pool.size(), 2.0)];
+      return pool[head_heavy(rng, pool.size(), 2.0)];
     }
   }
 }
 
-void Generator::emit(std::uint32_t file, MachineId machine, ProcessId process,
-                     UrlId url, Timestamp t, bool executed) {
-  raw_events_.push_back(model::DownloadEvent{
-      FileId{file}, machine, process, url, t, executed});
-  if (executed) {
-    file_events_[file].push_back(
-        static_cast<std::uint32_t>(raw_events_.size() - 1));
+// Applies one staged event. Runs serially, in deterministic order: this
+// is the only place the shared tables (raw_events_, file_events_, the
+// URL table via url_on_domain, registry_) are written during event
+// resolution.
+void Generator::emit_plan(const EventPlan& p, bool track_registry) {
+  const UrlId url = p.needs_url ? url_on_domain(p.domain) : p.url;
+  raw_events_.push_back(model::DownloadEvent{FileId{p.file}, p.machine,
+                                             p.process, url, p.time, true});
+  file_events_[p.file].push_back(
+      static_cast<std::uint32_t>(raw_events_.size() - 1));
+  if (track_registry) {
+    const auto& d = drafts_[p.file];
+    if (d.nature == Nature::kMalicious)
+      registry_[idx(d.type)].push_back({p.machine, p.time});
   }
+}
+
+// Phase 1 worker: resolve every event slot of a file that neither
+// consumes demands nor is a labeled dropper. Pure function of
+// (world, drafts, seed, f) — safe to run from any thread.
+Generator::FileResolution Generator::resolve_independent_file(
+    std::uint32_t f) const {
+  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
+  const auto& d = drafts_[f];
+  util::Rng rng = substream(kIndependentSalt, f);
+  FileResolution res;
+  std::vector<MachineId> used;
+  used.reserve(d.prevalence);
+  for (std::uint32_t i = 0; i < d.prevalence; ++i) {
+    const int cat = (i == 0 || rng.bernoulli(0.85))
+                        ? d.primary_cat
+                        : static_cast<int>(
+                              cat_samplers_[class_key(d)].sample(rng));
+    Timestamp t =
+        i == 0 ? d.first_time
+               : d.first_time + static_cast<Timestamp>(
+                                    rng.exponential(6.0 * 86'400.0));
+    t = std::min(t, period_end - 1);
+
+    if (cat >= kCatMalProcBase && cat < kCatUnknownProc) {
+      res.pending.push_back(
+          {f, static_cast<MalwareType>(cat - kCatMalProcBase)});
+      continue;
+    }
+
+    // Casual machines download popular files; the long tail of
+    // prevalence-1 unknown files lands on heavy downloaders. This is
+    // what keeps "machines that saw an unknown file" near 69% (§IV-A)
+    // while total machine coverage stays at the paper's events/machine.
+    // Malicious events lean on risky machines but keep substantial
+    // overlap with the plain population: the paper's Fig. 5 control
+    // shows even benign-only machines pick up malware at a steady
+    // background rate.
+    const MachinePool pool =
+        d.intended == Verdict::kUnknown
+            ? MachinePool::kHeavy
+            : (d.nature == Nature::kMalicious && rng.bernoulli(0.6)
+                   ? MachinePool::kRisky
+                   : MachinePool::kPlain);
+    const MachineId machine = pick_machine(pool, used, t, rng);
+    used.push_back(machine);
+
+    EventPlan ev;
+    ev.file = f;
+    ev.machine = machine;
+    ev.time = t;
+    if (rng.bernoulli(0.9)) {
+      ev.url = d.primary_url;
+    } else {
+      ev.needs_url = true;
+      ev.domain = pick_domain(d, rng);
+    }
+    ev.process = process_for(cat, machine, rng);
+    res.events.push_back(ev);
+
+    // Labeled chain initiators prime their machine for follow-ups.
+    // Phase 1 holds the adware/PUP initiators (droppers are phase 2).
+    if (d.intended == Verdict::kMalicious && is_chain_initiator(d.type) &&
+        rng.bernoulli(0.9))
+      res.demands.push_back(
+          {machine, t, d.type, chains::QueueKind::kAdwarePup});
+  }
+  return res;
+}
+
+// Chain-file sweep: draws everything that does not depend on the matched
+// machine (category, base time, demand appetite, queue preference, URL
+// choice) so the matching engine sees all demands and consumer slots at
+// once.
+std::vector<Generator::SlotPlan> Generator::plan_chain_file(
+    std::uint32_t f) const {
+  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
+  const auto& d = drafts_[f];
+  util::Rng rng = substream(kChainPlanSalt, f);
+  std::vector<SlotPlan> plan(d.prevalence);
+  for (std::uint32_t i = 0; i < d.prevalence; ++i) {
+    SlotPlan& s = plan[i];
+    s.cat = (i == 0 || rng.bernoulli(0.85))
+                ? d.primary_cat
+                : static_cast<int>(cat_samplers_[class_key(d)].sample(rng));
+    const Timestamp t =
+        i == 0 ? d.first_time
+               : d.first_time + static_cast<Timestamp>(
+                                    rng.exponential(6.0 * 86'400.0));
+    s.time = std::min(t, period_end - 1);
+    if (s.cat >= kCatMalProcBase && s.cat < kCatUnknownProc) {
+      s.is_pending = true;
+      continue;
+    }
+    s.wants_demand = rng.bernoulli(0.9);
+    // Queue preference mirrors the serial policy: droppers mostly follow
+    // adware/PUP chains (bundled installers drop the next stage) but
+    // sometimes re-drop on dropper machines; other malware splits
+    // between the queues.
+    const bool prefer_dropper = d.type == MalwareType::kDropper
+                                    ? rng.bernoulli(0.35)
+                                    : rng.bernoulli(0.5);
+    s.preferred = prefer_dropper ? chains::QueueKind::kDropper
+                                 : chains::QueueKind::kAdwarePup;
+    if (!rng.bernoulli(0.9)) {
+      s.primary_url = false;
+      s.domain = pick_domain(d, rng);
+    }
+    s.slot_seed = rng.next_u64();
+  }
+  return plan;
+}
+
+// Chain-file fill: applies the match assignment. Consumer slots that won
+// a demand inherit its machine and a Fig. 5 transition delta; everything
+// else picks an independent machine. The demand machines are committed
+// to `used` up front so a fresh pick can never collide with a machine
+// the matching engine already granted this file.
+Generator::FileResolution Generator::fill_chain_file(
+    std::uint32_t f, const std::vector<SlotPlan>& plan,
+    std::span<const chains::Demand> demands,
+    std::span<const std::uint32_t> assignment) const {
+  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
+  const auto& d = drafts_[f];
+  util::Rng rng = substream(kChainFillSalt, f);
+  FileResolution res;
+  std::vector<MachineId> used;
+  used.reserve(plan.size());
+
+  std::size_t ci = 0;
+  for (const SlotPlan& s : plan) {
+    if (s.is_pending || !s.wants_demand) continue;
+    const std::uint32_t di = assignment[ci++];
+    if (di != chains::kUnmatched) used.push_back(demands[di].machine);
+  }
+
+  ci = 0;
+  for (const SlotPlan& s : plan) {
+    if (s.is_pending) {
+      res.pending.push_back(
+          {f, static_cast<MalwareType>(s.cat - kCatMalProcBase)});
+      continue;
+    }
+    std::uint32_t di = chains::kUnmatched;
+    if (s.wants_demand) di = assignment[ci++];
+
+    MachineId machine;
+    Timestamp t = s.time;
+    if (di != chains::kUnmatched) {
+      const chains::Demand& demand = demands[di];
+      machine = demand.machine;
+      util::Rng delta_rng(s.slot_seed);
+      t = std::min(demand.time +
+                       chains::transition_delta(demand.initiator,
+                                                profile_.transitions,
+                                                delta_rng),
+                   period_end - 1);
+    } else {
+      const MachinePool pool =
+          d.intended == Verdict::kUnknown
+              ? MachinePool::kHeavy
+              : (d.nature == Nature::kMalicious && rng.bernoulli(0.6)
+                     ? MachinePool::kRisky
+                     : MachinePool::kPlain);
+      machine = pick_machine(pool, used, t, rng);
+      used.push_back(machine);
+    }
+
+    EventPlan ev;
+    ev.file = f;
+    ev.machine = machine;
+    ev.time = t;
+    if (s.primary_url) {
+      ev.url = d.primary_url;
+    } else {
+      ev.needs_url = true;
+      ev.domain = s.domain;
+    }
+    ev.process = process_for(s.cat, machine, rng);
+    res.events.push_back(ev);
+
+    // Droppers produce dropper demands for the phase-3 round.
+    if (d.intended == Verdict::kMalicious && is_chain_initiator(d.type) &&
+        rng.bernoulli(0.9))
+      res.demands.push_back({machine, t, d.type, chains::QueueKind::kDropper});
+  }
+  return res;
 }
 
 void Generator::resolve_events() {
-  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
   file_events_.resize(drafts_.size());
 
-  // Infection-chain demands (Fig. 5): a machine that downloads and runs an
-  // adware/PUP/dropper is likely to fetch *other* malware shortly after.
-  // Initiator events push a demand; later other-malware events consume one,
-  // inheriting the machine and a type-specific time delta.
-  struct Demand {
-    MachineId machine;
-    Timestamp time;
-    MalwareType initiator;
-  };
-  std::vector<Demand> adware_pup_demands, dropper_demands;
-
-  auto is_chain_initiator = [](MalwareType t) {
-    return t == MalwareType::kAdware || t == MalwareType::kPup ||
-           t == MalwareType::kDropper;
-  };
-  auto is_other_malware_type = [](MalwareType t) {
-    return t != MalwareType::kAdware && t != MalwareType::kPup &&
-           t != MalwareType::kUndefined;
-  };
-
-  std::vector<MachineId> used;
-  auto resolve_file = [&](std::uint32_t f, bool consume_demands) {
-    auto& d = drafts_[f];
-    used.clear();
-    for (std::uint32_t i = 0; i < d.prevalence; ++i) {
-      const int cat = (i == 0 || rng_.bernoulli(0.85))
-                          ? d.primary_cat
-                          : static_cast<int>(
-                                cat_samplers_[class_key(d)].sample(rng_));
-      Timestamp t =
-          i == 0 ? d.first_time
-                 : d.first_time + static_cast<Timestamp>(
-                                      rng_.exponential(6.0 * 86'400.0));
-      t = std::min(t, period_end - 1);
-
-      if (cat >= kCatMalProcBase && cat < kCatUnknownProc) {
-        pending_.push_back(
-            {f, static_cast<MalwareType>(cat - kCatMalProcBase)});
-        continue;
-      }
-
-      MachineId machine;
-      bool from_demand = false;
-      if (consume_demands && rng_.bernoulli(0.9)) {
-        // Pick a demand queue: droppers favor adware/PUP chains (bundled
-        // installers drop the next stage) but also re-drop on dropper
-        // machines; other malware splits between both queues.
-        auto* queue = &adware_pup_demands;
-        if (d.type == MalwareType::kDropper) {
-          if (adware_pup_demands.empty() || rng_.bernoulli(0.35))
-            queue = &dropper_demands;
-        } else if (!dropper_demands.empty() && rng_.bernoulli(0.5)) {
-          queue = &dropper_demands;
-        }
-        if (queue->empty())
-          queue = queue == &dropper_demands ? &adware_pup_demands
-                                            : &dropper_demands;
-        if (!queue->empty()) {
-          const std::size_t pick = rng_.uniform(queue->size());
-          const Demand demand = (*queue)[pick];
-          (*queue)[pick] = queue->back();
-          queue->pop_back();
-          if (std::find(used.begin(), used.end(), demand.machine) ==
-              used.end()) {
-            machine = demand.machine;
-            t = std::min(demand.time + delta_for(demand.initiator),
-                         period_end - 1);
-            from_demand = true;
-            LONGTAIL_METRIC_COUNT("synth.chain.demands_consumed", 1);
-          }
-        }
-      }
-      if (!from_demand) {
-        // Casual machines download popular files; the long tail of
-        // prevalence-1 unknown files lands on heavy downloaders. This is
-        // what keeps "machines that saw an unknown file" near 69% (§IV-A)
-        // while total machine coverage stays at the paper's events/machine.
-        // Malicious events lean on risky machines but keep substantial
-        // overlap with the plain population: the paper's Fig. 5 control
-        // shows even benign-only machines pick up malware at a steady
-        // background rate.
-        const MachinePool pool =
-            d.intended == Verdict::kUnknown
-                ? MachinePool::kHeavy
-                : (d.nature == Nature::kMalicious && rng_.bernoulli(0.6)
-                       ? MachinePool::kRisky
-                       : MachinePool::kPlain);
-        machine = pick_machine(pool, used, t);
-      }
-      used.push_back(machine);
-      const UrlId url = rng_.bernoulli(0.9) ? d.primary_url
-                                            : url_on_domain(pick_domain(d));
-      emit(f, machine, process_for(cat, machine), url, t);
-      if (d.nature == Nature::kMalicious)
-        registry_[idx(d.type)].push_back({machine, t});
-
-      // Labeled chain initiators prime their machine for follow-ups.
-      if (d.intended == Verdict::kMalicious && is_chain_initiator(d.type) &&
-          rng_.bernoulli(0.9)) {
-        auto& queue = d.type == MalwareType::kDropper ? dropper_demands
-                                                      : adware_pup_demands;
-        queue.push_back({machine, t, d.type});
-        LONGTAIL_METRIC_COUNT("synth.chain.demands_produced", 1);
-      }
+  // Classify once. Phase 1: everything that is not labeled other-malware
+  // — these files build the adware/PUP demand queue. Phase 2: labeled
+  // droppers (consume adware/PUP demands, produce dropper demands).
+  // Phase 3: remaining labeled other-malware consumes what is left.
+  std::vector<std::uint32_t> phase1, phase2, phase3;
+  phase1.reserve(drafts_.size());
+  for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
+    const auto& d = drafts_[f];
+    const bool labeled_malware = d.intended == Verdict::kMalicious;
+    if (labeled_malware && d.type == MalwareType::kDropper) {
+      phase2.push_back(f);
+    } else if (labeled_malware && is_other_malware_type(d.type)) {
+      phase3.push_back(f);
+    } else {
+      phase1.push_back(f);
     }
-  };
+  }
 
-  // Phase 1: everything that is not labeled other-malware — this builds
-  // the demand queues. Phase 2: dropper files (consume adware/PUP demands,
-  // produce dropper demands). Phase 3: remaining other-malware files
-  // consume demands (droppers' first).
-  //
-  // The demand-queue phases are the still-serial core of the generator
-  // (ROADMAP's next parallelization candidate); they get a dedicated span
-  // and event counters so BENCH_pipeline.json carries a measured baseline
-  // for that work.
-  std::vector<std::uint32_t> phase2, phase3;
+  // Live demand pool: adware/PUP demands after phase 1, leftovers plus
+  // dropper demands after round A.
+  std::vector<chains::Demand> demands;
   {
     LONGTAIL_TRACE_SPAN("synth.resolve_events.independent");
     LONGTAIL_METRIC_TIMER("synth.resolve_events.independent_ms");
-    for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
-      const auto& d = drafts_[f];
-      const bool labeled_malware = d.intended == Verdict::kMalicious;
-      if (labeled_malware && d.type == MalwareType::kDropper) {
-        phase2.push_back(f);
-      } else if (labeled_malware && is_other_malware_type(d.type)) {
-        phase3.push_back(f);
-      } else {
-        resolve_file(f, /*consume_demands=*/false);
-      }
+    auto resolved = util::parallel_map(
+        phase1.size(),
+        [&](std::size_t i) { return resolve_independent_file(phase1[i]); },
+        /*grain=*/64);
+    for (const FileResolution& res : resolved) {
+      for (const EventPlan& ev : res.events)
+        emit_plan(ev, /*track_registry=*/true);
+      demands.insert(demands.end(), res.demands.begin(), res.demands.end());
+      pending_.insert(pending_.end(), res.pending.begin(), res.pending.end());
     }
   }
+
   {
     LONGTAIL_TRACE_SPAN_DETAIL(
         "synth.resolve_events.demand_queues",
@@ -698,8 +862,74 @@ void Generator::resolve_events() {
     LONGTAIL_METRIC_TIMER("synth.resolve_events.demand_queues_ms");
     LONGTAIL_METRIC_COUNT("synth.chain.files_resolved",
                           phase2.size() + phase3.size());
-    for (const auto f : phase2) resolve_file(f, /*consume_demands=*/true);
-    for (const auto f : phase3) resolve_file(f, /*consume_demands=*/true);
+    std::uint64_t produced = demands.size();
+    std::uint64_t consumed = 0;
+
+    // One matching round: sweep the files' slot plans in parallel, hand
+    // the demand pool to the matching engine, fill in parallel, then
+    // merge in file-id order. Returns the demands the next round may
+    // still consume (unconsumed survivors); new demands produced by this
+    // round's files accumulate in `next_demands`.
+    auto run_round = [&](const std::vector<std::uint32_t>& files,
+                         std::uint64_t match_salt,
+                         std::vector<chains::Demand>& next_demands) {
+      auto plans = util::parallel_map(
+          files.size(),
+          [&](std::size_t i) { return plan_chain_file(files[i]); },
+          /*grain=*/128);
+
+      std::vector<chains::Consumer> consumers;
+      std::vector<std::size_t> offsets(files.size() + 1, 0);
+      for (std::size_t i = 0; i < files.size(); ++i) {
+        offsets[i] = consumers.size();
+        for (const SlotPlan& s : plans[i])
+          if (!s.is_pending && s.wants_demand)
+            consumers.push_back({files[i], s.preferred});
+      }
+      offsets[files.size()] = consumers.size();
+
+      const auto match =
+          chains::match_demands(profile_.seed ^ match_salt, demands,
+                                consumers, chains::kDefaultPartitions);
+      consumed += match.stats.matched;
+
+      const std::span<const std::uint32_t> assignment(
+          match.demand_for_consumer);
+      auto filled = util::parallel_map(
+          files.size(),
+          [&](std::size_t i) {
+            return fill_chain_file(
+                files[i], plans[i], demands,
+                assignment.subspan(offsets[i], offsets[i + 1] - offsets[i]));
+          },
+          /*grain=*/128);
+      for (const FileResolution& res : filled) {
+        for (const EventPlan& ev : res.events)
+          emit_plan(ev, /*track_registry=*/true);
+        next_demands.insert(next_demands.end(), res.demands.begin(),
+                            res.demands.end());
+        pending_.insert(pending_.end(), res.pending.begin(),
+                        res.pending.end());
+      }
+
+      std::vector<chains::Demand> survivors;
+      survivors.reserve(match.leftover_demands.size());
+      for (const std::uint32_t di : match.leftover_demands)
+        survivors.push_back(demands[di]);
+      demands = std::move(survivors);
+    };
+
+    std::vector<chains::Demand> dropper_demands;
+    run_round(phase2, kMatchRoundA, dropper_demands);
+    produced += dropper_demands.size();
+    demands.insert(demands.end(), dropper_demands.begin(),
+                   dropper_demands.end());
+    std::vector<chains::Demand> unused_demands;
+    run_round(phase3, kMatchRoundB, unused_demands);
+
+    LONGTAIL_METRIC_COUNT("synth.chain.demands_produced", produced);
+    LONGTAIL_METRIC_COUNT("synth.chain.demands_consumed", consumed);
+    LONGTAIL_METRIC_COUNT("synth.chain.leftover_demands", demands.size());
   }
 
   {
@@ -709,68 +939,101 @@ void Generator::resolve_events() {
     resolve_pending();
   }
 
-  // Repeat downloads: same machine re-fetches a file it already has.
-  LONGTAIL_TRACE_SPAN("synth.resolve_events.repeats");
-  for (std::uint32_t f = 0; f < drafts_.size(); ++f) {
-    const auto& d = drafts_[f];
-    if (d.repeats == 0 || file_events_[f].empty()) continue;
-    for (std::uint32_t r = 0; r < d.repeats; ++r) {
-      const auto& src =
-          raw_events_[file_events_[f][rng_.uniform(file_events_[f].size())]];
-      const Timestamp t = std::min(
-          src.time + static_cast<Timestamp>(3'600 + rng_.uniform(71 * 3'600)),
-          period_end - 1);
-      emit(f, src.machine, src.process, src.url, t);
-    }
+  {
+    LONGTAIL_TRACE_SPAN("synth.resolve_events.repeats");
+    LONGTAIL_METRIC_TIMER("synth.resolve_events.repeats_ms");
+    resolve_repeats();
   }
-}
-
-Timestamp Generator::delta_for(MalwareType initiator) {
-  const auto& tr = profile_.transitions;
-  double day0, mean;
-  switch (initiator) {
-    case MalwareType::kDropper:
-      day0 = tr.dropper_day0; mean = tr.dropper_mean_days; break;
-    case MalwareType::kAdware:
-      day0 = tr.adware_day0; mean = tr.adware_mean_days; break;
-    case MalwareType::kPup:
-      day0 = tr.pup_day0; mean = tr.pup_mean_days; break;
-    default:
-      day0 = tr.default_day0; mean = tr.default_mean_days; break;
-  }
-  const double days = rng_.bernoulli(day0)
-                          ? rng_.uniform01() * 0.9
-                          : 1.0 + rng_.exponential(mean);
-  return static_cast<Timestamp>(days * 86'400.0);
 }
 
 void Generator::resolve_pending() {
   const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
 
-  for (const auto& p : pending_) {
-    auto& d = drafts_[p.file];
-    const auto& reg = registry_[idx(p.proc_type)];
-    MachineId machine;
-    Timestamp t;
-    if (reg.empty()) {
-      // No machine is infected with this process type (possible at tiny
-      // scales): fall back to an independent risky machine.
-      static const std::vector<MachineId> kNoUsed;
-      t = d.first_time;
-      machine = pick_machine(MachinePool::kRisky, kNoUsed, t);
-    } else {
-      const auto& rec = reg[rng_.uniform(reg.size())];
-      machine = rec.machine;
-      t = std::min(rec.time + delta_for(p.proc_type), period_end - 1);
-    }
-    const UrlId url = rng_.bernoulli(0.9) ? d.primary_url
-                                          : url_on_domain(pick_domain(d));
-    const int cat = kCatMalProcBase + static_cast<int>(idx(p.proc_type));
-    emit(p.file, machine, process_for(cat, machine), url, t);
-    if (d.nature == Nature::kMalicious)
-      registry_[idx(d.type)].push_back({machine, t});
-  }
+  // Workers sample against the registry as frozen at this point (all
+  // three event phases have merged); emissions below append to it only
+  // after every worker is done.
+  auto resolved = util::parallel_map(
+      pending_.size(),
+      [&](std::size_t i) {
+        const auto& p = pending_[i];
+        const auto& d = drafts_[p.file];
+        util::Rng rng = substream(kPendingSalt, i);
+        const auto& reg = registry_[idx(p.proc_type)];
+        EventPlan ev;
+        ev.file = p.file;
+        if (reg.empty()) {
+          // No machine is infected with this process type (possible at
+          // tiny scales): fall back to an independent risky machine.
+          static const std::vector<MachineId> kNoUsed;
+          ev.time = d.first_time;
+          ev.machine =
+              pick_machine(MachinePool::kRisky, kNoUsed, ev.time, rng);
+        } else {
+          const auto& rec = reg[rng.uniform(reg.size())];
+          ev.machine = rec.machine;
+          ev.time = std::min(
+              rec.time + chains::transition_delta(p.proc_type,
+                                                  profile_.transitions, rng),
+              period_end - 1);
+        }
+        if (rng.bernoulli(0.9)) {
+          ev.url = d.primary_url;
+        } else {
+          ev.needs_url = true;
+          ev.domain = pick_domain(d, rng);
+        }
+        const int cat = kCatMalProcBase + static_cast<int>(idx(p.proc_type));
+        ev.process = process_for(cat, ev.machine, rng);
+        return ev;
+      },
+      /*grain=*/256);
+  for (const EventPlan& ev : resolved) emit_plan(ev, /*track_registry=*/true);
   pending_.clear();
+}
+
+// Repeat downloads: same machine re-fetches a file it already has. Each
+// file's repeats depend only on its own resolved events, so files run in
+// parallel; a repeat may clone an earlier repeat of the same file.
+void Generator::resolve_repeats() {
+  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
+  auto repeats = util::parallel_map(
+      drafts_.size(),
+      [&](std::size_t f) {
+        std::vector<EventPlan> out;
+        const auto& d = drafts_[f];
+        const auto& base = file_events_[f];
+        if (d.repeats == 0 || base.empty()) return out;
+        util::Rng rng = substream(kRepeatSalt, f);
+        out.reserve(d.repeats);
+        for (std::uint32_t r = 0; r < d.repeats; ++r) {
+          const std::size_t pick = rng.uniform(base.size() + out.size());
+          EventPlan ev;
+          ev.file = static_cast<std::uint32_t>(f);
+          Timestamp src_time;
+          if (pick < base.size()) {
+            const auto& src = raw_events_[base[pick]];
+            ev.machine = src.machine;
+            ev.process = src.process;
+            ev.url = src.url;
+            src_time = src.time;
+          } else {
+            const EventPlan& src = out[pick - base.size()];
+            ev.machine = src.machine;
+            ev.process = src.process;
+            ev.url = src.url;
+            src_time = src.time;
+          }
+          ev.time =
+              std::min(src_time + static_cast<Timestamp>(
+                                      3'600 + rng.uniform(71 * 3'600)),
+                       period_end - 1);
+          out.push_back(ev);
+        }
+        return out;
+      },
+      /*grain=*/128);
+  for (const auto& out : repeats)
+    for (const EventPlan& ev : out) emit_plan(ev, /*track_registry=*/false);
 }
 
 void Generator::add_decoys() {
@@ -915,7 +1178,7 @@ void Generator::materialize_files() {
     world_.truth.file_family.push_back(d.family);
     world_.truth.file_family_extractable.push_back(d.extractable);
     world_.truth.file_intended.push_back(d.intended);
-    d.primary_url = url_on_domain(pick_domain(d));
+    d.primary_url = url_on_domain(pick_domain(d, rng_));
   }
 }
 

@@ -144,6 +144,18 @@ class Rng {
   std::uint64_t seed_mix_ = 0;
 };
 
+// Independent per-item RNG substream: a generator that is a pure
+// function of (seed, salt, index), so the values item `index` draws are
+// the same whether items are processed serially or across N threads.
+// `salt` namespaces the stream per call site (use a distinct tag per
+// phase); this is the canonical keying pattern for parallel_for bodies
+// (see docs/synth-chains.md and the synth generator).
+[[nodiscard]] inline Rng substream(std::uint64_t seed, std::uint64_t salt,
+                                   std::uint64_t index) noexcept {
+  return Rng(mix64(seed ^ salt) ^
+             mix64(index * 0x9E3779B97F4A7C15ULL + salt));
+}
+
 // Alias-method sampler for repeated draws from a fixed discrete
 // distribution. O(n) construction, O(1) per sample (Walker/Vose).
 class DiscreteSampler {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hpp"
+#include "dataset_fixture.hpp"
 
 namespace longtail::analysis {
 namespace {
@@ -60,8 +61,7 @@ TEST(ProcName, MasqueradingMalwareStaysOutOfBenignTables) {
   // §V-A: the corpus contains malicious processes named like browsers and
   // Windows binaries; they must be excluded from the known-benign rows by
   // the whitelist/verdict check, not by trusting the name.
-  static const core::LongtailPipeline pipeline =
-      core::LongtailPipeline::generate(0.05);
+  const core::LongtailPipeline& pipeline = test::shared_pipeline(0.05);
   const auto& a = pipeline.annotated();
 
   std::uint64_t masquerading = 0;

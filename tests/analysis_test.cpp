@@ -4,14 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "core/longtail.hpp"
+#include "dataset_fixture.hpp"
 
 namespace longtail::analysis {
 namespace {
 
 const core::LongtailPipeline& pipeline() {
-  static const core::LongtailPipeline p =
-      core::LongtailPipeline::generate(0.04);
-  return p;
+  return test::shared_pipeline(0.04);
 }
 
 TEST(Annotate, VerdictsCoverAllEntities) {

@@ -4,13 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "dataset_fixture.hpp"
+
 namespace longtail::core {
 namespace {
 
-const LongtailPipeline& pipeline() {
-  static const LongtailPipeline p = LongtailPipeline::generate(0.08);
-  return p;
-}
+const LongtailPipeline& pipeline() { return test::shared_pipeline(0.08); }
 
 const RuleExperiment& experiment() {
   static const RuleExperiment e = pipeline().run_rule_experiment(

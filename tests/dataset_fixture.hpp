@@ -1,0 +1,33 @@
+// Shared dataset fixture: one generated pipeline per (scale) per test
+// process. The slow suites (analysis, baselines, deploy, rules, ...)
+// all read the same annotated corpus; generating it once per scale
+// instead of once per suite keeps the tier-1 wall time flat as suites
+// accumulate.
+//
+// The pipeline is generated on first use and lives for the rest of the
+// process (gtest runs suites sequentially, so the magic-static map
+// needs no extra locking beyond what the standard already gives it).
+// Never mutate the returned pipeline.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/pipeline.hpp"
+
+namespace longtail::test {
+
+inline const core::LongtailPipeline& shared_pipeline(double scale) {
+  static auto& cache =
+      *new std::map<double, std::unique_ptr<core::LongtailPipeline>>();
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(scale, std::make_unique<core::LongtailPipeline>(
+                                 synth::paper_calibration(scale)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace longtail::test

@@ -3,14 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hpp"
+#include "dataset_fixture.hpp"
 
 namespace longtail::deploy {
 namespace {
 
 const core::LongtailPipeline& pipeline() {
-  static const core::LongtailPipeline p =
-      core::LongtailPipeline::generate(0.04);
-  return p;
+  return test::shared_pipeline(0.04);
 }
 
 std::vector<MonthlyDeployStats> run_mode(bool as_of) {

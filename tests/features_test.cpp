@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/pipeline.hpp"
+#include "dataset_fixture.hpp"
 
 namespace longtail::features {
 namespace {
@@ -42,9 +43,7 @@ TEST(FeatureNames, AllFeaturesNamed) {
 class FeatureExtractionTest : public ::testing::Test {
  protected:
   static const core::LongtailPipeline& pipeline() {
-    static const core::LongtailPipeline p =
-        core::LongtailPipeline::generate(0.02);
-    return p;
+    return test::shared_pipeline(0.02);
   }
 };
 

@@ -9,6 +9,7 @@
 
 #include "analysis/monthly.hpp"
 #include "core/pipeline.hpp"
+#include "telemetry/faults.hpp"
 #include "util/thread_pool.hpp"
 
 namespace longtail {
@@ -87,6 +88,37 @@ TEST_F(PipelineDeterminismTest, IdenticalAcross1And2And8Threads) {
 
   const auto eight = observe(8);
   EXPECT_EQ(eight, serial) << "8-thread run diverged from serial";
+}
+
+TEST_F(PipelineDeterminismTest, RerunIsIdentical) {
+  // Same seed, same thread count, fresh pipeline objects: nothing in
+  // the process (allocator addresses, pool scheduling, metric state)
+  // may leak into the output.
+  const auto first = observe(4);
+  const auto second = observe(4);
+  EXPECT_EQ(second, first) << "rerun diverged under identical settings";
+}
+
+TEST_F(PipelineDeterminismTest, FaultedPipelineIsThreadCountInvariant) {
+  // The degraded-transport path exercises the same parallel resolution
+  // phases plus the lossy delivery layer; it must be just as
+  // thread-count-invariant as the clean path.
+  auto profile = synth::paper_calibration(kScale);
+  const auto moderate = telemetry::named_fault_profile("moderate");
+  ASSERT_TRUE(moderate.has_value());
+  profile.faults = *moderate;
+
+  std::uint64_t baseline = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    util::set_global_threads(threads);
+    const core::LongtailPipeline pipeline(profile);
+    const auto fp = core::dataset_fingerprint(pipeline.dataset());
+    ASSERT_NE(fp, 0u);
+    if (baseline == 0)
+      baseline = fp;
+    else
+      EXPECT_EQ(fp, baseline) << "threads=" << threads;
+  }
 }
 
 TEST_F(PipelineDeterminismTest, ParallelExperimentFanOutMatchesSerialCalls) {

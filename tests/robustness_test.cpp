@@ -2,6 +2,7 @@
 // parsers throw typed errors, extractors return "no result", and nothing
 // crashes on arbitrary bytes.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -80,8 +81,11 @@ TEST(Robustness, E2ldOnArbitraryBytes) {
 class CorpusImportErrors : public ::testing::Test {
  protected:
   std::string dir_ = [] {
-    const auto d =
-        std::filesystem::temp_directory_path() / "longtail_robust_io";
+    // Per-process dir: ctest -j runs each TEST_F as its own concurrent
+    // process, and a shared path races remove_all against writes.
+    const auto d = std::filesystem::temp_directory_path() /
+                   ("longtail_robust_io_" +
+                    std::to_string(static_cast<unsigned>(::getpid())));
     std::filesystem::remove_all(d);
     std::filesystem::create_directories(d);
     return d.string();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hpp"
+#include "dataset_fixture.hpp"
 #include "util/rng.hpp"
 
 namespace longtail::rules {
@@ -105,8 +106,7 @@ TEST(DecisionTree, RenderingMentionsFeatures) {
 // The paper's §VI-D claim: the pruned PART rule set with rejection yields
 // fewer false positives than classifying every sample with the full tree.
 TEST(DecisionTree, PaperClaimRuleSetBeatsTreeOnFalsePositives) {
-  static const core::LongtailPipeline pipeline =
-      core::LongtailPipeline::generate(0.05);
+  const core::LongtailPipeline& pipeline = test::shared_pipeline(0.05);
   const auto exp = pipeline.run_rule_experiment(model::Month::kMarch,
                                                 model::Month::kApril);
 

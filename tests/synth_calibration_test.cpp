@@ -1,0 +1,112 @@
+// Statistical validation of the generated dataset against the paper's
+// headline numbers (§IV-A, Fig. 5). These are the acceptance gate for
+// changes that move the dataset fingerprint: the bit pattern may change,
+// the distributions may not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/coverage.hpp"
+#include "analysis/monthly.hpp"
+#include "analysis/transitions.hpp"
+#include "core/pipeline.hpp"
+#include "dataset_fixture.hpp"
+#include "util/metrics.hpp"
+
+namespace longtail {
+namespace {
+
+constexpr double kScale = 0.05;
+
+const analysis::AnnotatedCorpus& annotated() {
+  return test::shared_pipeline(kScale).annotated();
+}
+
+TEST(SynthCalibration, UnknownFileShareMatchesPaper) {
+  // §IV-A: 83% of distinct files never get a benign or malicious label.
+  const auto summary = analysis::monthly_summary(annotated());
+  const auto& o = summary.overall;
+  const double unknown_pct = 100.0 - o.file_benign - o.file_likely_benign -
+                             o.file_malicious - o.file_likely_malicious;
+  EXPECT_NEAR(unknown_pct, 83.0, 2.0);
+}
+
+TEST(SynthCalibration, UnknownMachineCoverageMatchesPaper) {
+  // §IV-A: unknown files were downloaded by 69% of active machines. The
+  // repo's accepted reproduction sits at ~74% across scales (see
+  // EXPERIMENTS.md, "Machines that downloaded ≥1 unknown file"), so the
+  // band is anchored there: the test exists to catch generator drift,
+  // not to re-litigate the calibration gap.
+  const auto cov = analysis::machine_coverage(annotated());
+  EXPECT_NEAR(cov.pct(model::Verdict::kUnknown), 74.0, 3.0);
+}
+
+TEST(SynthCalibration, TransitionCurvesMatchFig5) {
+  // Fig. 5: dropper machines transition to other malware fastest and
+  // most often, then PUP/adware; benign-only machines form a low
+  // control curve. Day-0 mass dominates the dropper curve.
+  const auto tr = analysis::transition_analysis(annotated());
+  ASSERT_GT(tr.dropper.initiator_machines, 0u);
+  ASSERT_GT(tr.adware.initiator_machines, 0u);
+  ASSERT_GT(tr.benign.initiator_machines, 0u);
+
+  // Droppers transition *faster*: their curve dominates adware over the
+  // first week. By day 30 the two converge (both ~0.46 here), so only
+  // the early ordering is a stable invariant; at the month horizon we
+  // assert near-parity instead of a strict order.
+  for (const std::size_t day : {0ul, 1ul, 5ul}) {
+    EXPECT_GT(tr.dropper.at_day(day), tr.adware.at_day(day)) << day;
+    EXPECT_GT(tr.adware.at_day(day), tr.benign.at_day(day)) << day;
+  }
+  EXPECT_GT(tr.dropper.at_day(30), 0.9 * tr.adware.at_day(30));
+  EXPECT_GT(tr.adware.at_day(30), tr.benign.at_day(30));
+
+  // Quantile shape of the dropper curve: most of its 30-day mass is
+  // already there on day 0, and the first week dominates the month.
+  const double d30 = tr.dropper.at_day(30);
+  ASSERT_GT(d30, 0.0);
+  EXPECT_GT(tr.dropper.at_day(0) / d30, 0.55);
+  EXPECT_GT(tr.dropper.at_day(7) / d30, 0.85);
+
+  // Adware spreads out: day 0 carries clearly less of the 30-day mass
+  // than for droppers.
+  const double a30 = tr.adware.at_day(30);
+  ASSERT_GT(a30, 0.0);
+  EXPECT_LT(tr.adware.at_day(0) / a30, tr.dropper.at_day(0) / d30);
+
+  // The control curve stays low in absolute terms: benign-only
+  // initiators reach other malware an order of magnitude less often
+  // than droppers do (~0.08 at this scale vs ~0.46).
+  EXPECT_LT(tr.benign.at_day(30), 0.12);
+}
+
+TEST(SynthCalibration, ChainConsumptionRatesStayInBand) {
+  // The demand-matching engine must keep the chain economy of the
+  // serial implementation: most other-malware slots want a demand, and
+  // most demands find a consumer at default scales.
+  util::metrics::set_enabled(true);
+  util::metrics::reset_for_testing();
+  { const auto p = core::LongtailPipeline::generate(0.02); }
+  util::metrics::set_enabled(false);
+
+  const auto produced =
+      util::metrics::counter("synth.chain.demands_produced").value();
+  const auto consumed =
+      util::metrics::counter("synth.chain.demands_consumed").value();
+  const auto files =
+      util::metrics::counter("synth.chain.files_resolved").value();
+  ASSERT_GT(produced, 0u);
+  ASSERT_GT(files, 0u);
+  EXPECT_LE(consumed, produced);
+
+  // Consumption rate: consumers outnumber demands at paper calibration,
+  // so nearly the whole supply is drained; the engine's fixup pass must
+  // keep it that way regardless of how partitions shard the pools.
+  const double rate =
+      static_cast<double>(consumed) / static_cast<double>(produced);
+  EXPECT_GT(rate, 0.60);
+  EXPECT_LE(rate, 1.0);
+}
+
+}  // namespace
+}  // namespace longtail

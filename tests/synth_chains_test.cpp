@@ -1,0 +1,206 @@
+// Property tests for the deterministic demand-matching engine
+// (synth/chains): conservation, the per-file machine invariant,
+// partition-count invariance of total supply use, and independence from
+// the thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/calibration.hpp"
+#include "synth/chains.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace longtail::synth::chains {
+namespace {
+
+using model::MachineId;
+using model::MalwareType;
+using model::Timestamp;
+
+constexpr std::uint64_t kSeed = 0xC0FFEE1234ULL;
+
+// Synthetic workload: `n_demands` demands over `n_machines` machines
+// (collisions become likelier as the ratio grows) and `n_consumers`
+// consumer slots spread over `n_files` files, contiguous per file as
+// the engine requires.
+struct Workload {
+  std::vector<Demand> demands;
+  std::vector<Consumer> consumers;
+};
+
+Workload make_workload(std::uint64_t seed, std::size_t n_demands,
+                       std::size_t n_machines, std::size_t n_consumers,
+                       std::size_t n_files) {
+  util::Rng rng(seed);
+  Workload w;
+  w.demands.reserve(n_demands);
+  for (std::size_t i = 0; i < n_demands; ++i) {
+    const bool dropper = rng.bernoulli(0.4);
+    w.demands.push_back(
+        {MachineId{static_cast<std::uint32_t>(rng.uniform(n_machines))},
+         static_cast<Timestamp>(rng.uniform(86'400 * 30)),
+         dropper ? MalwareType::kDropper : MalwareType::kAdware,
+         dropper ? QueueKind::kDropper : QueueKind::kAdwarePup});
+  }
+  w.consumers.reserve(n_consumers);
+  std::uint32_t file = 0;
+  while (w.consumers.size() < n_consumers) {
+    const std::size_t slots = 1 + rng.uniform(
+        std::max<std::size_t>(1, n_consumers / std::max<std::size_t>(
+                                                   1, n_files)) * 2);
+    for (std::size_t s = 0; s < slots && w.consumers.size() < n_consumers;
+         ++s) {
+      w.consumers.push_back({file, rng.bernoulli(0.5)
+                                       ? QueueKind::kDropper
+                                       : QueueKind::kAdwarePup});
+    }
+    ++file;
+  }
+  return w;
+}
+
+void check_invariants(const Workload& w, const MatchResult& r) {
+  ASSERT_EQ(r.demand_for_consumer.size(), w.consumers.size());
+
+  // Every demand is assigned to at most one consumer, and matched +
+  // leftover accounts for the whole supply.
+  std::set<std::uint32_t> assigned;
+  for (const std::uint32_t di : r.demand_for_consumer) {
+    if (di == kUnmatched) continue;
+    ASSERT_LT(di, w.demands.size());
+    EXPECT_TRUE(assigned.insert(di).second)
+        << "demand " << di << " assigned twice";
+  }
+  EXPECT_EQ(assigned.size(), r.stats.matched);
+  EXPECT_LE(r.stats.matched, r.stats.demands);
+  EXPECT_EQ(r.stats.matched + r.stats.leftover_demands, w.demands.size());
+  for (const std::uint32_t di : r.leftover_demands)
+    EXPECT_EQ(assigned.count(di), 0u) << "leftover demand was assigned";
+
+  // No file receives the same machine twice through the engine.
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> machines;
+  for (std::size_t ci = 0; ci < w.consumers.size(); ++ci) {
+    const std::uint32_t di = r.demand_for_consumer[ci];
+    if (di == kUnmatched) continue;
+    EXPECT_TRUE(machines[w.consumers[ci].file]
+                    .insert(w.demands[di].machine.raw())
+                    .second)
+        << "file " << w.consumers[ci].file << " reused a machine";
+  }
+}
+
+TEST(ChainsMatch, InvariantsHoldAcrossShapes) {
+  const struct {
+    std::size_t demands, machines, consumers, files;
+  } shapes[] = {
+      {0, 1, 50, 10},       // no supply
+      {200, 1'000, 0, 1},   // no consumers
+      {500, 2'000, 200, 40},
+      {200, 2'000, 800, 60},  // demand-starved
+      {300, 10, 300, 5},      // heavy machine collisions
+      {1'000, 5'000, 1'000, 300},
+  };
+  std::uint64_t salt = 1;
+  for (const auto& s : shapes) {
+    const auto w =
+        make_workload(kSeed + salt++, s.demands, s.machines, s.consumers,
+                      s.files);
+    const auto r = match_demands(kSeed, w.demands, w.consumers);
+    check_invariants(w, r);
+  }
+}
+
+TEST(ChainsMatch, ExhaustsSupplyWhenMachinesAreDistinct) {
+  // With all-distinct demand machines the per-file invariant can never
+  // block an assignment, so the engine must match min(|D|, |C|) exactly
+  // — and that total is invariant across partition counts.
+  for (const std::size_t n_demands : {100ul, 700ul}) {
+    for (const std::size_t n_consumers : {60ul, 700ul, 1'500ul}) {
+      Workload w;
+      for (std::size_t i = 0; i < n_demands; ++i)
+        w.demands.push_back({MachineId{static_cast<std::uint32_t>(i)},
+                             static_cast<Timestamp>(i), MalwareType::kPup,
+                             i % 3 == 0 ? QueueKind::kDropper
+                                        : QueueKind::kAdwarePup});
+      util::Rng rng(kSeed ^ n_consumers);
+      std::uint32_t file = 0;
+      while (w.consumers.size() < n_consumers) {
+        const std::size_t slots = 1 + rng.uniform(4);
+        for (std::size_t s = 0;
+             s < slots && w.consumers.size() < n_consumers; ++s)
+          w.consumers.push_back({file, rng.bernoulli(0.5)
+                                           ? QueueKind::kDropper
+                                           : QueueKind::kAdwarePup});
+        ++file;
+      }
+      for (const std::size_t k : {1ul, 2ul, 7ul, 16ul, 64ul}) {
+        const auto r = match_demands(kSeed, w.demands, w.consumers, k);
+        check_invariants(w, r);
+        EXPECT_EQ(r.stats.matched, std::min(n_demands, n_consumers))
+            << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(ChainsMatch, DeterministicAcrossRerunsAndThreads) {
+  const auto w = make_workload(kSeed, 2'000, 5'000, 1'500, 200);
+  const auto baseline = match_demands(kSeed, w.demands, w.consumers);
+  check_invariants(w, baseline);
+  EXPECT_GT(baseline.stats.matched, 0u);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    util::set_global_threads(threads);
+    const auto r = match_demands(kSeed, w.demands, w.consumers);
+    EXPECT_EQ(r.demand_for_consumer, baseline.demand_for_consumer)
+        << "threads=" << threads;
+    EXPECT_EQ(r.leftover_demands, baseline.leftover_demands);
+  }
+  util::set_global_threads(util::ThreadPool::default_threads());
+}
+
+TEST(ChainsMatch, SeedAndPartitionCountChangeTheAssignment) {
+  const auto w = make_workload(kSeed, 1'000, 4'000, 800, 100);
+  const auto a = match_demands(kSeed, w.demands, w.consumers);
+  const auto b = match_demands(kSeed + 1, w.demands, w.consumers);
+  EXPECT_NE(a.demand_for_consumer, b.demand_for_consumer);
+}
+
+TEST(TransitionDelta, RespectsDay0MassAndTail) {
+  const TransitionCalibration tr;  // paper defaults
+  util::Rng rng(kSeed);
+  const int n = 20'000;
+  int day0 = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto delta =
+        transition_delta(model::MalwareType::kDropper, tr, rng);
+    ASSERT_GE(delta, 0);
+    if (delta < 86'400)
+      ++day0;
+    else
+      // The tail starts at one full day.
+      ASSERT_GE(delta, 86'400);
+  }
+  // Droppers: ~72% of transitions land on day 0 (Fig. 5).
+  const double frac = static_cast<double>(day0) / n;
+  EXPECT_NEAR(frac, tr.dropper_day0, 0.02);
+
+  // Adware waits longer than droppers on average (9-day vs 1.6-day
+  // tail): compare tail means over matched sample counts.
+  double dropper_sum = 0, adware_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    dropper_sum += static_cast<double>(
+        transition_delta(model::MalwareType::kDropper, tr, rng));
+    adware_sum += static_cast<double>(
+        transition_delta(model::MalwareType::kAdware, tr, rng));
+  }
+  EXPECT_GT(adware_sum, dropper_sum);
+}
+
+}  // namespace
+}  // namespace longtail::synth::chains
