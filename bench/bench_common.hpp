@@ -21,6 +21,7 @@
 #include <string>
 #include <string_view>
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "core/longtail.hpp"
@@ -50,6 +51,31 @@ inline double bench_scale(double fallback = 0.10) {
   return fallback;
 }
 
+// Zero-copy (mmap) loads are the default for cache hits; LONGTAIL_MMAP=0
+// falls back to the fully-owned loader (e.g. to compare the two paths, or
+// on filesystems where mapping misbehaves).
+inline bool mmap_enabled() {
+  const char* env = std::getenv("LONGTAIL_MMAP");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+// How the last make_dataset() call obtained its dataset: "generate",
+// "cache_mapped", or "cache_owned". The perf trajectory records it per
+// run so a bench JSON says which load path it measured.
+inline std::string& last_load_path() {
+  static std::string path = "generate";
+  return path;
+}
+
+// Peak resident set of this process so far, in MiB (ru_maxrss is KiB on
+// Linux). Monotone per process — comparing load paths needs one process
+// per path (see the fullscale section of perf_pipeline).
+inline double max_rss_mb() {
+  struct rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
 // Cache file name for the binary dataset at this scale and fault profile.
 // The file format version is part of the name so a codec bump never reads
 // stale caches; the fault cache key keeps faulted datasets from shadowing
@@ -70,6 +96,7 @@ inline std::string corpus_cache_path(
 // profile from the cache (or generates it once and saves it). Cache status
 // goes to stderr so table stdout stays byte-identical either way.
 inline synth::Dataset make_dataset(const synth::CalibrationProfile& profile) {
+  last_load_path() = "generate";
   const char* dir = std::getenv("LONGTAIL_CORPUS_CACHE");
   if (dir == nullptr || *dir == '\0') return synth::generate_dataset(profile);
 
@@ -77,8 +104,14 @@ inline synth::Dataset make_dataset(const synth::CalibrationProfile& profile) {
       corpus_cache_path(dir, profile.scale, profile.faults);
   if (std::filesystem::exists(path)) {
     try {
-      auto ds = synth::load_dataset_binary(path);
-      std::fprintf(stderr, "[longtail] corpus cache hit: %s\n", path.c_str());
+      // A hit maps the file zero-copy by default (the event columns stay
+      // views into the mapping); LONGTAIL_MMAP=0 selects the owned loader.
+      const bool mapped = mmap_enabled();
+      auto ds = mapped ? synth::load_dataset_mapped(path)
+                       : synth::load_dataset_binary(path);
+      std::fprintf(stderr, "[longtail] corpus cache hit (%s): %s\n",
+                   mapped ? "mapped" : "owned", path.c_str());
+      last_load_path() = mapped ? "cache_mapped" : "cache_owned";
       return ds;
     } catch (const std::exception& ex) {
       std::fprintf(stderr,

@@ -1,17 +1,24 @@
 #include "synth/dataset_io.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "telemetry/binary.hpp"
 #include "util/binary.hpp"
 #include "util/metrics.hpp"
+#include "util/mmap.hpp"
 #include "util/trace.hpp"
 
 namespace longtail::synth {
 
 namespace {
+
+using telemetry::SectionKind;
+using telemetry::SectionTable;
 
 template <typename Enum>
 void write_enum_vec(util::BinaryWriter& out, const std::vector<Enum>& v) {
@@ -19,10 +26,13 @@ void write_enum_vec(util::BinaryWriter& out, const std::vector<Enum>& v) {
   out.pod_array(std::span<const Enum>(v));
 }
 
-template <typename Enum>
-void read_enum_vec(util::BinaryReader& in, std::vector<Enum>& v) {
+// Read helpers are templated over the reader so the same field sequence
+// parses from a v2 stream (util::BinaryReader) and a v3 section payload
+// (util::SpanReader).
+template <typename Enum, typename Reader>
+void read_enum_vec(Reader& in, std::vector<Enum>& v) {
   static_assert(sizeof(Enum) == 1);
-  v = in.pod_array<Enum>();
+  v = in.template pod_array<Enum>();
 }
 
 void write_bool_vec(util::BinaryWriter& out, const std::vector<bool>& v) {
@@ -31,8 +41,9 @@ void write_bool_vec(util::BinaryWriter& out, const std::vector<bool>& v) {
   out.pod_array(std::span<const std::uint8_t>(bytes));
 }
 
-std::vector<bool> read_bool_vec(util::BinaryReader& in) {
-  const auto bytes = in.pod_array<std::uint8_t>();
+template <typename Reader>
+std::vector<bool> read_bool_vec(Reader& in) {
+  const auto bytes = in.template pod_array<std::uint8_t>();
   std::vector<bool> v(bytes.size());
   for (std::size_t i = 0; i < bytes.size(); ++i) v[i] = bytes[i] != 0;
   return v;
@@ -66,11 +77,11 @@ void write_reports(util::BinaryWriter& out, const groundtruth::VtDatabase& vt,
   }
 }
 
-void read_reports(util::BinaryReader& in, groundtruth::VtDatabase& vt,
-                  auto make_id) {
-  // Counts validated against the bytes left in the file (minimum record
-  // sizes: 1 byte per present-flag, 14 per detection) so a corrupt count
-  // is a typed error instead of a giant allocation.
+template <typename Reader>
+void read_reports(Reader& in, groundtruth::VtDatabase& vt, auto make_id) {
+  // Counts validated against the bytes left (minimum record sizes: 1 byte
+  // per present-flag, 14 per detection) so a corrupt count is a typed
+  // error instead of a giant allocation.
   const std::uint64_t n = in.checked_count(in.u64(), 1);
   for (std::uint64_t i = 0; i < n; ++i) {
     if (in.u8() == 0) continue;
@@ -87,14 +98,174 @@ void read_reports(util::BinaryReader& in, groundtruth::VtDatabase& vt,
   }
 }
 
-}  // namespace
+void write_stats(util::BinaryWriter& out, const Dataset& dataset) {
+  out.u64(dataset.collection_stats.accepted);
+  out.u64(dataset.collection_stats.dropped_not_executed);
+  out.u64(dataset.collection_stats.dropped_prevalence_cap);
+  out.u64(dataset.collection_stats.dropped_whitelisted_url);
+  out.u64(dataset.collection_stats.dropped_duplicate);
+  out.u64(dataset.collection_stats.quarantined_malformed);
+  out.u64(dataset.collection_stats.dropped_stale);
 
-void save_dataset_binary(const Dataset& dataset, const std::string& path) {
-  LONGTAIL_TRACE_SPAN("synth.save_dataset");
-  LONGTAIL_METRIC_TIMER("synth.save_dataset_ms");
+  out.u64(dataset.transport_stats.reports_offered);
+  out.u64(dataset.transport_stats.dropped_offline);
+  out.u64(dataset.transport_stats.delivered);
+  out.u64(dataset.transport_stats.duplicates);
+  out.u64(dataset.transport_stats.corrupted);
+}
+
+template <typename Reader>
+void read_stats(Reader& in, Dataset& ds) {
+  ds.collection_stats.accepted = in.u64();
+  ds.collection_stats.dropped_not_executed = in.u64();
+  ds.collection_stats.dropped_prevalence_cap = in.u64();
+  ds.collection_stats.dropped_whitelisted_url = in.u64();
+  ds.collection_stats.dropped_duplicate = in.u64();
+  ds.collection_stats.quarantined_malformed = in.u64();
+  ds.collection_stats.dropped_stale = in.u64();
+
+  ds.transport_stats.reports_offered = in.u64();
+  ds.transport_stats.dropped_offline = in.u64();
+  ds.transport_stats.delivered = in.u64();
+  ds.transport_stats.duplicates = in.u64();
+  ds.transport_stats.corrupted = in.u64();
+}
+
+void rebuild_profile(Dataset& ds, double scale, std::uint64_t seed,
+                     std::uint32_t sigma, const std::string& fault_spec) {
+  ds.profile = paper_calibration(scale);
+  ds.profile.seed = seed;
+  ds.profile.sigma = sigma;
+  ds.profile.faults = telemetry::parse_fault_profile(fault_spec);
+}
+
+// The six dataset-only v3 sections, appended after the corpus sections.
+void write_dataset_sections(util::SectionWriter& sections,
+                            util::BinaryWriter& out, const Dataset& dataset) {
+  sections.begin(static_cast<std::uint32_t>(SectionKind::kProfile), 0);
+  out.f64(dataset.profile.scale);
+  out.u64(dataset.profile.seed);
+  out.u32(dataset.profile.sigma);
+  out.str(dataset.profile.faults.spec());
+  sections.end();
+
+  sections.begin(static_cast<std::uint32_t>(SectionKind::kTruth), 0);
+  const TruthTable& t = dataset.truth;
+  write_enum_vec(out, t.file_nature);
+  write_enum_vec(out, t.file_type);
+  out.pod_array(std::span<const std::uint32_t>(t.file_family));
+  write_bool_vec(out, t.file_family_extractable);
+  write_enum_vec(out, t.file_intended);
+  write_enum_vec(out, t.process_nature);
+  write_enum_vec(out, t.process_type);
+  write_enum_vec(out, t.process_intended);
+  sections.end();
+
+  sections.begin(static_cast<std::uint32_t>(SectionKind::kWhitelist), 0);
+  write_id_set(out, dataset.whitelist.files());
+  write_id_set(out, dataset.whitelist.processes());
+  sections.end();
+
+  sections.begin(static_cast<std::uint32_t>(SectionKind::kVtFiles),
+                 dataset.vt.file_report_count());
+  write_reports(out, dataset.vt, dataset.vt.file_report_count(),
+                [](std::size_t i) {
+                  return model::FileId{static_cast<std::uint32_t>(i)};
+                });
+  sections.end();
+
+  sections.begin(static_cast<std::uint32_t>(SectionKind::kVtProcesses),
+                 dataset.vt.process_report_count());
+  write_reports(out, dataset.vt, dataset.vt.process_report_count(),
+                [](std::size_t i) {
+                  return model::ProcessId{static_cast<std::uint32_t>(i)};
+                });
+  sections.end();
+
+  sections.begin(static_cast<std::uint32_t>(SectionKind::kStats), 0);
+  write_stats(out, dataset);
+  sections.end();
+}
+
+// Parses the six dataset-only sections of a v3 image into `ds` (whose
+// corpus must already be loaded — the VT tables size off it). Verifies
+// each section's checksum and releases consumed extents.
+void parse_dataset_sections(std::span<const std::uint8_t> image,
+                            const SectionTable& table, Dataset& ds,
+                            const telemetry::ReleaseFn& release) {
+  const auto verified = [&](SectionKind kind) {
+    const telemetry::SectionEntry& e = table.require(kind);
+    table.verify_section(image, e);
+    return e;
+  };
+  const auto done = [&](const telemetry::SectionEntry& e) {
+    if (release)
+      release(static_cast<std::size_t>(e.offset),
+              static_cast<std::size_t>(util::align8(e.length)));
+  };
+
+  {
+    const auto& e = verified(SectionKind::kProfile);
+    util::SpanReader in(table.payload(image, e));
+    const double scale = in.f64();
+    const std::uint64_t seed = in.u64();
+    const std::uint32_t sigma = in.u32();
+    rebuild_profile(ds, scale, seed, sigma, in.str());
+    done(e);
+  }
+  {
+    const auto& e = verified(SectionKind::kTruth);
+    util::SpanReader in(table.payload(image, e));
+    read_enum_vec(in, ds.truth.file_nature);
+    read_enum_vec(in, ds.truth.file_type);
+    ds.truth.file_family = in.pod_array<std::uint32_t>();
+    ds.truth.file_family_extractable = read_bool_vec(in);
+    read_enum_vec(in, ds.truth.file_intended);
+    read_enum_vec(in, ds.truth.process_nature);
+    read_enum_vec(in, ds.truth.process_type);
+    read_enum_vec(in, ds.truth.process_intended);
+    done(e);
+  }
+  {
+    const auto& e = verified(SectionKind::kWhitelist);
+    util::SpanReader in(table.payload(image, e));
+    for (const std::uint32_t raw : in.pod_array<std::uint32_t>())
+      ds.whitelist.add(model::FileId{raw});
+    for (const std::uint32_t raw : in.pod_array<std::uint32_t>())
+      ds.whitelist.add(model::ProcessId{raw});
+    done(e);
+  }
+
+  ds.vt.set_file_count(ds.corpus.files.size());
+  ds.vt.set_process_count(ds.corpus.processes.size());
+  {
+    const auto& e = verified(SectionKind::kVtFiles);
+    util::SpanReader in(table.payload(image, e));
+    read_reports(in, ds.vt, [](std::uint64_t i) {
+      return model::FileId{static_cast<std::uint32_t>(i)};
+    });
+    done(e);
+  }
+  {
+    const auto& e = verified(SectionKind::kVtProcesses);
+    util::SpanReader in(table.payload(image, e));
+    read_reports(in, ds.vt, [](std::uint64_t i) {
+      return model::ProcessId{static_cast<std::uint32_t>(i)};
+    });
+    done(e);
+  }
+  {
+    const auto& e = verified(SectionKind::kStats);
+    util::SpanReader in(table.payload(image, e));
+    read_stats(in, ds);
+    done(e);
+  }
+}
+
+void save_dataset_v2(const Dataset& dataset, const std::string& path) {
   util::BinaryWriter out(path);
   out.u32(kDatasetBinaryMagic);
-  out.u32(kDatasetBinaryVersion);
+  out.u32(2);
   out.f64(dataset.profile.scale);
   out.u64(dataset.profile.seed);
   out.u32(dataset.profile.sigma);
@@ -127,44 +298,23 @@ void save_dataset_binary(const Dataset& dataset, const std::string& path) {
                   return model::ProcessId{static_cast<std::uint32_t>(i)};
                 });
 
-  out.u64(dataset.collection_stats.accepted);
-  out.u64(dataset.collection_stats.dropped_not_executed);
-  out.u64(dataset.collection_stats.dropped_prevalence_cap);
-  out.u64(dataset.collection_stats.dropped_whitelisted_url);
-  out.u64(dataset.collection_stats.dropped_duplicate);
-  out.u64(dataset.collection_stats.quarantined_malformed);
-  out.u64(dataset.collection_stats.dropped_stale);
-
-  out.u64(dataset.transport_stats.reports_offered);
-  out.u64(dataset.transport_stats.dropped_offline);
-  out.u64(dataset.transport_stats.delivered);
-  out.u64(dataset.transport_stats.duplicates);
-  out.u64(dataset.transport_stats.corrupted);
-
+  write_stats(out, dataset);
   out.write_checksum();
   out.finish();
 }
 
-Dataset load_dataset_binary(const std::string& path) {
-  LONGTAIL_TRACE_SPAN("synth.load_dataset");
-  LONGTAIL_METRIC_TIMER("synth.load_dataset_ms");
+Dataset load_dataset_v2(const std::string& path) {
   util::BinaryReader in(path);
   if (in.u32() != kDatasetBinaryMagic)
     throw std::runtime_error("not a dataset binary: " + path);
-  const std::uint32_t version = in.u32();
-  if (version != kDatasetBinaryVersion)
-    throw std::runtime_error("unsupported dataset binary version " +
-                             std::to_string(version) + ": " + path);
+  (void)in.u32();  // version, already dispatched on
   const double scale = in.f64();
   const std::uint64_t seed = in.u64();
   const std::uint32_t sigma = in.u32();
   const std::string fault_spec = in.str();
 
   Dataset ds;
-  ds.profile = paper_calibration(scale);
-  ds.profile.seed = seed;
-  ds.profile.sigma = sigma;
-  ds.profile.faults = telemetry::parse_fault_profile(fault_spec);
+  rebuild_profile(ds, scale, seed, sigma, fault_spec);
 
   const std::uint64_t expected = in.u64();
   ds.corpus = telemetry::read_corpus_body(in);
@@ -194,22 +344,107 @@ Dataset load_dataset_binary(const std::string& path) {
     return model::ProcessId{static_cast<std::uint32_t>(i)};
   });
 
-  ds.collection_stats.accepted = in.u64();
-  ds.collection_stats.dropped_not_executed = in.u64();
-  ds.collection_stats.dropped_prevalence_cap = in.u64();
-  ds.collection_stats.dropped_whitelisted_url = in.u64();
-  ds.collection_stats.dropped_duplicate = in.u64();
-  ds.collection_stats.quarantined_malformed = in.u64();
-  ds.collection_stats.dropped_stale = in.u64();
-
-  ds.transport_stats.reports_offered = in.u64();
-  ds.transport_stats.dropped_offline = in.u64();
-  ds.transport_stats.delivered = in.u64();
-  ds.transport_stats.duplicates = in.u64();
-  ds.transport_stats.corrupted = in.u64();
-
+  read_stats(in, ds);
   in.verify_checksum();
   return ds;
+}
+
+// Shared v3 load: `zero_copy_events` selects the mapped event-column path
+// (keepalive = the shared image) versus the fully-owned copy.
+Dataset load_dataset_v3(const std::string& path, bool zero_copy_events) {
+  auto image = std::make_shared<util::FileImage>(path);
+  const auto bytes = image->bytes();
+  const SectionTable table(bytes, kDatasetBinaryMagic, kDatasetBinaryVersion,
+                           path);
+  image->advise_sequential();
+  // Release consumed extents only when the events are owned copies; a
+  // zero-copy dataset keeps the mapping live for its whole lifetime, and
+  // event pages fault in (and can be released) as they are scanned.
+  telemetry::ReleaseFn release;
+  if (!zero_copy_events)
+    release = [&image](std::size_t off, std::size_t len) {
+      image->release_range(off, len);
+    };
+
+  const std::uint64_t expected =
+      telemetry::parse_meta(
+          table.payload(bytes, table.require(SectionKind::kMeta)))
+          .fingerprint;
+  Dataset ds;
+  ds.corpus = telemetry::parse_corpus_sections(bytes, table, zero_copy_events,
+                                               image, release);
+  if (!zero_copy_events &&
+      telemetry::corpus_fingerprint(ds.corpus) != expected)
+    throw std::runtime_error("dataset binary fingerprint mismatch: " + path);
+  parse_dataset_sections(bytes, table, ds, release);
+
+  if (zero_copy_events) {
+    if (const char* v = std::getenv("LONGTAIL_MMAP_VERIFY");
+        v != nullptr && std::string_view(v) == "full") {
+      table.verify_all_sections(bytes);
+      if (telemetry::corpus_fingerprint(ds.corpus) != expected)
+        throw std::runtime_error("dataset binary fingerprint mismatch: " +
+                                 path);
+    }
+    LONGTAIL_METRIC_COUNT("synth.io.events_mapped", ds.corpus.events.size());
+  }
+  return ds;
+}
+
+std::uint32_t peek_dataset_version(const std::string& path) {
+  util::BinaryReader in(path);
+  if (in.u32() != kDatasetBinaryMagic)
+    throw std::runtime_error("not a dataset binary: " + path);
+  return in.u32();
+}
+
+}  // namespace
+
+void save_dataset_binary(const Dataset& dataset, const std::string& path,
+                         std::uint32_t version) {
+  LONGTAIL_TRACE_SPAN("synth.save_dataset");
+  LONGTAIL_METRIC_TIMER("synth.save_dataset_ms");
+  if (version == 2) {
+    save_dataset_v2(dataset, path);
+  } else if (version == kDatasetBinaryVersion) {
+    util::BinaryWriter out(path);
+    out.reset_region_hash();
+    out.u32(kDatasetBinaryMagic);
+    out.u32(kDatasetBinaryVersion);
+    out.u32(kDatasetSectionCount);
+    out.u32(0);
+    util::SectionWriter sections(out);
+    telemetry::write_corpus_sections(sections, out, dataset.corpus);
+    write_dataset_sections(sections, out, dataset);
+    sections.finish();
+    out.finish();
+  } else {
+    throw std::runtime_error("unsupported dataset binary version " +
+                             std::to_string(version) + ": " + path);
+  }
+}
+
+Dataset load_dataset_binary(const std::string& path) {
+  LONGTAIL_TRACE_SPAN("synth.load_dataset");
+  LONGTAIL_METRIC_TIMER("synth.load_dataset_ms");
+  const std::uint32_t version = peek_dataset_version(path);
+  if (version == 2) return load_dataset_v2(path);
+  if (version != kDatasetBinaryVersion)
+    throw std::runtime_error("unsupported dataset binary version " +
+                             std::to_string(version) + ": " + path);
+  return load_dataset_v3(path, /*zero_copy_events=*/false);
+}
+
+Dataset load_dataset_mapped(const std::string& path) {
+  LONGTAIL_TRACE_SPAN("synth.load_dataset_mapped");
+  LONGTAIL_METRIC_TIMER("synth.load_dataset_mapped_ms");
+  const std::uint32_t version = peek_dataset_version(path);
+  // Only v3 is mappable; a v2 file degrades to the owned stream loader.
+  if (version == 2) return load_dataset_v2(path);
+  if (version != kDatasetBinaryVersion)
+    throw std::runtime_error("unsupported dataset binary version " +
+                             std::to_string(version) + ": " + path);
+  return load_dataset_v3(path, /*zero_copy_events=*/true);
 }
 
 }  // namespace longtail::synth

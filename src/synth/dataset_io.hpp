@@ -11,24 +11,39 @@
 // datasets generated from otherwise hand-edited profiles should not be
 // cached.
 //
-// Version 2 adds the fault-profile spec string, the hardened-ingest
+// Version 2 added the fault-profile spec string, the hardened-ingest
 // collection counters, the transport channel stats, and a trailing
-// whole-file FNV-1a checksum (util::BinaryReader::verify_checksum): the
-// truth/whitelist/VT sections are outside the corpus fingerprint, so the
-// checksum is what turns a bit flip there into a typed load error.
+// whole-file FNV-1a checksum. Version 3 (the current writer) moves to the
+// sectioned, mmap-friendly layout of telemetry/mapped.hpp: the 17 corpus
+// sections followed by PROFILE / TRUTH / WHITELIST / VT_FILES /
+// VT_PROCESSES / STATS, each with its own checksum, closed by the section
+// table. v2 files are still read for compatibility, and `save` can still
+// write them on request.
 #pragma once
 
 #include <string>
 
 #include "synth/generator.hpp"
+#include "telemetry/mapped.hpp"
 
 namespace longtail::synth {
 
 inline constexpr std::uint32_t kDatasetBinaryMagic = 0x5344544CU;  // "LTDS"
-inline constexpr std::uint32_t kDatasetBinaryVersion =
-    2;  // 2: +faults, +transport stats, +checksum
+// 2: +faults, +transport stats, +checksum; 3: sectioned, mmap-friendly
+inline constexpr std::uint32_t kDatasetBinaryVersion = 3;
+inline constexpr std::uint32_t kDatasetSectionCount =
+    telemetry::kCorpusSectionCount + 6;
 
-void save_dataset_binary(const Dataset& dataset, const std::string& path);
+void save_dataset_binary(const Dataset& dataset, const std::string& path,
+                         std::uint32_t version = kDatasetBinaryVersion);
 [[nodiscard]] Dataset load_dataset_binary(const std::string& path);
+
+// Zero-copy load of a v3 dataset: the event columns stay views into a
+// private file mapping (pinned for the dataset's lifetime), everything
+// else is parsed owned with per-section checksum verification. The event
+// column checksums and the corpus fingerprint are NOT recomputed — that
+// is the load-time win; LONGTAIL_MMAP_VERIFY=full restores them. This is
+// what the bench corpus cache uses on a hit when LONGTAIL_MMAP is on.
+[[nodiscard]] Dataset load_dataset_mapped(const std::string& path);
 
 }  // namespace longtail::synth

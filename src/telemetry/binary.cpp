@@ -1,8 +1,10 @@
 #include "telemetry/binary.hpp"
 
+#include <cassert>
 #include <cstdio>
 #include <stdexcept>
 
+#include "telemetry/mapped.hpp"
 #include "util/binary.hpp"
 #include "util/hash.hpp"
 #include "util/metrics.hpp"
@@ -228,32 +230,89 @@ Corpus read_corpus_body(util::BinaryReader& in) {
   return corpus;
 }
 
-void save_binary(const Corpus& corpus, const std::string& path) {
+namespace {
+
+// The legacy flat-stream load path, kept for v2 files (old caches).
+Corpus load_binary_v2(const std::string& path) {
+  util::BinaryReader in(path);
+  if (in.u32() != kCorpusBinaryMagic)
+    throw std::runtime_error("not a corpus binary: " + path);
+  const std::uint32_t version = in.u32();
+  assert(version == 2);
+  (void)version;
+  const std::uint64_t expected = in.u64();
+  Corpus corpus = read_corpus_body(in);
+  in.verify_checksum();
+  if (corpus_fingerprint(corpus) != expected)
+    throw std::runtime_error("corpus binary fingerprint mismatch: " + path);
+  return corpus;
+}
+
+}  // namespace
+
+void save_binary(const Corpus& corpus, const std::string& path,
+                 std::uint32_t version) {
   LONGTAIL_TRACE_SPAN("telemetry.save_binary");
   LONGTAIL_METRIC_TIMER("telemetry.save_binary_ms");
-  util::BinaryWriter out(path);
-  out.u32(kCorpusBinaryMagic);
-  out.u32(kCorpusBinaryVersion);
-  out.u64(corpus_fingerprint(corpus));
-  write_corpus_body(out, corpus);
-  out.write_checksum();
-  out.finish();
+  if (version == 2) {
+    util::BinaryWriter out(path);
+    out.u32(kCorpusBinaryMagic);
+    out.u32(2);
+    out.u64(corpus_fingerprint(corpus));
+    write_corpus_body(out, corpus);
+    out.write_checksum();
+    out.finish();
+  } else if (version == kCorpusBinaryVersion) {
+    util::BinaryWriter out(path);
+    out.reset_region_hash();
+    out.u32(kCorpusBinaryMagic);
+    out.u32(kCorpusBinaryVersion);
+    out.u32(kCorpusSectionCount);
+    out.u32(0);
+    util::SectionWriter sections(out);
+    write_corpus_sections(sections, out, corpus);
+    assert(sections.section_count() == kCorpusSectionCount);
+    sections.finish();
+    out.finish();
+  } else {
+    throw std::runtime_error("unsupported corpus binary version " +
+                             std::to_string(version) + ": " + path);
+  }
   LONGTAIL_METRIC_COUNT("telemetry.io.events_written", corpus.events.size());
 }
 
 Corpus load_binary(const std::string& path) {
   LONGTAIL_TRACE_SPAN("telemetry.load_binary");
   LONGTAIL_METRIC_TIMER("telemetry.load_binary_ms");
-  util::BinaryReader in(path);
-  if (in.u32() != kCorpusBinaryMagic)
+  // Peek magic + version to dispatch; v3 parses from a file image, v2
+  // streams through BinaryReader.
+  util::FileImage image(path);
+  const auto bytes = image.bytes();
+  if (bytes.size() < 8)
+    throw std::runtime_error("truncated binary file: " + path);
+  util::SpanReader head(bytes.first(8));
+  if (head.u32() != kCorpusBinaryMagic)
     throw std::runtime_error("not a corpus binary: " + path);
-  const std::uint32_t version = in.u32();
+  const std::uint32_t version = head.u32();
+  if (version == 2) return load_binary_v2(path);
   if (version != kCorpusBinaryVersion)
     throw std::runtime_error("unsupported corpus binary version " +
                              std::to_string(version) + ": " + path);
-  const std::uint64_t expected = in.u64();
-  Corpus corpus = read_corpus_body(in);
-  in.verify_checksum();
+
+  const SectionTable table(bytes, kCorpusBinaryMagic, kCorpusBinaryVersion,
+                           path);
+  image.advise_sequential();
+  const std::uint64_t expected =
+      parse_meta(table.payload(bytes, table.require(SectionKind::kMeta)))
+          .fingerprint;
+  // Release each image extent as soon as it is parsed into owned storage,
+  // so the transient high-water of a load is bounded by the largest
+  // section, not the file size.
+  Corpus corpus = parse_corpus_sections(
+      bytes, table, /*zero_copy_events=*/false, nullptr,
+      [&image](std::size_t off, std::size_t len) {
+        image.release_range(off, len);
+      });
   if (corpus_fingerprint(corpus) != expected)
     throw std::runtime_error("corpus binary fingerprint mismatch: " + path);
   LONGTAIL_METRIC_COUNT("telemetry.io.events_read", corpus.events.size());

@@ -7,14 +7,24 @@
 // bulk copy. `EventRef` is a zero-cost proxy that reads one row; it
 // converts implicitly to `model::DownloadEvent`, which stays the
 // interchange struct for code that wants a materialized event.
+//
+// A store is either *owning* (the default: columns live in vectors) or a
+// *view* (`from_spans`): columns alias external memory — in practice a
+// memory-mapped corpus file (telemetry/mapped.hpp) — and a keepalive
+// handle pins that memory for as long as any copy of the store exists.
+// Views are immutable; every reader (scan layer, analyses, indexes) works
+// identically on both because all access goes through the column spans.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <iterator>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "model/event.hpp"
@@ -38,10 +48,17 @@ class EventStore {
     return *this;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return time_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return view_ ? time_view_.size() : time_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  // True when the columns alias external memory (a mapped corpus file)
+  // instead of owned vectors.
+  [[nodiscard]] bool mapped() const noexcept { return view_; }
 
   void reserve(std::size_t n) {
+    assert(!view_);
     file_.reserve(n);
     machine_.reserve(n);
     process_.reserve(n);
@@ -51,6 +68,16 @@ class EventStore {
   }
 
   void clear() noexcept {
+    // Clearing a view drops the aliasing and returns to an empty owning
+    // store (the keepalive is released).
+    view_ = false;
+    keepalive_.reset();
+    file_view_ = {};
+    machine_view_ = {};
+    process_view_ = {};
+    url_view_ = {};
+    time_view_ = {};
+    executed_view_ = {};
     file_.clear();
     machine_.clear();
     process_.clear();
@@ -60,6 +87,7 @@ class EventStore {
   }
 
   void push_back(const model::DownloadEvent& e) {
+    assert(!view_);
     file_.push_back(e.file);
     machine_.push_back(e.machine);
     process_.push_back(e.process);
@@ -84,32 +112,37 @@ class EventStore {
   [[nodiscard]] const_iterator end() const noexcept;
 
   // Raw columns — the binary format and the fingerprint read these, and
-  // index construction iterates them directly.
+  // index construction iterates them directly. For a view store these are
+  // the external (mapped) slices; for an owning store, the vectors.
   [[nodiscard]] std::span<const model::FileId> file_column() const noexcept {
-    return file_;
+    return view_ ? file_view_ : std::span<const model::FileId>(file_);
   }
   [[nodiscard]] std::span<const model::MachineId> machine_column()
       const noexcept {
-    return machine_;
+    return view_ ? machine_view_ : std::span<const model::MachineId>(machine_);
   }
   [[nodiscard]] std::span<const model::ProcessId> process_column()
       const noexcept {
-    return process_;
+    return view_ ? process_view_ : std::span<const model::ProcessId>(process_);
   }
   [[nodiscard]] std::span<const model::UrlId> url_column() const noexcept {
-    return url_;
+    return view_ ? url_view_ : std::span<const model::UrlId>(url_);
   }
   [[nodiscard]] std::span<const model::Timestamp> time_column()
       const noexcept {
-    return time_;
+    return view_ ? time_view_ : std::span<const model::Timestamp>(time_);
   }
   [[nodiscard]] std::span<const std::uint8_t> executed_column()
       const noexcept {
-    return executed_;
+    return view_ ? executed_view_ : std::span<const std::uint8_t>(executed_);
   }
 
   // Narrow mutator for tests that perturb a stored stream in place.
-  void set_time(std::size_t i, model::Timestamp t) noexcept { time_[i] = t; }
+  // Owning stores only — views alias read-only mapped memory.
+  void set_time(std::size_t i, model::Timestamp t) noexcept {
+    assert(!view_);
+    time_[i] = t;
+  }
 
   // Adopt pre-built columns (the binary loader reads columns wholesale).
   // All columns must have the same length; `executed` may be empty, which
@@ -134,7 +167,42 @@ class EventStore {
     return out;
   }
 
-  friend bool operator==(const EventStore& a, const EventStore& b) = default;
+  // Adopt external column slices without copying — the zero-copy load
+  // path (telemetry/mapped.hpp). `keepalive` pins the backing memory (the
+  // file mapping); copies of the store share it, so a view outliving its
+  // loader is safe. All columns must have the same length.
+  static EventStore from_spans(std::span<const model::FileId> file,
+                               std::span<const model::MachineId> machine,
+                               std::span<const model::ProcessId> process,
+                               std::span<const model::UrlId> url,
+                               std::span<const model::Timestamp> time,
+                               std::span<const std::uint8_t> executed,
+                               std::shared_ptr<const void> keepalive) {
+    assert(file.size() == time.size() && machine.size() == time.size() &&
+           process.size() == time.size() && url.size() == time.size() &&
+           executed.size() == time.size());
+    EventStore out;
+    out.view_ = true;
+    out.keepalive_ = std::move(keepalive);
+    out.file_view_ = file;
+    out.machine_view_ = machine;
+    out.process_view_ = process;
+    out.url_view_ = url;
+    out.time_view_ = time;
+    out.executed_view_ = executed;
+    return out;
+  }
+
+  // Element-wise column equality — a mapped view and an owning store with
+  // the same events compare equal.
+  friend bool operator==(const EventStore& a, const EventStore& b) {
+    return std::ranges::equal(a.file_column(), b.file_column()) &&
+           std::ranges::equal(a.machine_column(), b.machine_column()) &&
+           std::ranges::equal(a.process_column(), b.process_column()) &&
+           std::ranges::equal(a.url_column(), b.url_column()) &&
+           std::ranges::equal(a.time_column(), b.time_column()) &&
+           std::ranges::equal(a.executed_column(), b.executed_column());
+  }
 
   class EventRef {
    public:
@@ -142,22 +210,22 @@ class EventStore {
         : store_(store), index_(i) {}
 
     [[nodiscard]] model::FileId file() const noexcept {
-      return store_->file_[index_];
+      return store_->file_column()[index_];
     }
     [[nodiscard]] model::MachineId machine() const noexcept {
-      return store_->machine_[index_];
+      return store_->machine_column()[index_];
     }
     [[nodiscard]] model::ProcessId process() const noexcept {
-      return store_->process_[index_];
+      return store_->process_column()[index_];
     }
     [[nodiscard]] model::UrlId url() const noexcept {
-      return store_->url_[index_];
+      return store_->url_column()[index_];
     }
     [[nodiscard]] model::Timestamp time() const noexcept {
-      return store_->time_[index_];
+      return store_->time_column()[index_];
     }
     [[nodiscard]] bool executed() const noexcept {
-      return store_->executed_[index_] != 0;
+      return store_->executed_column()[index_] != 0;
     }
     [[nodiscard]] std::size_t index() const noexcept { return index_; }
 
@@ -223,12 +291,24 @@ class EventStore {
   };
 
  private:
+  // Owning storage (empty while view_ is set).
   std::vector<model::FileId> file_;
   std::vector<model::MachineId> machine_;
   std::vector<model::ProcessId> process_;
   std::vector<model::UrlId> url_;
   std::vector<model::Timestamp> time_;
   std::vector<std::uint8_t> executed_;  // 0/1; the TSV format omits it
+
+  // View storage (valid while view_ is set): external column slices plus
+  // the handle that keeps their backing memory alive.
+  bool view_ = false;
+  std::span<const model::FileId> file_view_;
+  std::span<const model::MachineId> machine_view_;
+  std::span<const model::ProcessId> process_view_;
+  std::span<const model::UrlId> url_view_;
+  std::span<const model::Timestamp> time_view_;
+  std::span<const std::uint8_t> executed_view_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 inline EventStore::const_iterator EventStore::begin() const noexcept {

@@ -1,11 +1,22 @@
 // String interning: maps strings (signer names, packer names, domains…) to
 // dense 32-bit ids and back. Dense ids keep feature vectors and analysis
 // tables compact and make equality checks O(1).
+//
+// Storage is arena-backed: string bytes live in large append-only chunks
+// instead of one std::string allocation per entry, so loading a corpus
+// with hundreds of thousands of names costs a handful of allocations.
+// Chunks never move or shrink, which keeps every handed-out
+// std::string_view stable for the interner's lifetime. Binary loaders can
+// adopt a whole serialized name pool with one copy via `attach_pool`.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,12 +29,27 @@ class StringInterner {
   static constexpr std::uint32_t kInvalid =
       std::numeric_limits<std::uint32_t>::max();
 
+  StringInterner() = default;
+
+  // Deep copy: the arena is rebuilt, so copies never share or dangle.
+  StringInterner(const StringInterner& other) { append_all(other); }
+  StringInterner& operator=(const StringInterner& other) {
+    if (this != &other) {
+      StringInterner tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  StringInterner(StringInterner&&) noexcept = default;
+  StringInterner& operator=(StringInterner&&) noexcept = default;
+
   // Returns the id for `s`, inserting it if unseen.
   std::uint32_t intern(std::string_view s) {
     if (auto it = ids_.find(s); it != ids_.end()) return it->second;
     const auto id = static_cast<std::uint32_t>(strings_.size());
-    strings_.emplace_back(s);
-    ids_.emplace(strings_.back(), id);
+    const std::string_view stored = store(s);
+    strings_.push_back(stored);
+    ids_.emplace(stored, id);
     return id;
   }
 
@@ -34,10 +60,42 @@ class StringInterner {
   }
 
   [[nodiscard]] std::string_view at(std::uint32_t id) const {
-    return strings_.at(id);
+    if (id >= strings_.size())
+      throw std::out_of_range("StringInterner::at: bad id");
+    return strings_[id];
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+
+  // Total string bytes held in the arena (diagnostics / bench reporting).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_bytes_;
+  }
+
+  // Adopts a serialized name pool: `count + 1` byte offsets delimiting
+  // `count` strings laid end-to-end in `blob` (offsets[0] == 0,
+  // offsets[count] == blob.size(), nondecreasing). The blob is copied into
+  // the arena once; ids continue from the current size in pool order.
+  // Malformed offsets or duplicate strings are typed errors — binary
+  // loaders rely on this instead of re-validating.
+  void attach_pool(std::span<const std::uint32_t> offsets,
+                   std::string_view blob) {
+    if (offsets.empty() || offsets.front() != 0 ||
+        offsets.back() != blob.size())
+      throw std::runtime_error("interner pool: bad offset table");
+    const std::size_t count = offsets.size() - 1;
+    const char* base = store(blob).data();
+    strings_.reserve(strings_.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (offsets[i + 1] < offsets[i])
+        throw std::runtime_error("interner pool: bad offset table");
+      const std::string_view s(base + offsets[i], offsets[i + 1] - offsets[i]);
+      const auto id = static_cast<std::uint32_t>(strings_.size());
+      if (!ids_.emplace(s, id).second)
+        throw std::runtime_error("interner pool: duplicate interned string");
+      strings_.push_back(s);
+    }
+  }
 
  private:
   struct TransparentHash {
@@ -53,10 +111,46 @@ class StringInterner {
     }
   };
 
-  // The map stores its own string copies (keys are std::string), so vector
-  // reallocation in strings_ cannot dangle anything.
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, std::uint32_t, TransparentHash, TransparentEq>
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  // Copies `s` into the arena and returns the stable stored view. Strings
+  // larger than a chunk get a dedicated exact-size chunk.
+  std::string_view store(std::string_view s) {
+    if (s.empty()) return {};
+    if (s.size() > kChunkBytes) {
+      chunks_.emplace_back(new char[s.size()]);
+      char* dst = chunks_.back().get();
+      std::memcpy(dst, s.data(), s.size());
+      arena_bytes_ += s.size();
+      chunk_used_ = kChunkBytes;  // dedicated chunk: never append into it
+      return {dst, s.size()};
+    }
+    if (chunks_.empty() || chunk_used_ + s.size() > kChunkBytes) {
+      chunks_.emplace_back(new char[kChunkBytes]);
+      chunk_used_ = 0;
+    }
+    char* dst = chunks_.back().get() + chunk_used_;
+    std::memcpy(dst, s.data(), s.size());
+    chunk_used_ += s.size();
+    arena_bytes_ += s.size();
+    return {dst, s.size()};
+  }
+
+  void append_all(const StringInterner& other) {
+    strings_.reserve(other.strings_.size());
+    for (std::uint32_t id = 0; id < other.strings_.size(); ++id) {
+      const std::string_view stored = store(other.strings_[id]);
+      strings_.push_back(stored);
+      ids_.emplace(stored, id);
+    }
+  }
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t chunk_used_ = kChunkBytes;  // full ⇒ first store opens a chunk
+  std::size_t arena_bytes_ = 0;
+  std::vector<std::string_view> strings_;  // id → stored view, in id order
+  std::unordered_map<std::string_view, std::uint32_t, TransparentHash,
+                     TransparentEq>
       ids_;
 };
 

@@ -16,6 +16,7 @@
 #include "synth/generator.hpp"
 #include "telemetry/binary.hpp"
 #include "telemetry/io.hpp"
+#include "telemetry/mapped.hpp"
 #include "util/domain.hpp"
 #include "util/rng.hpp"
 
@@ -142,10 +143,11 @@ TEST_F(CorpusImportErrors, BadDigestThrows) {
 //
 // The LTCP corpus and LTDS dataset readers must turn ANY damaged image
 // into a typed std::runtime_error — never a crash, hang, allocation
-// blow-up, or silent partial load. Since format version 2 both files end
-// with a whole-file FNV-1a checksum, so every single-bit flip and every
-// truncation is detectable by construction; these tests hold the readers
-// to that.
+// blow-up, or silent partial load. v2 files end with a whole-file FNV-1a
+// checksum; v3 files checksum every section plus the table of contents,
+// and every byte of the image falls in exactly one checksum region — so
+// every single-bit flip and every truncation is detectable by
+// construction in both formats. These tests hold the readers to that.
 
 class BinaryFuzz : public ::testing::Test {
  protected:
@@ -258,6 +260,89 @@ TEST_F(BinaryFuzz, DatasetLoaderRejectsEveryTruncation) {
   synth::save_dataset_binary(dataset(), path);
   expect_all_truncations_rejected(file_bytes(path), "ltds_trunc.bin",
                                   synth::load_dataset_binary);
+}
+
+// ---- v3-specific hostile inputs ----------------------------------------
+
+// A mapped load that checks everything: structural validation at open,
+// then every section checksum.
+telemetry::Corpus mapped_full_load(const std::string& path) {
+  const auto mapped = telemetry::MappedCorpus::open(path);
+  mapped.verify_all();
+  return mapped.materialize();
+}
+
+TEST_F(BinaryFuzz, MappedLoaderRejectsRandomBytes) {
+  expect_random_bytes_rejected("ltcp_map_random.bin", mapped_full_load);
+}
+
+TEST_F(BinaryFuzz, MappedLoaderRejectsEveryBitFlip) {
+  const auto path = temp_path("ltcp_good.bin");
+  telemetry::save_binary(dataset().corpus, path);
+  expect_all_bit_flips_rejected(file_bytes(path), "ltcp_map_flip.bin",
+                                mapped_full_load);
+}
+
+TEST_F(BinaryFuzz, MappedLoaderRejectsEveryTruncation) {
+  const auto path = temp_path("ltcp_good.bin");
+  telemetry::save_binary(dataset().corpus, path);
+  expect_all_truncations_rejected(file_bytes(path), "ltcp_map_trunc.bin",
+                                  mapped_full_load);
+}
+
+// Opening a mapped corpus validates only the header and table of contents
+// — payload damage inside an event column is deliberately NOT caught at
+// open (that is the point: no page is faulted in before use), but
+// verify_all() must catch it.
+TEST_F(BinaryFuzz, MappedOpenIsLazyButVerifyAllCatchesPayloadDamage) {
+  const auto path = temp_path("ltcp_good.bin");
+  telemetry::save_binary(dataset().corpus, path);
+  std::string image = file_bytes(path);
+
+  const telemetry::SectionTable table(
+      {reinterpret_cast<const std::uint8_t*>(image.data()), image.size()},
+      telemetry::kCorpusBinaryMagic, telemetry::kCorpusBinaryVersion, path);
+  const auto& col =
+      table.require(telemetry::SectionKind::kEventTime);
+  ASSERT_GT(col.length, 8u);
+  image[col.offset + col.length / 2] ^= 0x10;
+
+  const auto scratch = temp_path("ltcp_lazy_flip.bin");
+  write_file(scratch, image);
+  const auto mapped = telemetry::MappedCorpus::open(scratch);  // must succeed
+  EXPECT_THROW(mapped.verify_all(), std::runtime_error);
+}
+
+// A hostile section count must fail the header check before any
+// table-sized allocation is attempted.
+TEST_F(BinaryFuzz, OversizedSectionCountRejected) {
+  const auto scratch = temp_path("ltcp_sections.bin");
+  std::string image;
+  const std::uint32_t header[4] = {telemetry::kCorpusBinaryMagic,
+                                   telemetry::kCorpusBinaryVersion,
+                                   0xFFFFFFFFu, 0};
+  image.append(reinterpret_cast<const char*>(header), sizeof(header));
+  image.append(4096, '\0');  // plausible-looking body
+  write_file(scratch, image);
+  EXPECT_THROW((void)telemetry::load_binary(scratch), std::runtime_error);
+  EXPECT_THROW((void)telemetry::MappedCorpus::open(scratch),
+               std::runtime_error);
+}
+
+// Same guard one notch lower: a count above kMaxSections but small enough
+// that the table allocation would "work" must still be rejected.
+TEST_F(BinaryFuzz, SectionCountJustOverCapRejected) {
+  const auto scratch = temp_path("ltcp_sections_cap.bin");
+  std::string image;
+  const std::uint32_t header[4] = {telemetry::kCorpusBinaryMagic,
+                                   telemetry::kCorpusBinaryVersion,
+                                   telemetry::kMaxSections + 1, 0};
+  image.append(reinterpret_cast<const char*>(header), sizeof(header));
+  image.append(65 * 40 + 8, '\0');
+  write_file(scratch, image);
+  EXPECT_THROW((void)telemetry::load_binary(scratch), std::runtime_error);
+  EXPECT_THROW((void)telemetry::MappedCorpus::open(scratch),
+               std::runtime_error);
 }
 
 }  // namespace

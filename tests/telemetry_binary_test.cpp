@@ -82,6 +82,29 @@ TEST(CorpusBinary, CorruptedPayloadFailsFingerprintCheck) {
   EXPECT_THROW(load_binary(path), std::runtime_error);
 }
 
+// Writers can still emit the v2 flat-stream format and the loader sniffs
+// the version, so corpora serialized before the sectioned v3 layout keep
+// loading byte-for-byte.
+TEST(CorpusBinary, V2FormatRoundTripsThroughVersionSniffing) {
+  const auto& ds = small_dataset();
+  const auto path = temp_path("corpus_v2.bin");
+  save_binary(ds.corpus, path, 2);
+  const Corpus loaded = load_binary(path);
+  EXPECT_EQ(loaded.events, ds.corpus.events);
+  EXPECT_EQ(corpus_fingerprint(loaded), corpus_fingerprint(ds.corpus));
+}
+
+TEST(CorpusBinary, V2AndV3EncodeTheSameCorpusDifferently) {
+  const auto& ds = small_dataset();
+  const auto v2 = temp_path("corpus_enc2.bin");
+  const auto v3 = temp_path("corpus_enc3.bin");
+  save_binary(ds.corpus, v2, 2);
+  save_binary(ds.corpus, v3, 3);
+  EXPECT_NE(std::filesystem::file_size(v2), 0u);
+  EXPECT_EQ(corpus_fingerprint(load_binary(v2)),
+            corpus_fingerprint(load_binary(v3)));
+}
+
 TEST(CorpusBinary, BadMagicThrows) {
   const auto path = temp_path("bad_magic.bin");
   std::ofstream out(path, std::ios::binary);
@@ -105,6 +128,16 @@ TEST(DatasetBinary, RoundTripPreservesDatasetFingerprint) {
   EXPECT_EQ(loaded.truth.file_intended, ds.truth.file_intended);
   EXPECT_EQ(loaded.whitelist.files().size(), ds.whitelist.files().size());
   EXPECT_EQ(loaded.vt.file_report_count(), ds.vt.file_report_count());
+  EXPECT_EQ(loaded.collection_stats.accepted, ds.collection_stats.accepted);
+}
+
+TEST(DatasetBinary, V2FormatRoundTripsThroughVersionSniffing) {
+  const auto& ds = small_dataset();
+  const auto path = temp_path("dataset_v2.bin");
+  synth::save_dataset_binary(ds, path, 2);
+  const synth::Dataset loaded = synth::load_dataset_binary(path);
+  EXPECT_EQ(core::dataset_fingerprint(loaded), core::dataset_fingerprint(ds));
+  EXPECT_EQ(loaded.corpus.events, ds.corpus.events);
   EXPECT_EQ(loaded.collection_stats.accepted, ds.collection_stats.accepted);
 }
 

@@ -52,5 +52,71 @@ TEST(StringInterner, EmptyStringIsValidKey) {
   EXPECT_EQ(in.intern(""), id);
 }
 
+TEST(StringInterner, AtThrowsOnBadId) {
+  StringInterner in;
+  in.intern("only");
+  EXPECT_THROW((void)in.at(7), std::out_of_range);
+}
+
+// Regression test for the arena's oversized-string path: a string larger
+// than one arena chunk gets its own dedicated chunk, and the NEXT small
+// intern must open a fresh shared chunk instead of scribbling over it.
+TEST(StringInterner, OversizedStringSurvivesLaterInterns) {
+  StringInterner in;
+  const std::string big(100 * 1024, 'x');
+  const auto big_id = in.intern(big);
+  for (int i = 0; i < 100; ++i) in.intern("small-" + std::to_string(i));
+  EXPECT_EQ(in.at(big_id), big);
+  EXPECT_EQ(in.at(*in.find("small-42")), "small-42");
+  EXPECT_GE(in.arena_bytes(), big.size());
+}
+
+TEST(StringInterner, CopyIsDeep) {
+  StringInterner a;
+  a.intern("one");
+  a.intern("two");
+  StringInterner b = a;
+  b.intern("three");
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.at(0), "one");
+  EXPECT_EQ(b.at(2), "three");
+  EXPECT_FALSE(a.find("three").has_value());
+}
+
+// attach_pool is the bulk load path of the sectioned binary format: a
+// flat offsets[count+1] table over one blob.
+TEST(StringInterner, AttachPoolRebuildsPool) {
+  const std::string blob = "a.comb.netc.org";
+  const std::vector<std::uint32_t> offsets = {0, 5, 10, 15};
+  StringInterner in;
+  in.attach_pool(offsets, blob);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in.at(0), "a.com");
+  EXPECT_EQ(in.at(1), "b.net");
+  EXPECT_EQ(in.at(2), "c.org");
+  EXPECT_EQ(*in.find("b.net"), 1u);
+  // The pool stays a live interner: appends keep working.
+  EXPECT_EQ(in.intern("d.io"), 3u);
+}
+
+TEST(StringInterner, AttachPoolRejectsDuplicates) {
+  const std::string blob = "samesame";
+  const std::vector<std::uint32_t> offsets = {0, 4, 8};
+  StringInterner in;
+  EXPECT_THROW(in.attach_pool(offsets, blob), std::runtime_error);
+}
+
+TEST(StringInterner, AttachPoolRejectsBadOffsets) {
+  StringInterner in;
+  // Non-monotone offsets.
+  EXPECT_THROW(
+      in.attach_pool(std::vector<std::uint32_t>{0, 6, 4}, "abcdef"),
+      std::runtime_error);
+  // Final offset disagrees with the blob length.
+  EXPECT_THROW(in.attach_pool(std::vector<std::uint32_t>{0, 3}, "abcdef"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace longtail::util

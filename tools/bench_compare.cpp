@@ -1,0 +1,123 @@
+// Bench-trajectory gate: compares two BENCH_pipeline.json files and fails
+// (exit 1) when the current run regresses more than the threshold on any
+// gated metric. CI runs this against the committed baseline
+// (bench/baselines/BENCH_pipeline.baseline.json) so a perf regression
+// breaks the build instead of rotting silently; refresh instructions live
+// next to the baseline file.
+//
+//   bench_compare <baseline.json> <current.json> [--threshold 0.15]
+//
+// Gated metrics:
+//   events_per_sec     — best across runs, higher is better
+//   resolve_events_ms  — best (min) across runs, lower is better
+//   analysis_ms        — best (min) across runs, lower is better
+//
+// The parser is deliberately minimal: it extracts every numeric value of
+// an exactly-quoted key anywhere in the file (the bench JSON is flat and
+// self-produced, machine noise is handled by taking each run set's best).
+// A metric missing from either file is reported and skipped, not failed,
+// so the gate survives schema evolution in either direction.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Metric {
+  const char* key;
+  bool higher_is_better;
+};
+
+constexpr Metric kGatedMetrics[] = {
+    {"events_per_sec", true},
+    {"resolve_events_ms", false},
+    {"analysis_ms", false},
+};
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Every numeric value stored under `"key": ` (exact key, including the
+// opening quote, so "resolve_events_ms" never matches
+// "synth.resolve_events_ms").
+std::vector<double> values_of(const std::string& json, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  std::vector<double> out;
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + needle.size())) {
+    const char* start = json.c_str() + pos + needle.size();
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end != start) out.push_back(v);
+  }
+  return out;
+}
+
+// A run set's representative value: the best across runs (max for
+// throughput, min for wall time), so thread-count fan-out and machine
+// noise both shrink instead of amplifying.
+bool best_of(const std::string& json, const Metric& m, double* out) {
+  const auto vals = values_of(json, m.key);
+  if (vals.empty()) return false;
+  *out = m.higher_is_better ? *std::max_element(vals.begin(), vals.end())
+                            : *std::min_element(vals.begin(), vals.end());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.15;
+  if (argc >= 5 && std::strcmp(argv[3], "--threshold") == 0)
+    threshold = std::strtod(argv[4], nullptr);
+  if (argc < 3 || threshold <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--threshold 0.15]\n");
+    return 2;
+  }
+  const std::string baseline = slurp(argv[1]);
+  const std::string current = slurp(argv[2]);
+
+  std::printf("bench gate: %s vs %s (threshold %.0f%%)\n", argv[2], argv[1],
+              threshold * 100.0);
+  int regressions = 0;
+  for (const Metric& m : kGatedMetrics) {
+    double base = 0.0;
+    double cur = 0.0;
+    if (!best_of(baseline, m, &base) || !best_of(current, m, &cur) ||
+        base <= 0.0) {
+      std::printf("  %-18s skipped (missing from %s)\n", m.key,
+                  values_of(baseline, m.key).empty() ? "baseline" : "current");
+      continue;
+    }
+    // Positive delta = worse, regardless of the metric's direction.
+    const double delta =
+        m.higher_is_better ? (base - cur) / base : (cur - base) / base;
+    const bool regressed = delta > threshold;
+    std::printf("  %-18s baseline %12.1f  current %12.1f  %+6.1f%%  %s\n",
+                m.key, base, cur, -delta * 100.0,
+                regressed ? "REGRESSED" : "ok");
+    if (regressed) ++regressions;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_compare: %d metric(s) regressed more than %.0f%%\n",
+                 regressions, threshold * 100.0);
+    return 1;
+  }
+  return 0;
+}
