@@ -18,16 +18,21 @@
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include <sys/resource.h>
 #include <unistd.h>
+
+extern "C" char** environ;  // walked for the LONGTAIL_* run manifest
 
 #include "core/longtail.hpp"
 #include "synth/dataset_io.hpp"
 #include "telemetry/faults.hpp"
 #include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -67,14 +72,10 @@ inline std::string& last_load_path() {
   return path;
 }
 
-// Peak resident set of this process so far, in MiB (ru_maxrss is KiB on
-// Linux). Monotone per process — comparing load paths needs one process
-// per path (see the fullscale section of perf_pipeline).
-inline double max_rss_mb() {
-  struct rusage ru{};
-  ::getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
-}
+// Peak resident set of this process so far, in MiB. The one shared
+// definition lives in util/profile (the sampler and the fullscale
+// children use the same one); this alias keeps bench call sites short.
+inline double max_rss_mb() { return util::profile::peak_rss_mb(); }
 
 // Cache file name for the binary dataset at this scale and fault profile.
 // The file format version is part of the name so a codec bump never reads
@@ -223,6 +224,62 @@ class JsonObject {
   std::string out_ = "{";
   bool first_ = true;
 };
+
+// Run-provenance manifest: everything needed to reproduce (or refuse to
+// compare) a bench result. Embedded as the "run" object in every
+// BENCH_*.json so a number can always be traced back to the exact seed,
+// scale, thread count, environment knobs, compiler, and dataset identity
+// that produced it. `fingerprint` is core::dataset_fingerprint of the
+// dataset the bench ran on (0 when the binary never builds one).
+inline std::string run_manifest_json(double scale,
+                                     std::uint64_t fingerprint = 0) {
+  const auto profile = synth::paper_calibration(scale);
+  const auto faults = telemetry::faults_from_env();
+
+  // Every LONGTAIL_* environment knob, sorted, so two manifests diff
+  // cleanly. Values are self-produced strings but escape them anyway.
+  std::map<std::string, std::string> knobs;
+  for (char** env = environ; env != nullptr && *env != nullptr; ++env) {
+    const std::string_view entry = *env;
+    if (entry.rfind("LONGTAIL_", 0) != 0) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    knobs.emplace(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+  std::string env_json = "{";
+  bool first = true;
+  for (const auto& [key, value] : knobs) {
+    if (!first) env_json += ", ";
+    first = false;
+    env_json += "\"" + key + "\": \"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') env_json += '\\';
+      env_json += c;
+    }
+    env_json += "\"";
+  }
+  env_json += "}";
+
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "0x%llx",
+                static_cast<unsigned long long>(fingerprint));
+#ifndef LONGTAIL_BUILD_TYPE
+#define LONGTAIL_BUILD_TYPE "unknown"
+#endif
+  JsonObject run;
+  run.field("seed", profile.seed)
+      .field("scale", scale)
+      .field("threads", util::effective_threads())
+      .field("hardware_concurrency",
+             static_cast<unsigned>(std::thread::hardware_concurrency()))
+      .raw("env", env_json)
+      .field("compiler", std::string_view(__VERSION__))
+      .field("build_type", std::string_view(LONGTAIL_BUILD_TYPE))
+      .field("dataset_fingerprint", std::string_view(fp))
+      .field("faults",
+             faults.any() ? std::string_view(faults.spec()) : "none");
+  return run.str();
+}
 
 // Writes `content` to `default_path` (overridable via the LONGTAIL_BENCH_JSON
 // environment variable; set it to an empty string to suppress the file).

@@ -425,16 +425,18 @@ std::string run_fullscale_section(const char* argv0) {
 
 void emit_trajectory(const std::string& fullscale_json) {
   const double scale = bench::bench_scale(0.05);
-  std::vector<unsigned> thread_counts = {1, 2, 8};
+  // The canonical thread fan-out. The metrics snapshot is captured after
+  // these passes (plus a fixed-thread cache roundtrip) and BEFORE the
+  // machine-dependent "configured" pass below, so every counter in the
+  // snapshot is a pure function of the workload — bench_compare gates
+  // them exactly against the committed baseline regardless of the
+  // machine's core count.
+  const std::vector<unsigned> thread_counts = {1, 2, 8};
   const unsigned configured = util::ThreadPool::default_threads();
-  if (configured > 1 &&
-      std::find(thread_counts.begin(), thread_counts.end(), configured) ==
-          thread_counts.end())
-    thread_counts.push_back(configured);
 
   std::printf("\n[longtail] perf trajectory at scale %.2f\n", scale);
   std::vector<TrajectoryRun> runs;
-  for (const unsigned t : thread_counts) {
+  auto run_pass = [&](unsigned t) {
     runs.push_back(run_trajectory_pass(scale, t));
     const auto& r = runs.back();
     std::printf(
@@ -443,10 +445,68 @@ void emit_trajectory(const std::string& fullscale_json) {
         r.threads, r.total_ms(), r.generate_ms, r.annotate_ms, r.analysis_ms,
         r.experiments_ms, r.eval_ms,
         1000.0 * static_cast<double>(r.events) / r.total_ms());
-  }
+  };
+  for (const unsigned t : thread_counts) run_pass(t);
+
+  const TrajectoryRun serial = runs.front();
+
+  // Binary corpus cache: save/load round-trip at the trajectory scale.
+  // The load must beat regeneration (serial generate_ms) for the
+  // LONGTAIL_CORPUS_CACHE path to be worth taking. Runs at a pinned
+  // thread count: it is part of the fixed workload whose counters the
+  // bench gate compares exactly.
+  util::set_global_threads(2);
+  const auto cache_file =
+      (std::filesystem::temp_directory_path() / "longtail_perf_cache.bin")
+          .string();
+  auto cached = synth::generate_dataset(synth::paper_calibration(scale));
+  const double save_ms =
+      bench::time_ms([&] { synth::save_dataset_binary(cached, cache_file); });
+  synth::Dataset reloaded;
+  const double load_ms = bench::time_ms(
+      [&] { reloaded = synth::load_dataset_binary(cache_file); });
+  const bool cache_roundtrip =
+      core::dataset_fingerprint(reloaded) == serial.fingerprint;
+  // The zero-copy load of the same file: event columns stay mapped views,
+  // so the fingerprint check doubles as a mapped-vs-owned equivalence
+  // check at the trajectory scale.
+  synth::Dataset remapped;
+  const double load_mapped_ms = bench::time_ms(
+      [&] { remapped = synth::load_dataset_mapped(cache_file); });
+  // Drive one pass through the scan layer on the mapped columns so the
+  // metrics snapshot records the zero-copy path
+  // (corpus.scan.mapped_invocations — pinned by the CI schema check).
+  const auto mapped_scan = fullscale_scan(remapped.corpus, nullptr);
+  const bool mapped_roundtrip =
+      core::dataset_fingerprint(remapped) == serial.fingerprint &&
+      mapped_scan.executed == remapped.corpus.events.size();
+  remapped = synth::Dataset{};  // release the mapping before unlink
+  std::filesystem::remove(cache_file);
+  std::printf(
+      "[longtail] dataset cache: save %.1f ms, load %.1f ms "
+      "(generate %.1f ms, %.1fx), mapped load %.1f ms, fingerprint %s/%s\n",
+      save_ms, load_ms, serial.generate_ms,
+      load_ms > 0 ? serial.generate_ms / load_ms : 0.0, load_mapped_ms,
+      cache_roundtrip ? "preserved" : "MISMATCH",
+      mapped_roundtrip ? "preserved" : "MISMATCH");
+
+  // End of the fixed workload: fold the profile summary in and capture
+  // the snapshot now, before any machine-dependent pass can perturb it.
+  // Rebuilding the pool first is a drain barrier — workers join only
+  // after the queue empties, so every pool task has been accounted and
+  // the task counters in the snapshot are exact.
+  util::set_global_threads(2);
+  util::profile::publish_metrics();
+  const std::string metrics_snapshot = util::metrics::snapshot_json();
+
+  // The environment's own thread setting, when it isn't one of the
+  // canonical counts: measured for the wall-clock trajectory only.
+  if (configured > 1 &&
+      std::find(thread_counts.begin(), thread_counts.end(), configured) ==
+          thread_counts.end())
+    run_pass(configured);
   util::set_global_threads(util::ThreadPool::default_threads());
 
-  const auto& serial = runs.front();
   bool deterministic = true;
   double best_total = serial.total_ms();
   double best_resolve = serial.resolve_events_ms;
@@ -488,43 +548,6 @@ void emit_trajectory(const std::string& fullscale_json) {
   }
   runs_json += "]";
 
-  // Binary corpus cache: save/load round-trip at the trajectory scale.
-  // The load must beat regeneration (serial generate_ms) for the
-  // LONGTAIL_CORPUS_CACHE path to be worth taking.
-  const auto cache_file =
-      (std::filesystem::temp_directory_path() / "longtail_perf_cache.bin")
-          .string();
-  auto cached = synth::generate_dataset(synth::paper_calibration(scale));
-  const double save_ms =
-      bench::time_ms([&] { synth::save_dataset_binary(cached, cache_file); });
-  synth::Dataset reloaded;
-  const double load_ms = bench::time_ms(
-      [&] { reloaded = synth::load_dataset_binary(cache_file); });
-  const bool cache_roundtrip =
-      core::dataset_fingerprint(reloaded) == serial.fingerprint;
-  // The zero-copy load of the same file: event columns stay mapped views,
-  // so the fingerprint check doubles as a mapped-vs-owned equivalence
-  // check at the trajectory scale.
-  synth::Dataset remapped;
-  const double load_mapped_ms = bench::time_ms(
-      [&] { remapped = synth::load_dataset_mapped(cache_file); });
-  // Drive one pass through the scan layer on the mapped columns so the
-  // metrics snapshot records the zero-copy path
-  // (corpus.scan.mapped_invocations — pinned by the CI schema check).
-  const auto mapped_scan = fullscale_scan(remapped.corpus, nullptr);
-  const bool mapped_roundtrip =
-      core::dataset_fingerprint(remapped) == serial.fingerprint &&
-      mapped_scan.executed == remapped.corpus.events.size();
-  remapped = synth::Dataset{};  // release the mapping before unlink
-  std::filesystem::remove(cache_file);
-  std::printf(
-      "[longtail] dataset cache: save %.1f ms, load %.1f ms "
-      "(generate %.1f ms, %.1fx), mapped load %.1f ms, fingerprint %s/%s\n",
-      save_ms, load_ms, serial.generate_ms,
-      load_ms > 0 ? serial.generate_ms / load_ms : 0.0, load_mapped_ms,
-      cache_roundtrip ? "preserved" : "MISMATCH",
-      mapped_roundtrip ? "preserved" : "MISMATCH");
-
   // Per-stage attribution: the metrics snapshot carries stage timing
   // histograms and event counters accumulated across all trajectory
   // passes (see docs/observability.md for the name scheme).
@@ -535,6 +558,7 @@ void emit_trajectory(const std::string& fullscale_json) {
           .field("mapped", bench::mmap_enabled())
           .field("hardware_concurrency",
                  static_cast<unsigned>(std::thread::hardware_concurrency()))
+          .raw("run", bench::run_manifest_json(scale, serial.fingerprint))
           .raw("runs", runs_json)
           .field("serial_total_ms", serial.total_ms())
           .field("best_total_ms", best_total)
@@ -553,7 +577,7 @@ void emit_trajectory(const std::string& fullscale_json) {
           .field("dataset_mapped_roundtrip", mapped_roundtrip);
   if (!fullscale_json.empty()) json_builder.raw("fullscale", fullscale_json);
   const auto json = json_builder.field("max_rss_mb", bench::max_rss_mb())
-                        .raw("metrics", util::metrics::snapshot_json())
+                        .raw("metrics", metrics_snapshot)
                         .str();
   bench::write_bench_json("BENCH_pipeline.json", json);
   std::printf("[longtail] speedup %.2fx (resolve_events %.2fx), "
@@ -576,10 +600,15 @@ int main(int argc, char** argv) {
   if (micro == nullptr || std::string_view(micro) != "0")
     benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  // The trajectory always carries per-stage metrics; LONGTAIL_TRACE=path
-  // additionally writes a Chrome trace of the same passes at exit.
+  // The trajectory always carries per-stage metrics and the profile
+  // layer (CPU span attribution, pool busy accounting, RSS sampler);
+  // LONGTAIL_TRACE=path additionally writes a Chrome trace of the same
+  // passes at exit, with the sampler's counter series folded in.
   util::metrics::set_enabled(true);
+  util::profile::set_enabled(true);
+  util::profile::Sampler sampler;  // stops (and emits) before trace flush
   const std::string fullscale_json = run_fullscale_section(argv[0]);
   emit_trajectory(fullscale_json);
+  sampler.stop();
   return 0;
 }

@@ -20,9 +20,8 @@ int main() {
       if (!joined.empty()) joined += ", ";
       joined += std::string(domain) + " (" + util::with_commas(count) + ")";
     }
-    if (joined.empty()) joined = "-";
-    table.add_row(
-        {std::string(to_string(static_cast<model::MalwareType>(t))), joined});
+    table.add_row({std::string(to_string(static_cast<model::MalwareType>(t))),
+                   joined.empty() ? std::string("-") : joined});
   }
   std::fputs(table.render().c_str(), stdout);
   return 0;

@@ -210,6 +210,8 @@ int main() {
   const auto json = bench::JsonObject()
                         .field("bench", std::string_view("robustness"))
                         .field("scale", scale)
+                        .raw("run", bench::run_manifest_json(
+                                        scale, baseline.fingerprint))
                         .raw("baseline", headline_json(baseline))
                         .raw("profiles", profiles_json)
                         .field("conservation", conservation)

@@ -116,8 +116,16 @@ void Histogram::record_ms(double ms) noexcept {
   auto& shard = shards_[shard_index()];
   shard.buckets[bucket_for_ms(ms)].fetch_add(1, std::memory_order_relaxed);
   shard.count.fetch_add(1, std::memory_order_relaxed);
-  shard.sum_ns.fetch_add(static_cast<std::uint64_t>(ms * 1e6),
-                         std::memory_order_relaxed);
+  const auto ns = static_cast<std::uint64_t>(ms * 1e6);
+  shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = shard.min_ns.load(std::memory_order_relaxed);
+  while (ns < seen && !shard.min_ns.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = shard.max_ns.load(std::memory_order_relaxed);
+  while (ns > seen && !shard.max_ns.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
 }
 
 std::uint64_t Histogram::count() const noexcept {
@@ -137,6 +145,20 @@ double Histogram::sum_ms() const noexcept {
 double Histogram::mean_ms() const noexcept {
   const auto n = count();
   return n == 0 ? 0.0 : sum_ms() / static_cast<double>(n);
+}
+
+double Histogram::min_ms() const noexcept {
+  std::uint64_t lo = UINT64_MAX;
+  for (const auto& shard : shards_)
+    lo = std::min(lo, shard.min_ns.load(std::memory_order_relaxed));
+  return lo == UINT64_MAX ? 0.0 : static_cast<double>(lo) / 1e6;
+}
+
+double Histogram::max_ms() const noexcept {
+  std::uint64_t hi = 0;
+  for (const auto& shard : shards_)
+    hi = std::max(hi, shard.max_ns.load(std::memory_order_relaxed));
+  return static_cast<double>(hi) / 1e6;
 }
 
 double Histogram::quantile_ms(double q) const noexcept {
@@ -165,6 +187,8 @@ void Histogram::reset() noexcept {
     for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
     shard.count.store(0, std::memory_order_relaxed);
     shard.sum_ns.store(0, std::memory_order_relaxed);
+    shard.min_ns.store(UINT64_MAX, std::memory_order_relaxed);
+    shard.max_ns.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -211,6 +235,10 @@ std::string snapshot_json() {
     append_number(out, h->sum_ms());
     out += ", \"mean_ms\": ";
     append_number(out, h->mean_ms());
+    out += ", \"min_ms\": ";
+    append_number(out, h->min_ms());
+    out += ", \"max_ms\": ";
+    append_number(out, h->max_ms());
     out += ", \"p50_ms\": ";
     append_number(out, h->quantile_ms(0.50));
     out += ", \"p90_ms\": ";

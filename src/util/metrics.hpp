@@ -51,6 +51,10 @@ struct alignas(64) HistogramShard {
   // Sum in nanoseconds-as-integer to keep the combine exact and
   // order-independent (double accumulation would not be).
   std::atomic<std::uint64_t> sum_ns{0};
+  // Exact extremes (ns), also integer so the combine is order-free.
+  // UINT64_MAX min means "no samples in this shard".
+  std::atomic<std::uint64_t> min_ns{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns{0};
 };
 }  // namespace detail
 
@@ -90,6 +94,11 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const noexcept;
   [[nodiscard]] double sum_ms() const noexcept;
   [[nodiscard]] double mean_ms() const noexcept;
+  // Exact smallest/largest recorded value in ms (0 when empty) — the
+  // quantiles only report power-of-two bucket upper bounds, too coarse
+  // for drift gating.
+  [[nodiscard]] double min_ms() const noexcept;
+  [[nodiscard]] double max_ms() const noexcept;
   // Upper bound (ms) of the bucket containing quantile q in [0,1].
   [[nodiscard]] double quantile_ms(double q) const noexcept;
   void reset() noexcept;

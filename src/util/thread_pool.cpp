@@ -1,8 +1,12 @@
 #include "util/thread_pool.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/trace.hpp"
 
 namespace longtail::util {
@@ -37,11 +41,35 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   // Carry the submitting thread's open trace span across to the worker so
   // spans recorded inside the task nest below it (no-op when tracing is
-  // off; tasks themselves are unchanged).
-  if (trace::enabled()) {
-    task = [parent = trace::current_span(), inner = std::move(task)] {
-      trace::ParentScope scope(parent);
-      inner();
+  // off; tasks themselves are unchanged). With profiling on, each task is
+  // additionally timed into the per-worker busy accounting — and, when
+  // tracing too, wrapped in a "pool.task" span nested under the
+  // submitting span, which is what trace_report sums to compute per-phase
+  // parallel efficiency.
+  const bool traced = trace::enabled();
+  const bool profiled = profile::enabled();
+  if (traced || profiled) {
+    task = [parent = traced ? trace::current_span() : 0, traced, profiled,
+            inner = std::move(task)] {
+      std::optional<trace::ParentScope> scope;
+      if (traced) scope.emplace(parent);
+      if (!profiled) {
+        inner();
+        return;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      {
+        std::optional<trace::Span> span;
+        if (traced) span.emplace("pool.task");
+        inner();
+      }
+      const auto busy_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      profile::note_worker_task(busy_ns);
+      LONGTAIL_METRIC_RECORD_MS("profile.pool.task_ms",
+                                static_cast<double>(busy_ns) / 1e6);
     };
   }
   {

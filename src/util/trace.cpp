@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "util/profile.hpp"
 #include "util/thread_pool.hpp"
 
 namespace longtail::util::trace {
@@ -139,6 +140,8 @@ void Span::begin(const char* name) {
   id_ = g_next_id.fetch_add(1, std::memory_order_relaxed);
   parent_ = t_current_span;
   t_current_span = id_;
+  if (profile::enabled())
+    cpu_start_ns_ = static_cast<std::int64_t>(profile::thread_cpu_ns());
   start_ns_ = now_ns();
 }
 
@@ -152,6 +155,9 @@ void Span::end() {
   e.parent = parent_;
   e.start_ns = start_ns_;
   e.dur_ns = dur;
+  if (cpu_start_ns_ >= 0)
+    e.cpu_ns = static_cast<std::int64_t>(profile::thread_cpu_ns()) -
+               cpu_start_ns_;
   ThreadBuffer& buf = buffer();
   e.tid = buf.tid;
   buf.events.push_back(std::move(e));
@@ -165,6 +171,21 @@ void instant(const char* name) {
   e.parent = t_current_span;
   e.start_ns = now_ns();
   e.dur_ns = 0;
+  ThreadBuffer& buf = buffer();
+  e.tid = buf.tid;
+  buf.events.push_back(std::move(e));
+}
+
+std::uint64_t timestamp_ns() noexcept { return now_ns(); }
+
+void counter_at(const char* name, std::uint64_t ts_ns, double value) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  e.start_ns = ts_ns;
+  e.is_counter = true;
+  e.value = value;
   ThreadBuffer& buf = buffer();
   e.tid = buf.tid;
   buf.events.push_back(std::move(e));
@@ -218,6 +239,16 @@ std::string render_json() {
     std::string row = "{\"name\": \"";
     append_escaped(row, e.name);
     char mid[192];
+    if (e.is_counter) {
+      std::snprintf(mid, sizeof(mid),
+                    "\", \"cat\": \"longtail\", \"ph\": \"C\", "
+                    "\"ts\": %.3f, \"pid\": 0, \"tid\": %u, "
+                    "\"args\": {\"value\": %.6g}}",
+                    static_cast<double>(e.start_ns) / 1000.0, e.tid, e.value);
+      row += mid;
+      emit(row);
+      continue;
+    }
     std::snprintf(mid, sizeof(mid),
                   "\", \"cat\": \"longtail\", \"ph\": \"%s\", "
                   "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u, "
@@ -228,6 +259,12 @@ std::string render_json() {
                   static_cast<unsigned long long>(e.id),
                   static_cast<unsigned long long>(e.parent));
     row += mid;
+    if (e.cpu_ns >= 0) {
+      char cpu[48];
+      std::snprintf(cpu, sizeof(cpu), ", \"cpu_ms\": %.3f",
+                    static_cast<double>(e.cpu_ns) / 1e6);
+      row += cpu;
+    }
     if (!e.detail.empty()) {
       row += ", \"detail\": \"";
       append_escaped(row, e.detail);

@@ -66,6 +66,12 @@ struct Event {
   std::uint32_t tid = 0;     // stable per-thread id (0 = first thread seen)
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+  // Thread CPU time consumed inside the span (LONGTAIL_PROFILE only;
+  // -1 = not captured). Exported as "cpu_ms" in the span's args.
+  std::int64_t cpu_ns = -1;
+  // Counter events ("ph":"C", e.g. the resource sampler's RSS series).
+  bool is_counter = false;
+  double value = 0.0;
 };
 
 // RAII span. `name` must outlive the span (string literals in practice).
@@ -96,10 +102,20 @@ class Span {
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
   std::uint64_t start_ns_ = 0;
+  std::int64_t cpu_start_ns_ = -1;  // -1 = profiling off at span open
 };
 
 // Zero-duration instant event ("ph":"i"), e.g. phase markers.
 void instant(const char* name);
+
+// Nanoseconds since the trace clock's origin — the timebase of every
+// recorded event. Use it to timestamp counter_at() points coherently.
+std::uint64_t timestamp_ns() noexcept;
+
+// Records a counter sample ("ph":"C") at an explicit timestamp. Used by
+// the profile resource sampler, which buffers its series and emits it
+// from one thread after sampling stops.
+void counter_at(const char* name, std::uint64_t ts_ns, double value);
 
 // All events recorded so far, sorted by (start_ns, id).
 std::vector<Event> snapshot_for_testing();

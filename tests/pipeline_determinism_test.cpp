@@ -10,6 +10,7 @@
 #include "analysis/monthly.hpp"
 #include "core/pipeline.hpp"
 #include "telemetry/faults.hpp"
+#include "util/profile.hpp"
 #include "util/thread_pool.hpp"
 
 namespace longtail {
@@ -146,6 +147,22 @@ TEST_F(PipelineDeterminismTest, ParallelExperimentFanOutMatchesSerialCalls) {
       EXPECT_EQ(fanout[i].all_rules[r].conditions.size(),
                 serial.all_rules[r].conditions.size());
     }
+  }
+}
+
+TEST_F(PipelineDeterminismTest, ProfilingDoesNotPerturbOutput) {
+  // The profiler reads clocks and /proc only; with it on, every observed
+  // number must stay bit-identical to the unprofiled run at every
+  // canonical thread count. (CI additionally diffs whole table stdout
+  // with LONGTAIL_PROFILE=1 against the unprofiled reference.)
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    util::profile::set_enabled(false);
+    const auto plain = observe(threads);
+    util::profile::set_enabled(true);
+    const auto profiled = observe(threads);
+    util::profile::set_enabled(false);
+    EXPECT_EQ(profiled, plain)
+        << "LONGTAIL_PROFILE changed pipeline output at threads=" << threads;
   }
 }
 

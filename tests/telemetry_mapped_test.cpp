@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -17,8 +19,12 @@ namespace longtail::telemetry {
 namespace {
 
 std::string temp_path(const char* name) {
+  // Per-process directory: ctest runs each test as its own process, and a
+  // shared path would let one process rewrite a file another has mapped
+  // (SIGBUS on a truncated mapping).
   const auto dir =
-      std::filesystem::temp_directory_path() / "longtail_mapped_test";
+      std::filesystem::temp_directory_path() /
+      ("longtail_mapped_test_" + std::to_string(::getpid()));
   std::filesystem::create_directories(dir);
   return (dir / name).string();
 }

@@ -89,6 +89,42 @@ TEST_F(MetricsTest, HistogramQuantilesAndMean) {
   EXPECT_GT(h.mean_ms(), 0.0);
 }
 
+TEST_F(MetricsTest, HistogramTracksExactExtremes) {
+  auto& h = metrics::histogram("test.extremes");
+  EXPECT_DOUBLE_EQ(h.min_ms(), 0.0);  // empty
+  EXPECT_DOUBLE_EQ(h.max_ms(), 0.0);
+  h.record_ms(3.5);
+  h.record_ms(0.002);
+  h.record_ms(8.125);
+  // Exact values, not power-of-two bucket bounds.
+  EXPECT_DOUBLE_EQ(h.min_ms(), 0.002);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 8.125);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramExtremesDeterministicAcrossThreadCounts) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_global_threads(threads);
+    metrics::reset_for_testing();
+    auto& h = metrics::histogram("test.extremes_par");
+    parallel_for(10'000, [&](std::size_t i) {
+      h.record_ms(0.5 + static_cast<double>(i % 100));
+    });
+    EXPECT_DOUBLE_EQ(h.min_ms(), 0.5) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(h.max_ms(), 99.5) << "threads=" << threads;
+  }
+}
+
+TEST_F(MetricsTest, SnapshotJsonCarriesMinMax) {
+  metrics::histogram("snap.minmax").record_ms(2.0);
+  metrics::histogram("snap.minmax").record_ms(6.0);
+  const std::string json = metrics::snapshot_json();
+  EXPECT_NE(json.find("\"min_ms\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ms\": 6"), std::string::npos);
+}
+
 TEST_F(MetricsTest, GaugeLastWriteWins) {
   auto& g = metrics::gauge("test.gauge");
   g.set(1.5);

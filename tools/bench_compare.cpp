@@ -5,23 +5,39 @@
 // breaks the build instead of rotting silently; refresh instructions live
 // next to the baseline file.
 //
-//   bench_compare <baseline.json> <current.json> [--threshold 0.15]
+//   bench_compare <baseline.json> <current.json>
+//                 [--threshold 0.15] [--hist-threshold 0.50] [--no-metrics]
 //
-// Gated metrics:
-//   events_per_sec     — best across runs, higher is better
+// Wall-clock gate (best across runs, direction per metric):
+//   events_per_sec     — higher is better
 //   resolve_events_ms  — best (min) across runs, lower is better
 //   analysis_ms        — best (min) across runs, lower is better
 //
-// The parser is deliberately minimal: it extracts every numeric value of
-// an exactly-quoted key anywhere in the file (the bench JSON is flat and
-// self-produced, machine noise is handled by taking each run set's best).
-// A metric missing from either file is reported and skipped, not failed,
-// so the gate survives schema evolution in either direction.
+// Metrics-drift gate (over the embedded "metrics" snapshot, skipped with
+// --no-metrics or when either file lacks the snapshot):
+//   counters           — the perf workload is deterministic, so every
+//                        counter present in both files must match EXACTLY;
+//                        a drifted count means the work itself changed
+//                        (shards lost, events skipped), which wall time
+//                        alone can hide.
+//   histograms         — sample count must match exactly (same reasoning);
+//                        sum_ms may not regress by more than the histogram
+//                        threshold (sums under 1 ms are skipped as noise).
+//
+// The wall-clock parser is deliberately minimal: it extracts every numeric
+// value of an exactly-quoted key anywhere in the file (the bench JSON is
+// flat and self-produced, machine noise is handled by taking each run
+// set's best). The metrics parser walks the balanced-brace "metrics"
+// object and tolerates arbitrary whitespace, so jq-pretty-printed files
+// gate the same as ours. A metric missing from either file is reported
+// and skipped, not failed, so the gate survives schema evolution in
+// either direction.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +54,9 @@ constexpr Metric kGatedMetrics[] = {
     {"resolve_events_ms", false},
     {"analysis_ms", false},
 };
+
+// Histogram sums below this many milliseconds are too noisy to gate.
+constexpr double kHistSumFloorMs = 1.0;
 
 std::string slurp(const char* path) {
   std::ifstream in(path);
@@ -77,23 +96,202 @@ bool best_of(const std::string& json, const Metric& m, double* out) {
   return true;
 }
 
+// ---- metrics snapshot parsing ---------------------------------------------
+
+void skip_ws(const std::string& s, std::size_t* p) {
+  while (*p < s.size() && (s[*p] == ' ' || s[*p] == '\t' || s[*p] == '\n' ||
+                           s[*p] == '\r'))
+    ++*p;
+}
+
+// The balanced {...} object following `"key":`, or "" when absent.
+// Search starts at `from`, which lets the caller scope the lookup to an
+// enclosing object's extent.
+std::string object_of(const std::string& json, const char* key,
+                      std::size_t from = 0) {
+  const std::string needle = std::string("\"") + key + "\"";
+  std::size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  skip_ws(json, &pos);
+  if (pos >= json.size() || json[pos] != ':') return "";
+  ++pos;
+  skip_ws(json, &pos);
+  if (pos >= json.size() || json[pos] != '{') return "";
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = pos; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}' && --depth == 0) return json.substr(pos, i - pos + 1);
+  }
+  return "";
+}
+
+// Key → raw value text for one flat JSON object level: values are numbers
+// or balanced {...} sub-objects (all the metrics snapshot contains).
+std::map<std::string, std::string> parse_flat_object(const std::string& obj) {
+  std::map<std::string, std::string> out;
+  std::size_t p = 0;
+  skip_ws(obj, &p);
+  if (p >= obj.size() || obj[p] != '{') return out;
+  ++p;
+  for (;;) {
+    skip_ws(obj, &p);
+    if (p >= obj.size() || obj[p] == '}') return out;
+    if (obj[p] == ',') {
+      ++p;
+      continue;
+    }
+    if (obj[p] != '"') return out;  // malformed; keep what we have
+    const std::size_t key_end = obj.find('"', p + 1);
+    if (key_end == std::string::npos) return out;
+    std::string key = obj.substr(p + 1, key_end - p - 1);
+    p = key_end + 1;
+    skip_ws(obj, &p);
+    if (p >= obj.size() || obj[p] != ':') return out;
+    ++p;
+    skip_ws(obj, &p);
+    if (p < obj.size() && obj[p] == '{') {
+      int depth = 0;
+      std::size_t i = p;
+      for (; i < obj.size(); ++i) {
+        if (obj[i] == '{') ++depth;
+        if (obj[i] == '}' && --depth == 0) break;
+      }
+      if (i >= obj.size()) return out;
+      out.emplace(std::move(key), obj.substr(p, i - p + 1));
+      p = i + 1;
+    } else {
+      const std::size_t start = p;
+      while (p < obj.size() && obj[p] != ',' && obj[p] != '}') ++p;
+      out.emplace(std::move(key), obj.substr(start, p - start));
+    }
+  }
+}
+
+double first_value(const std::string& json, const char* key, double fallback) {
+  const auto vals = values_of(json, key);
+  return vals.empty() ? fallback : vals.front();
+}
+
+// Exact-counter and histogram-drift comparison. Returns the number of
+// drifted metrics; keys missing from either side are skipped so schema
+// evolution in either direction stays green.
+int gate_metrics(const std::string& baseline, const std::string& current,
+                 double hist_threshold) {
+  const std::string base_m = object_of(baseline, "metrics");
+  const std::string cur_m = object_of(current, "metrics");
+  if (base_m.empty() || cur_m.empty()) {
+    std::printf("  metrics            skipped (missing from %s)\n",
+                base_m.empty() ? "baseline" : "current");
+    return 0;
+  }
+
+  int drifted = 0;
+  const auto base_counters = parse_flat_object(object_of(base_m, "counters"));
+  const auto cur_counters = parse_flat_object(object_of(cur_m, "counters"));
+  std::size_t counters_checked = 0;
+  for (const auto& [name, base_text] : base_counters) {
+    // profile.* metrics describe how the machine scheduled the run (e.g.
+    // how many pool helpers were actually submitted), not the workload;
+    // they are legitimately timing-dependent and exempt from gating.
+    if (name.rfind("profile.", 0) == 0) continue;
+    const auto it = cur_counters.find(name);
+    if (it == cur_counters.end()) continue;
+    ++counters_checked;
+    const auto base_v = std::strtoull(base_text.c_str(), nullptr, 10);
+    const auto cur_v = std::strtoull(it->second.c_str(), nullptr, 10);
+    if (base_v != cur_v) {
+      std::printf("  counter %-32s baseline %llu  current %llu  DRIFTED\n",
+                  name.c_str(), static_cast<unsigned long long>(base_v),
+                  static_cast<unsigned long long>(cur_v));
+      ++drifted;
+    }
+  }
+
+  const auto base_hists = parse_flat_object(object_of(base_m, "histograms"));
+  const auto cur_hists = parse_flat_object(object_of(cur_m, "histograms"));
+  std::size_t hists_checked = 0;
+  for (const auto& [name, base_text] : base_hists) {
+    if (name.rfind("profile.", 0) == 0) continue;  // same exemption
+    const auto it = cur_hists.find(name);
+    if (it == cur_hists.end()) continue;
+    ++hists_checked;
+    const double base_count = first_value(base_text, "count", -1);
+    const double cur_count = first_value(it->second, "count", -1);
+    if (base_count >= 0 && cur_count >= 0 && base_count != cur_count) {
+      std::printf(
+          "  histogram %-30s baseline count %.0f  current count %.0f  "
+          "DRIFTED\n",
+          name.c_str(), base_count, cur_count);
+      ++drifted;
+      continue;
+    }
+    const double base_sum = first_value(base_text, "sum_ms", -1);
+    const double cur_sum = first_value(it->second, "sum_ms", -1);
+    if (base_sum < kHistSumFloorMs || cur_sum < 0) continue;
+    const double delta = (cur_sum - base_sum) / base_sum;
+    if (delta > hist_threshold) {
+      std::printf(
+          "  histogram %-30s baseline sum %.2fms  current sum %.2fms  "
+          "%+.0f%%  REGRESSED\n",
+          name.c_str(), base_sum, cur_sum, delta * 100.0);
+      ++drifted;
+    }
+  }
+  std::printf(
+      "  metrics            %zu counters exact, %zu histograms gated: "
+      "%d drifted\n",
+      counters_checked, hists_checked, drifted);
+  return drifted;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double threshold = 0.15;
-  if (argc >= 5 && std::strcmp(argv[3], "--threshold") == 0)
-    threshold = std::strtod(argv[4], nullptr);
-  if (argc < 3 || threshold <= 0.0) {
+  double hist_threshold = 0.50;
+  bool gate_metrics_drift = true;
+  const char* paths[2] = {nullptr, nullptr};
+  int n_paths = 0;
+  bool bad = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--hist-threshold" && i + 1 < argc) {
+      hist_threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--no-metrics") {
+      gate_metrics_drift = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      bad = true;
+    } else if (n_paths < 2) {
+      paths[n_paths++] = argv[i];
+    } else {
+      bad = true;
+    }
+  }
+  if (bad || n_paths != 2 || threshold <= 0.0 || hist_threshold <= 0.0) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <current.json> "
-                 "[--threshold 0.15]\n");
+                 "[--threshold 0.15] [--hist-threshold 0.50] "
+                 "[--no-metrics]\n");
     return 2;
   }
-  const std::string baseline = slurp(argv[1]);
-  const std::string current = slurp(argv[2]);
+  const std::string baseline = slurp(paths[0]);
+  const std::string current = slurp(paths[1]);
 
-  std::printf("bench gate: %s vs %s (threshold %.0f%%)\n", argv[2], argv[1],
-              threshold * 100.0);
+  std::printf("bench gate: %s vs %s (threshold %.0f%%, histograms %.0f%%)\n",
+              paths[1], paths[0], threshold * 100.0, hist_threshold * 100.0);
   int regressions = 0;
   for (const Metric& m : kGatedMetrics) {
     double base = 0.0;
@@ -113,10 +311,13 @@ int main(int argc, char** argv) {
                 regressed ? "REGRESSED" : "ok");
     if (regressed) ++regressions;
   }
+  if (gate_metrics_drift)
+    regressions += gate_metrics(baseline, current, hist_threshold);
   if (regressions > 0) {
     std::fprintf(stderr,
-                 "bench_compare: %d metric(s) regressed more than %.0f%%\n",
-                 regressions, threshold * 100.0);
+                 "bench_compare: %d metric(s) regressed more than the "
+                 "threshold\n",
+                 regressions);
     return 1;
   }
   return 0;

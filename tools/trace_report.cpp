@@ -1,0 +1,84 @@
+// trace_report: offline analyzer for the Chrome trace JSON written by
+// LONGTAIL_TRACE (see docs/observability.md). Computes the critical path
+// through the span tree, self-time hotspots, per-phase parallel
+// efficiency, and counter summaries; prints Markdown to stdout and can
+// additionally write Markdown/JSON files for CI artifacts.
+//
+//   trace_report <trace.json> [--md out.md] [--json out.json] [--top N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/trace_analysis.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_report <trace.json> [--md out.md] "
+               "[--json out.json] [--top N]\n");
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+  if (!out) {
+    std::fprintf(stderr, "trace_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, md_path, json_path;
+  std::size_t top_n = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--md" && i + 1 < argc) {
+      md_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (top_n == 0) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty()) return usage();
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot read %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  namespace ta = longtail::util::trace_analysis;
+  ta::Report report;
+  try {
+    report = ta::analyze(buf.str(), top_n);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string md = ta::render_markdown(report);
+  std::fputs(md.c_str(), stdout);
+  if (!md_path.empty() && !write_file(md_path, md)) return 1;
+  if (!json_path.empty() && !write_file(json_path, ta::render_json(report)))
+    return 1;
+  return 0;
+}
