@@ -1,7 +1,5 @@
 #include "analysis/monthly.hpp"
 
-#include <unordered_set>
-
 #include "telemetry/scan.hpp"
 #include "util/stats.hpp"
 
@@ -11,42 +9,21 @@ namespace {
 
 using model::Verdict;
 
-struct Tally {
-  std::unordered_set<std::uint32_t> machines, processes, files, urls;
-
-  void add(const telemetry::EventStore::EventRef& e) {
-    machines.insert(e.machine().raw());
-    processes.insert(e.process().raw());
-    files.insert(e.file().raw());
-    urls.insert(e.url().raw());
-  }
-
-  void merge(Tally&& other) {
-    machines.merge(other.machines);
-    processes.merge(other.processes);
-    files.merge(other.files);
-    urls.merge(other.urls);
-  }
-
-  void absorb(const Tally& other) {
-    machines.insert(other.machines.begin(), other.machines.end());
-    processes.insert(other.processes.begin(), other.processes.end());
-    files.insert(other.files.begin(), other.files.end());
-    urls.insert(other.urls.begin(), other.urls.end());
-  }
-};
-
-Tally tally_range(const AnnotatedCorpus& a, std::uint32_t begin,
-                  std::uint32_t end) {
+MonthlyTally tally_range(const AnnotatedCorpus& a, std::uint32_t begin,
+                         std::uint32_t end) {
   return telemetry::scan_reduce(
-      *a.corpus, begin, end, [] { return Tally{}; },
-      [](Tally& acc, const auto& e) { acc.add(e); },
-      [](Tally& total, Tally&& shard) { total.merge(std::move(shard)); },
+      *a.corpus, begin, end, [] { return MonthlyTally{}; },
+      [](MonthlyTally& acc, const auto& e) { acc.add(e); },
+      [](MonthlyTally& total, MonthlyTally&& shard) {
+        total.merge(std::move(shard));
+      },
       "analysis.monthly");
 }
 
-MonthlyRow summarize(const AnnotatedCorpus& a, const Tally& t,
-                     std::uint64_t events) {
+}  // namespace
+
+MonthlyRow summarize_tally(const AnnotatedCorpus& a, const MonthlyTally& t,
+                           std::uint64_t events) {
   MonthlyRow row;
   row.machines = t.machines.size();
   row.events = events;
@@ -97,24 +74,22 @@ MonthlyRow summarize(const AnnotatedCorpus& a, const Tally& t,
   return row;
 }
 
-}  // namespace
-
 MonthlySummary monthly_summary(const AnnotatedCorpus& a) {
   MonthlySummary out;
-  Tally overall;
+  MonthlyTally overall;
 
   for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m) {
     const auto [begin, end] =
         a.index.month_range(static_cast<model::Month>(m));
-    const Tally month = tally_range(a, begin, end);
+    const MonthlyTally month = tally_range(a, begin, end);
     overall.absorb(month);
-    out.months[m] = summarize(a, month, end - begin);
+    out.months[m] = summarize_tally(a, month, end - begin);
   }
   // Include any spill past July in the overall row.
   const auto [aug_begin, aug_end] = a.index.month_range(model::Month::kAugust);
   overall.merge(tally_range(a, aug_begin, aug_end));
 
-  out.overall = summarize(a, overall, a.corpus->events.size());
+  out.overall = summarize_tally(a, overall, a.corpus->events.size());
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_set>
 
 #include "analysis/annotated.hpp"
 #include "model/time.hpp"
@@ -31,6 +32,40 @@ struct MonthlySummary {
   std::array<MonthlyRow, model::kNumCollectionMonths> months{};
   MonthlyRow overall;  // distinct entities over the whole period
 };
+
+// Distinct-entity tally over one time slice — the shared accumulator of
+// the batch month scans and the streaming absorb path
+// (analysis/streaming.hpp). All consumers only read set sizes and
+// verdict-bucketed sums, so results are independent of insertion order.
+struct MonthlyTally {
+  std::unordered_set<std::uint32_t> machines, processes, files, urls;
+
+  void add(const telemetry::EventStore::EventRef& e) {
+    machines.insert(e.machine().raw());
+    processes.insert(e.process().raw());
+    files.insert(e.file().raw());
+    urls.insert(e.url().raw());
+  }
+
+  void merge(MonthlyTally&& other) {
+    machines.merge(other.machines);
+    processes.merge(other.processes);
+    files.merge(other.files);
+    urls.merge(other.urls);
+  }
+
+  void absorb(const MonthlyTally& other) {
+    machines.insert(other.machines.begin(), other.machines.end());
+    processes.insert(other.processes.begin(), other.processes.end());
+    files.insert(other.files.begin(), other.files.end());
+    urls.insert(other.urls.begin(), other.urls.end());
+  }
+};
+
+// Finishes one tally into a table row (verdict percentages are computed
+// here, from order-free integer sums).
+MonthlyRow summarize_tally(const AnnotatedCorpus& a, const MonthlyTally& t,
+                           std::uint64_t events);
 
 MonthlySummary monthly_summary(const AnnotatedCorpus& a);
 

@@ -4,41 +4,25 @@
 
 namespace longtail::analysis {
 
-PrevalenceDistributions prevalence_distributions(const AnnotatedCorpus& a,
-                                                 std::uint32_t sigma) {
-  struct Acc {
-    PrevalenceDistributions dists;
-    std::uint64_t ones = 0, capped = 0, total = 0;
-  };
-  const auto& observed = a.index.observed_files();
-  Acc acc = telemetry::scan_reduce_indexed(
-      observed.size(), [] { return Acc{}; },
-      [&](Acc& s, std::size_t i) {
-        const auto f = observed[i];
-        const auto prev = a.index.prevalence(f);
-        const auto x = static_cast<double>(prev);
-        s.dists.all.add(x);
-        switch (a.verdict(f)) {
-          case model::Verdict::kBenign: s.dists.benign.add(x); break;
-          case model::Verdict::kMalicious: s.dists.malicious.add(x); break;
-          case model::Verdict::kUnknown: s.dists.unknown.add(x); break;
-          default: break;  // likely-* excluded, as in the paper
-        }
-        ++s.total;
-        if (prev == 1) ++s.ones;
-        if (prev >= sigma) ++s.capped;
-      },
-      [](Acc& total, Acc&& shard) {
-        total.dists.all.merge(std::move(shard.dists.all));
-        total.dists.benign.merge(std::move(shard.dists.benign));
-        total.dists.malicious.merge(std::move(shard.dists.malicious));
-        total.dists.unknown.merge(std::move(shard.dists.unknown));
-        total.ones += shard.ones;
-        total.capped += shard.capped;
-        total.total += shard.total;
-      },
-      "analysis.prevalence_distributions");
+namespace detail {
 
+void prevalence_fold(PrevalenceAcc& acc, const AnnotatedCorpus& a,
+                     model::FileId f, std::uint32_t prev,
+                     std::uint32_t sigma) {
+  const auto x = static_cast<double>(prev);
+  acc.dists.all.add(x);
+  switch (a.verdict(f)) {
+    case model::Verdict::kBenign: acc.dists.benign.add(x); break;
+    case model::Verdict::kMalicious: acc.dists.malicious.add(x); break;
+    case model::Verdict::kUnknown: acc.dists.unknown.add(x); break;
+    default: break;  // likely-* excluded, as in the paper
+  }
+  ++acc.total;
+  if (prev == 1) ++acc.ones;
+  if (prev >= sigma) ++acc.capped;
+}
+
+PrevalenceDistributions prevalence_finish(PrevalenceAcc&& acc) {
   PrevalenceDistributions out = std::move(acc.dists);
   out.all.finalize();
   out.benign.finalize();
@@ -51,6 +35,31 @@ PrevalenceDistributions prevalence_distributions(const AnnotatedCorpus& a,
         static_cast<double>(acc.capped) / static_cast<double>(acc.total);
   }
   return out;
+}
+
+}  // namespace detail
+
+PrevalenceDistributions prevalence_distributions(const AnnotatedCorpus& a,
+                                                 std::uint32_t sigma) {
+  using detail::PrevalenceAcc;
+  const auto& observed = a.index.observed_files();
+  PrevalenceAcc acc = telemetry::scan_reduce_indexed(
+      observed.size(), [] { return PrevalenceAcc{}; },
+      [&](PrevalenceAcc& s, std::size_t i) {
+        const auto f = observed[i];
+        detail::prevalence_fold(s, a, f, a.index.prevalence(f), sigma);
+      },
+      [](PrevalenceAcc& total, PrevalenceAcc&& shard) {
+        total.dists.all.merge(std::move(shard.dists.all));
+        total.dists.benign.merge(std::move(shard.dists.benign));
+        total.dists.malicious.merge(std::move(shard.dists.malicious));
+        total.dists.unknown.merge(std::move(shard.dists.unknown));
+        total.ones += shard.ones;
+        total.capped += shard.capped;
+        total.total += shard.total;
+      },
+      "analysis.prevalence_distributions");
+  return detail::prevalence_finish(std::move(acc));
 }
 
 std::array<util::EmpiricalCdf, model::kNumMalwareTypes> prevalence_by_type(

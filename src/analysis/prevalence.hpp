@@ -27,6 +27,25 @@ struct PrevalenceDistributions {
 PrevalenceDistributions prevalence_distributions(const AnnotatedCorpus& a,
                                                  std::uint32_t sigma = 20);
 
+namespace detail {
+
+// Shared per-file fold and finisher of the Fig. 2 computation, used by
+// both the batch scan above and the streaming snapshot
+// (analysis/streaming.hpp) so the two paths cannot drift. `prev` is the
+// file's distinct-machine prevalence; the fold is order-free (CDF samples
+// are sorted by finalize, the rest are sums).
+struct PrevalenceAcc {
+  PrevalenceDistributions dists;
+  std::uint64_t ones = 0, capped = 0, total = 0;
+};
+
+void prevalence_fold(PrevalenceAcc& acc, const AnnotatedCorpus& a,
+                     model::FileId f, std::uint32_t prev,
+                     std::uint32_t sigma);
+PrevalenceDistributions prevalence_finish(PrevalenceAcc&& acc);
+
+}  // namespace detail
+
 // §IV-A: "we also explored the distribution of different malware types and
 // found that they are very similar to each other." One CDF per behaviour
 // type, over malicious files of that type.

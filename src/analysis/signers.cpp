@@ -42,46 +42,62 @@ void accumulate(SignedRateRow& row, bool is_signed, bool via_browser,
 
 }  // namespace
 
+namespace detail {
+
+void signing_fold(SigningAcc& s, const AnnotatedCorpus& a, model::FileId f,
+                  bool via_browser) {
+  const auto& meta = a.corpus->files[f.raw()];
+  switch (a.verdict(f)) {
+    case Verdict::kBenign:
+      accumulate(s.rates.benign, meta.is_signed, via_browser, s.b_signed,
+                 s.b_browser_signed);
+      break;
+    case Verdict::kUnknown:
+      accumulate(s.rates.unknown, meta.is_signed, via_browser, s.u_signed,
+                 s.u_browser_signed);
+      break;
+    case Verdict::kMalicious: {
+      const auto t = static_cast<std::size_t>(a.type_of(f));
+      accumulate(s.rates.per_type[t], meta.is_signed, via_browser,
+                 s.type_signed[t], s.type_browser_signed[t]);
+      accumulate(s.rates.malicious, meta.is_signed, via_browser, s.m_signed,
+                 s.m_browser_signed);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+SigningRates signing_finish(SigningAcc&& acc) {
+  SigningRates out = std::move(acc.rates);
+  auto finish = [](SignedRateRow& row, std::uint64_t signed_total,
+                   std::uint64_t browser_signed) {
+    row.signed_pct = util::percent(signed_total, row.files);
+    row.browser_signed_pct = util::percent(browser_signed, row.browser_files);
+  };
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
+    finish(out.per_type[t], acc.type_signed[t], acc.type_browser_signed[t]);
+  finish(out.benign, acc.b_signed, acc.b_browser_signed);
+  finish(out.unknown, acc.u_signed, acc.u_browser_signed);
+  finish(out.malicious, acc.m_signed, acc.m_browser_signed);
+  return out;
+}
+
+}  // namespace detail
+
 SigningRates signing_rates(const AnnotatedCorpus& a) {
+  using detail::SigningAcc;
   const auto via_browser = browser_downloaded(a);
 
-  struct Acc {
-    SigningRates rates;
-    std::array<std::uint64_t, model::kNumMalwareTypes> type_signed{},
-        type_browser_signed{};
-    std::uint64_t b_signed = 0, b_browser_signed = 0;
-    std::uint64_t u_signed = 0, u_browser_signed = 0;
-    std::uint64_t m_signed = 0, m_browser_signed = 0;
-  };
   const auto& observed = a.index.observed_files();
-  Acc acc = telemetry::scan_reduce_indexed(
-      observed.size(), [] { return Acc{}; },
-      [&](Acc& s, std::size_t i) {
+  SigningAcc acc = telemetry::scan_reduce_indexed(
+      observed.size(), [] { return SigningAcc{}; },
+      [&](SigningAcc& s, std::size_t i) {
         const auto f = observed[i];
-        const auto& meta = a.corpus->files[f.raw()];
-        const bool browser = via_browser[f.raw()];
-        switch (a.verdict(f)) {
-          case Verdict::kBenign:
-            accumulate(s.rates.benign, meta.is_signed, browser, s.b_signed,
-                       s.b_browser_signed);
-            break;
-          case Verdict::kUnknown:
-            accumulate(s.rates.unknown, meta.is_signed, browser, s.u_signed,
-                       s.u_browser_signed);
-            break;
-          case Verdict::kMalicious: {
-            const auto t = static_cast<std::size_t>(a.type_of(f));
-            accumulate(s.rates.per_type[t], meta.is_signed, browser,
-                       s.type_signed[t], s.type_browser_signed[t]);
-            accumulate(s.rates.malicious, meta.is_signed, browser, s.m_signed,
-                       s.m_browser_signed);
-            break;
-          }
-          default:
-            break;
-        }
+        detail::signing_fold(s, a, f, via_browser[f.raw()]);
       },
-      [](Acc& total, Acc&& shard) {
+      [](SigningAcc& total, SigningAcc&& shard) {
         auto add_row = [](SignedRateRow& row, const SignedRateRow& o) {
           row.files += o.files;
           row.browser_files += o.browser_files;
@@ -103,18 +119,7 @@ SigningRates signing_rates(const AnnotatedCorpus& a) {
       },
       "analysis.signing_rates");
 
-  SigningRates out = std::move(acc.rates);
-  auto finish = [](SignedRateRow& row, std::uint64_t signed_total,
-                   std::uint64_t browser_signed) {
-    row.signed_pct = util::percent(signed_total, row.files);
-    row.browser_signed_pct = util::percent(browser_signed, row.browser_files);
-  };
-  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t)
-    finish(out.per_type[t], acc.type_signed[t], acc.type_browser_signed[t]);
-  finish(out.benign, acc.b_signed, acc.b_browser_signed);
-  finish(out.unknown, acc.u_signed, acc.u_browser_signed);
-  finish(out.malicious, acc.m_signed, acc.m_browser_signed);
-  return out;
+  return detail::signing_finish(std::move(acc));
 }
 
 namespace {

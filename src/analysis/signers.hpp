@@ -31,6 +31,27 @@ struct SigningRates {
 
 SigningRates signing_rates(const AnnotatedCorpus& a);
 
+namespace detail {
+
+// Shared per-file fold and finisher of the Table VI computation, used by
+// the batch scan and the streaming snapshot (analysis/streaming.hpp) so
+// the two paths cannot drift. Every field is an order-free integer sum;
+// the percentages are computed once, in the finisher.
+struct SigningAcc {
+  SigningRates rates;
+  std::array<std::uint64_t, model::kNumMalwareTypes> type_signed{},
+      type_browser_signed{};
+  std::uint64_t b_signed = 0, b_browser_signed = 0;
+  std::uint64_t u_signed = 0, u_browser_signed = 0;
+  std::uint64_t m_signed = 0, m_browser_signed = 0;
+};
+
+void signing_fold(SigningAcc& acc, const AnnotatedCorpus& a, model::FileId f,
+                  bool via_browser);
+SigningRates signing_finish(SigningAcc&& acc);
+
+}  // namespace detail
+
 struct SignerOverlapRow {
   std::uint64_t signers = 0;            // distinct signers for this type
   std::uint64_t common_with_benign = 0; // of those, also sign benign files

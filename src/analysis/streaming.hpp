@@ -1,0 +1,85 @@
+// Incremental analytics over the streaming ingest path.
+//
+// `StreamingAnalytics` absorbs the closed `EventWindow`s emitted by
+// `telemetry::StreamingCollectionServer` and can produce, at any window
+// boundary, the same reports the batch analyses compute with a
+// full-corpus repass: the Table I monthly summary, the Fig. 2 prevalence
+// distributions, the Table VI signing rates, and machine coverage. Each
+// snapshot is bit-identical to its batch counterpart applied to the
+// events absorbed so far — the folds go through the same shared
+// per-entity fold/finisher functions (analysis/monthly.hpp,
+// analysis/prevalence.hpp, analysis/signers.hpp), and every accumulator
+// is order-free (distinct sets, integer sums, CDFs sorted at finalize),
+// so window width and chunking cannot affect the result.
+//
+// Per-file state is bounded: accepted events only carry machines admitted
+// below the collection cap sigma, so the distinct-machine vector per file
+// holds at most sigma entries (telemetry::PrevalenceTracker enforces the
+// same bound upstream).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/annotated.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/monthly.hpp"
+#include "analysis/prevalence.hpp"
+#include "analysis/signers.hpp"
+#include "telemetry/scan.hpp"
+#include "telemetry/streaming.hpp"
+
+namespace longtail::analysis {
+
+class StreamingAnalytics {
+ public:
+  // `corpus` provides the entity tables (process categories, file count);
+  // its event table is NOT read — events arrive through absorb().
+  explicit StreamingAnalytics(const telemetry::Corpus& corpus);
+
+  // Folds one closed window of accepted events into the running state.
+  void absorb(const telemetry::EventWindow& w);
+
+  // Snapshots at the current window boundary. `a` supplies labels and
+  // metadata; its index is not consulted for anything event-derived.
+  [[nodiscard]] MonthlySummary monthly(const AnnotatedCorpus& a) const;
+  [[nodiscard]] PrevalenceDistributions prevalence(const AnnotatedCorpus& a,
+                                                   std::uint32_t sigma =
+                                                       20) const;
+  [[nodiscard]] SigningRates signing(const AnnotatedCorpus& a) const;
+  [[nodiscard]] MachineCoverage coverage(const AnnotatedCorpus& a) const;
+
+  [[nodiscard]] std::uint64_t events_absorbed() const noexcept;
+  [[nodiscard]] std::size_t windows_absorbed() const noexcept {
+    return windows_;
+  }
+
+ private:
+  struct MonthlyState {
+    std::array<MonthlyTally, model::kNumCalendarMonths> tallies{};
+    std::array<std::uint64_t, model::kNumCalendarMonths> events{};
+  };
+  struct FileState {
+    std::vector<std::uint32_t> machines;  // sorted distinct; <= sigma
+    bool via_browser = false;
+  };
+  struct FileStates {
+    const telemetry::Corpus* corpus = nullptr;
+    std::vector<FileState> files;
+  };
+
+  static void fold_monthly(MonthlyState& s,
+                           telemetry::EventStore::EventRef e);
+  static void fold_files(FileStates& s, telemetry::EventStore::EventRef e);
+
+  using MonthlyFold = void (*)(MonthlyState&,
+                               telemetry::EventStore::EventRef);
+  using FilesFold = void (*)(FileStates&, telemetry::EventStore::EventRef);
+
+  telemetry::IncrementalReducer<MonthlyState, MonthlyFold> monthly_;
+  telemetry::IncrementalReducer<FileStates, FilesFold> files_;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace longtail::analysis

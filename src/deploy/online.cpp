@@ -1,43 +1,53 @@
 #include "deploy/online.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
 
-#include "telemetry/scan.hpp"
+#include "groundtruth/engines.hpp"
+#include "model/time.hpp"
+#include "util/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace longtail::deploy {
 
 namespace {
 using model::Verdict;
+
+constexpr model::Timestamp kNever =
+    std::numeric_limits<model::Timestamp>::max();
+constexpr model::Timestamp kPeriodEnd =
+    model::kMonthStart[model::kNumCalendarMonths];
 }  // namespace
 
 OnlineLabeler::OnlineLabeler(const synth::Dataset& dataset,
                              const analysis::AnnotatedCorpus& annotated,
                              OnlineConfig config)
-    : dataset_(dataset), annotated_(annotated), config_(config) {}
+    : dataset_(dataset),
+      annotated_(annotated),
+      config_(config),
+      learner_(config_.part) {}
 
 std::vector<features::Instance> OnlineLabeler::training_window(
     model::Month month) {
-  const auto begin = model::month_begin(month);
   const auto end = model::month_end(month);
 
-  // First event of each file within the window (ascending-shard combine
-  // keeps the earliest index, matching a serial first-wins pass).
-  using FirstMap = std::unordered_map<std::uint32_t, std::uint32_t>;
-  const auto& events = annotated_.corpus->events;
-  const auto lo = telemetry::lower_bound_time(*annotated_.corpus, begin);
-  const auto hi = telemetry::lower_bound_time(*annotated_.corpus, end);
-  const FirstMap first = telemetry::scan_reduce(
-      *annotated_.corpus, lo, hi, [] { return FirstMap{}; },
-      [](FirstMap& m, const auto& e) {
-        m.try_emplace(e.file().raw(), static_cast<std::uint32_t>(e.index()));
-      },
-      [](FirstMap& total, FirstMap&& shard) {
-        for (const auto& [file, i] : shard) total.try_emplace(file, i);
-      },
-      "deploy.training_window");
+  // Canonical order: sort by file id BEFORE feature extraction, so the
+  // feature-space intern sequence is a pure function of the training set
+  // (not of the first-event map's insertion history). Batch replay and
+  // windowed serving build that map with different histories; extracting
+  // in sorted order makes both produce identical instances AND identical
+  // interned value ids.
+  std::vector<std::pair<std::uint32_t, const model::DownloadEvent*>> ordered;
+  ordered.reserve(month_firsts_.size());
+  for (const auto& [file, e] : month_firsts_) ordered.emplace_back(file, &e);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 
   std::vector<features::Instance> out;
-  for (const auto& [file, event_index] : first) {
+  for (const auto& [file, event] : ordered) {
     const model::FileId id{file};
     const Verdict v =
         config_.labels_as_of_training_time
@@ -46,48 +56,99 @@ std::vector<features::Instance> OnlineLabeler::training_window(
             : annotated_.labels.file_verdicts[file];
     if (v != Verdict::kBenign && v != Verdict::kMalicious) continue;
     out.push_back(features::Instance{
-        features::extract_features(annotated_, events[event_index], space_),
+        features::extract_features(annotated_, *event, space_),
         v == Verdict::kMalicious, id});
   }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.file < b.file; });
   return out;
 }
 
-std::vector<MonthlyDeployStats> OnlineLabeler::run() {
-  std::vector<MonthlyDeployStats> out;
-  const rules::PartLearner learner(config_.part);
-
-  for (std::size_t m = 0; m + 1 < model::kNumCollectionMonths; ++m) {
-    const auto train_month = static_cast<model::Month>(m);
-    const auto deploy_month = static_cast<model::Month>(m + 1);
-
-    const auto training = training_window(train_month);
-    const auto all_rules = learner.learn(training);
-    const rules::RuleClassifier classifier(
-        rules::select_rules(all_rules, config_.tau), config_.policy);
-
+void OnlineLabeler::roll_month() {
+  const std::size_t next = current_month_ + 1;
+  if (next < model::kNumCollectionMonths) {
+    // `next` is a deploy month: train on the month just completed.
+    const auto training =
+        training_window(static_cast<model::Month>(current_month_));
+    const auto all_rules = learner_.learn(training);
+    classifier_.emplace(rules::select_rules(all_rules, config_.tau),
+                        config_.policy);
     MonthlyDeployStats stats;
-    stats.rules_active = classifier.rules().size();
+    stats.rules_active = classifier_->rules().size();
     stats.training_instances = training.size();
+    monthly_.push_back(stats);
+    LONGTAIL_METRIC_COUNT("deploy.serve.retrains", 1);
+  } else {
+    classifier_.reset();
+  }
+  month_firsts_.clear();
+  current_month_ = next;
+}
 
-    const auto [begin, end] = annotated_.index.month_range(deploy_month);
-    for (std::uint32_t i = begin; i < end; ++i) {
-      const auto e = annotated_.corpus->events[i];
-      ++stats.events;
-      const auto x = features::extract_features(annotated_, e, space_);
-      const auto decision = classifier.classify(x);
-      switch (decision) {
-        case rules::Decision::kMalicious: ++stats.decided_malicious; break;
-        case rules::Decision::kBenign: ++stats.decided_benign; break;
-        case rules::Decision::kRejected: ++stats.rejected; break;
-        case rules::Decision::kNoMatch: ++stats.unmatched; break;
-      }
-      if (decision != rules::Decision::kMalicious &&
-          decision != rules::Decision::kBenign)
-        continue;
+model::Timestamp OnlineLabeler::evidence_label_time(
+    model::FileId f, model::Timestamp first_report) const {
+  if (dataset_.whitelist.contains(f)) return first_report;
+  const auto& vt = dataset_.vt.query(f);
+  if (!vt.has_value()) return kNever;
+
+  // The as-of verdict only *turns* conclusive at one of these moments;
+  // between them conclusiveness can switch off but never on, so probing
+  // them in ascending order finds the exact earliest label time.
+  const auto clean_span_s =
+      groundtruth::LabelerConfig{}.min_clean_span_days * model::kSecondsPerDay;
+  std::vector<model::Timestamp> candidates;
+  candidates.push_back(first_report);
+  candidates.push_back(std::max(first_report, vt->first_scan + clean_span_s));
+  for (const auto& det : vt->detections)
+    if (groundtruth::is_trusted(det.engine))
+      candidates.push_back(std::max(first_report, det.signature_time));
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (const auto t : candidates) {
+    const auto v = labeler_.verdict_as_of(false, vt, t);
+    if (v == Verdict::kBenign || v == Verdict::kMalicious) return t;
+  }
+  return kNever;
+}
+
+void OnlineLabeler::note_report(model::FileId f, model::Timestamp t) {
+  const auto [it, inserted] = fresh_.try_emplace(f.raw());
+  if (!inserted) return;
+  it->second.first_report = t;
+  it->second.labeled_at = evidence_label_time(f, t);
+}
+
+void OnlineLabeler::note_decision(model::FileId f, model::Timestamp t) {
+  const auto it = fresh_.find(f.raw());
+  if (it != fresh_.end() && t < it->second.labeled_at)
+    it->second.labeled_at = t;
+}
+
+void OnlineLabeler::serve_event(const model::DownloadEvent& e) {
+  assert(!finished_);
+  const auto m = static_cast<std::size_t>(model::month_of(e.time));
+  while (current_month_ < m) roll_month();
+  ++events_served_;
+  note_report(e.file, e.time);
+
+  // Classify with the rules active this month. January has no preceding
+  // training window and August is outside the deploy range.
+  if (current_month_ >= 1 && current_month_ < model::kNumCollectionMonths) {
+    auto& stats = monthly_.back();
+    ++stats.events;
+    const auto x = features::extract_features(annotated_, e, space_);
+    const auto decision = classifier_->classify(x);
+    switch (decision) {
+      case rules::Decision::kMalicious: ++stats.decided_malicious; break;
+      case rules::Decision::kBenign: ++stats.decided_benign; break;
+      case rules::Decision::kRejected: ++stats.rejected; break;
+      case rules::Decision::kNoMatch: ++stats.unmatched; break;
+    }
+    if (decision == rules::Decision::kMalicious ||
+        decision == rules::Decision::kBenign) {
+      note_decision(e.file, e.time);
       // Score against the final retrospective verdict where one exists.
-      const auto final_verdict = annotated_.verdict(e.file());
+      const auto final_verdict = annotated_.verdict(e.file);
       if (final_verdict == Verdict::kMalicious) {
         ++stats.final_malicious_decided;
         if (decision == rules::Decision::kMalicious) ++stats.true_positives;
@@ -96,9 +157,68 @@ std::vector<MonthlyDeployStats> OnlineLabeler::run() {
         if (decision == rules::Decision::kMalicious) ++stats.false_positives;
       }
     }
-    out.push_back(stats);
   }
-  return out;
+
+  // First download of each file this month feeds next month's training.
+  if (current_month_ + 1 < model::kNumCollectionMonths)
+    month_firsts_.try_emplace(e.file.raw(), e);
+}
+
+void OnlineLabeler::serve(const telemetry::EventWindow& window) {
+  LONGTAIL_TRACE_SPAN_DETAIL(
+      "deploy.serve_window",
+      "events=" + std::to_string(window.events.size()));
+  LONGTAIL_METRIC_TIMER("deploy.serve_ms");
+  for (std::size_t i = 0; i < window.events.size(); ++i)
+    serve_event(window.events[i]);
+  LONGTAIL_METRIC_COUNT("deploy.serve.windows", 1);
+  LONGTAIL_METRIC_COUNT("deploy.serve.events", window.events.size());
+}
+
+void OnlineLabeler::finish() {
+  if (finished_) return;
+  // Train through the remaining month boundaries so every deploy month has
+  // an entry, exactly as a full replay would.
+  while (current_month_ + 1 < model::kNumCollectionMonths) roll_month();
+  classifier_.reset();
+
+  // A label is observable only if it matured inside the served period.
+  util::EmpiricalCdf latencies;
+  double sum_s = 0.0;
+  for (const auto& [file, fs] : fresh_) {
+    ++freshness_.files_reported;
+    if (fs.labeled_at < kPeriodEnd) {
+      ++freshness_.files_labeled;
+      const auto latency = fs.labeled_at - fs.first_report;
+      latencies.add(static_cast<double>(latency));
+      sum_s += static_cast<double>(latency);
+    } else {
+      ++freshness_.files_pending;
+    }
+  }
+  latencies.finalize();
+  freshness_.p50_s = latencies.quantile(0.50);
+  freshness_.p90_s = latencies.quantile(0.90);
+  freshness_.p99_s = latencies.quantile(0.99);
+  freshness_.max_s = latencies.empty() ? 0.0 : latencies.quantile(1.0);
+  freshness_.mean_s = freshness_.files_labeled == 0
+                          ? 0.0
+                          : sum_s / static_cast<double>(
+                                        freshness_.files_labeled);
+  LONGTAIL_METRIC_COUNT("deploy.freshness.files_labeled",
+                        freshness_.files_labeled);
+  LONGTAIL_METRIC_COUNT("deploy.freshness.files_pending",
+                        freshness_.files_pending);
+  finished_ = true;
+}
+
+std::vector<MonthlyDeployStats> OnlineLabeler::run() {
+  LONGTAIL_TRACE_SPAN("deploy.online_run");
+  assert(!finished_ && events_served_ == 0);
+  const auto& events = annotated_.corpus->events;
+  for (std::size_t i = 0; i < events.size(); ++i) serve_event(events[i]);
+  finish();
+  return monthly_;
 }
 
 }  // namespace longtail::deploy

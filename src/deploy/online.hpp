@@ -2,23 +2,34 @@
 //
 // §VI-D: "this perfectly simulates how the system is used in operational
 // environments; rules generated based on past events are used to classify
-// new, unknown events in the future." This module is that environment:
+// new, unknown events in the future." This module is that environment,
+// rebuilt as a *serving loop* over the streaming ingest path:
 //
-//   * events are replayed in time order;
+//   * closed `telemetry::EventWindow`s are served in stream order;
 //   * at every month boundary the labeler retrains on the previous month,
 //     using only the ground truth *knowable at that moment*
 //     (groundtruth::Labeler::verdict_as_of — signatures developed later
 //     are invisible, unlike the paper's retrospective two-year labels);
 //   * each incoming download is classified with the rules active at its
-//     timestamp.
+//     timestamp, and every file's label is re-derived as its
+//     `verdict_as_of` evidence matures (whitelist hits immediately,
+//     detections at their signature times, clean files once their scan
+//     span crosses the 14-day threshold);
+//   * the loop reports report-to-labeled *freshness latency*: how long
+//     after a file's first report either a rule decision or matured
+//     evidence produced a conclusive label.
+//
+// `run()` is the batch replay: it drives the same serving loop with the
+// whole corpus as a single stream, so windowed serving and one-shot replay
+// are bit-identical by construction.
 //
 // Comparing the per-month results against the retrospective Table XVII
 // quantifies how much accuracy the two-year label maturation is worth.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/annotated.hpp"
@@ -27,6 +38,7 @@
 #include "rules/classifier.hpp"
 #include "rules/part.hpp"
 #include "synth/generator.hpp"
+#include "telemetry/streaming.hpp"
 
 namespace longtail::deploy {
 
@@ -72,6 +84,24 @@ struct MonthlyDeployStats {
   }
 };
 
+// Report-to-labeled freshness over the served stream. A file counts as
+// *labeled* at the earliest of (a) the first rule decision on one of its
+// downloads and (b) the moment its verdict_as_of evidence first turns
+// conclusive (benign or malicious), clamped to no earlier than its first
+// report. Files whose evidence never matures inside the collection period
+// stay *pending* — the long tail of label latency.
+struct FreshnessStats {
+  std::uint64_t files_reported = 0;
+  std::uint64_t files_labeled = 0;
+  std::uint64_t files_pending = 0;
+  // Exact percentiles (seconds) over labeled files' latencies.
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+  double mean_s = 0.0;
+};
+
 class OnlineLabeler {
  public:
   OnlineLabeler(const synth::Dataset& dataset,
@@ -80,20 +110,74 @@ class OnlineLabeler {
 
   // Replays the full corpus: retrains at each month boundary, classifies
   // every event of the following month. Months without a preceding
-  // training window (January) are skipped.
+  // training window (January) are skipped. Implemented as serve() over
+  // the corpus as one stream, then finish(). Single-shot — construct a
+  // fresh labeler per replay.
   [[nodiscard]] std::vector<MonthlyDeployStats> run();
 
+  // Streaming serving loop: consume one closed ingest window. Windows
+  // must arrive in stream order (as emitted by the collection server).
+  void serve(const telemetry::EventWindow& window);
+  // End of stream: trains through the final month boundary and finalizes
+  // freshness accounting. Idempotent.
+  void finish();
+
+  // Valid after finish(). One entry per deploy month (Feb..Jul).
+  [[nodiscard]] const std::vector<MonthlyDeployStats>& monthly() const {
+    return monthly_;
+  }
+  [[nodiscard]] const FreshnessStats& freshness() const {
+    return freshness_;
+  }
+  [[nodiscard]] std::uint64_t events_served() const noexcept {
+    return events_served_;
+  }
+
  private:
-  // Training instances for files first seen in `month`, labeled with the
-  // evidence available at the month's end (or final labels, per config).
+  struct FileFreshness {
+    model::Timestamp first_report = 0;
+    model::Timestamp labeled_at = 0;  // kNever if no label yet
+  };
+
+  void serve_event(const model::DownloadEvent& e);
+  // Advance the serving clock past `current_month_`: train next month's
+  // classifier from this month's first-download instances.
+  void roll_month();
+  // Training instances for the files first seen in `month` (from the
+  // serving loop's first-event map), labeled with the evidence available
+  // at the month's end (or final labels, per config). Extraction happens
+  // in ascending file-id order so the feature-space intern sequence is a
+  // pure function of the training set.
   [[nodiscard]] std::vector<features::Instance> training_window(
       model::Month month);
+  // Earliest time >= `first_report` at which verdict_as_of turns
+  // conclusive for `f`, or kNever. Conclusiveness only switches on at the
+  // first report itself, a trusted engine's signature time, or the scan
+  // span crossing the 14-day threshold — so checking those breakpoints in
+  // ascending order is exact.
+  [[nodiscard]] model::Timestamp evidence_label_time(
+      model::FileId f, model::Timestamp first_report) const;
+  void note_report(model::FileId f, model::Timestamp t);
+  void note_decision(model::FileId f, model::Timestamp t);
 
   const synth::Dataset& dataset_;
   const analysis::AnnotatedCorpus& annotated_;
   OnlineConfig config_;
   groundtruth::Labeler labeler_;
   features::FeatureSpace space_;
+  rules::PartLearner learner_;
+
+  // Serving state.
+  std::size_t current_month_ = 0;  // calendar month being served
+  std::optional<rules::RuleClassifier> classifier_;
+  std::unordered_map<std::uint32_t, model::DownloadEvent> month_firsts_;
+  std::vector<MonthlyDeployStats> monthly_;
+  std::uint64_t events_served_ = 0;
+  bool finished_ = false;
+
+  // Freshness state.
+  std::unordered_map<std::uint32_t, FileFreshness> fresh_;
+  FreshnessStats freshness_;
 };
 
 }  // namespace longtail::deploy

@@ -10,7 +10,9 @@
 
 #include "groundtruth/avsim.hpp"
 #include "synth/chains.hpp"
+#include "synth/feed.hpp"
 #include "synth/world.hpp"
+#include "telemetry/streaming.hpp"
 #include "util/hash.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -1068,24 +1070,38 @@ void Generator::finalize_corpus() {
   std::sort(raw_events_.begin(), raw_events_.end(),
             [](const auto& a, const auto& b) { return a.time < b.time; });
 
-  telemetry::CollectionPolicy policy;
-  policy.sigma = profile_.sigma;
-  policy.reorder_horizon_s = profile_.faults.reorder_horizon_s();
+  telemetry::StreamingConfig cfg;
+  cfg.policy.sigma = profile_.sigma;
+  cfg.policy.reorder_horizon_s = profile_.faults.reorder_horizon_s();
   for (DomainId dom : world_.update_domains)
-    policy.whitelisted_domains.insert(dom);
+    cfg.policy.whitelisted_domains.insert(dom);
+  cfg.num_files = world_.corpus.files.size();
+  cfg.window_s = telemetry::StreamingConfig::window_from_env();
 
-  telemetry::CollectionServer server(std::move(policy));
-  if (profile_.faults.transport_active()) {
-    // Faulted path: replay the agent stream through the lossy channel and
-    // the hardened ingest (dedup → quarantine → reorder → §II-A rules).
-    telemetry::FaultyTransport transport(profile_.faults, profile_.seed);
-    const auto delivered = transport.deliver(raw_events_);
-    world_.corpus.events = server.filter_transport(
-        delivered, world_.corpus.urls, world_.corpus.files.size());
-    transport_stats_ = transport.stats();
-  } else {
-    world_.corpus.events = server.filter(raw_events_, world_.corpus.urls);
+  // Windowed streaming ingest: the chunked feed drives the streaming
+  // server (faulted path: dedup → quarantine → reorder → §II-A rules;
+  // fault-free path: the trusted fast path) and the corpus is the
+  // concatenation of the closed windows — identical to the old one-shot
+  // batch filter for every window width and chunk size.
+  synth::ChunkedFeed feed(raw_events_, profile_.faults, profile_.seed,
+                          synth::ChunkedFeed::chunk_from_env());
+  cfg.trusted = feed.trusted();
+  telemetry::StreamingCollectionServer server(std::move(cfg),
+                                              world_.corpus.urls);
+  std::vector<telemetry::EventWindow> windows;
+  while (feed.step(server, windows)) {
   }
+  server.finish(windows);
+  transport_stats_ = feed.transport_stats();
+
+  std::size_t total = 0;
+  for (const auto& w : windows) total += w.events.size();
+  world_.corpus.events.clear();
+  world_.corpus.events.reserve(total);
+  for (const auto& w : windows)
+    for (std::size_t i = 0; i < w.events.size(); ++i)
+      world_.corpus.events.push_back(w.events[i]);
+
   world_.corpus.machine_count = world_.num_machines();
   collection_stats_ = server.stats();
 }

@@ -1,26 +1,22 @@
 #include "telemetry/collection.hpp"
 
 #include <cassert>
-#include <limits>
-#include <map>
+#include <string>
 #include <utility>
 
 #include "model/time.hpp"
+#include "telemetry/streaming.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace longtail::telemetry {
 
-namespace {
+namespace detail {
 
-// §II-A reporting rules for one event. Exactly one stats counter is
-// incremented per call, so counters always sum to the events examined.
-void apply_rules(
-    const model::DownloadEvent& e, std::span<const model::UrlMeta> url_meta,
-    const CollectionPolicy& policy, CollectionStats& stats,
-    std::unordered_map<model::FileId, std::unordered_set<model::MachineId>>&
-        machines_per_file,
-    EventStore& accepted) {
+void apply_rules(const model::DownloadEvent& e,
+                 std::span<const model::UrlMeta> url_meta,
+                 const CollectionPolicy& policy, CollectionStats& stats,
+                 PrevalenceTracker& prevalence, EventStore& accepted) {
   if (!e.executed) {
     ++stats.dropped_not_executed;
     return;
@@ -31,36 +27,16 @@ void apply_rules(
     ++stats.dropped_whitelisted_url;
     return;
   }
-  auto& machines = machines_per_file[e.file];
-  if (!machines.contains(e.machine) && machines.size() >= policy.sigma) {
+  if (!prevalence.admit(e.file, e.machine)) {
     ++stats.dropped_prevalence_cap;
     return;
   }
-  machines.insert(e.machine);
   ++stats.accepted;
   accepted.push_back(e);
 }
 
-// Shared replay core: `get(i)` yields the i-th raw event. The prevalence
-// state is inherently sequential (each decision depends on the machines
-// seen so far), so the filter itself stays a single ordered pass.
-template <typename Get>
-EventStore run_filter(
-    std::size_t n, Get&& get, std::span<const model::UrlMeta> url_meta,
-    const CollectionPolicy& policy, CollectionStats& stats,
-    std::unordered_map<model::FileId, std::unordered_set<model::MachineId>>&
-        machines_per_file) {
-  EventStore accepted;
-  accepted.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    apply_rules(get(i), url_meta, policy, stats, machines_per_file, accepted);
-  return accepted;
-}
-
 void record_stats_delta(const CollectionStats& before,
                         const CollectionStats& after) {
-  // Mirror this call's stats delta into the metrics registry (one add per
-  // counter, outside the hot loop).
   LONGTAIL_METRIC_COUNT("telemetry.events_accepted",
                         after.accepted - before.accepted);
   LONGTAIL_METRIC_COUNT(
@@ -81,6 +57,25 @@ void record_stats_delta(const CollectionStats& before,
       after.quarantined_malformed - before.quarantined_malformed);
 }
 
+}  // namespace detail
+
+namespace {
+
+// Shared replay core: `get(i)` yields the i-th raw event. The prevalence
+// state is inherently sequential (each decision depends on the machines
+// seen so far), so the filter itself stays a single ordered pass.
+template <typename Get>
+EventStore run_filter(std::size_t n, Get&& get,
+                      std::span<const model::UrlMeta> url_meta,
+                      const CollectionPolicy& policy, CollectionStats& stats,
+                      PrevalenceTracker& prevalence) {
+  EventStore accepted;
+  accepted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    detail::apply_rules(get(i), url_meta, policy, stats, prevalence, accepted);
+  return accepted;
+}
+
 }  // namespace
 
 EventStore CollectionServer::filter(std::span<const model::DownloadEvent> raw,
@@ -90,8 +85,8 @@ EventStore CollectionServer::filter(std::span<const model::DownloadEvent> raw,
   const CollectionStats before = stats_;
   EventStore accepted =
       run_filter(raw.size(), [&](std::size_t i) { return raw[i]; }, url_meta,
-                 policy_, stats_, machines_per_file_);
-  record_stats_delta(before, stats_);
+                 policy_, stats_, prevalence_);
+  detail::record_stats_delta(before, stats_);
   return accepted;
 }
 
@@ -102,8 +97,8 @@ EventStore CollectionServer::filter(const EventStore& raw,
   const CollectionStats before = stats_;
   EventStore accepted = run_filter(
       raw.size(), [&](std::size_t i) { return model::DownloadEvent(raw[i]); },
-      url_meta, policy_, stats_, machines_per_file_);
-  record_stats_delta(before, stats_);
+      url_meta, policy_, stats_, prevalence_);
+  detail::record_stats_delta(before, stats_);
   return accepted;
 }
 
@@ -112,62 +107,27 @@ EventStore CollectionServer::filter_transport(
     std::span<const model::UrlMeta> url_meta, std::size_t num_files) {
   LONGTAIL_TRACE_SPAN_DETAIL("telemetry.collection_filter_transport",
                              "copies=" + std::to_string(delivered.size()));
-  LONGTAIL_METRIC_TIMER("telemetry.collection_filter_ms");
-  const CollectionStats before = stats_;
+  // One-shot replay through the streaming server, borrowing this server's
+  // stats and prevalence state so the batch wrapper is observationally
+  // identical to streaming ingest. Windows partition event time and are
+  // emitted in order, so their concatenation is exactly the release order
+  // of the bounded reorder buffer.
+  StreamingConfig cfg;
+  cfg.policy = policy_;
+  cfg.num_files = num_files;
+  StreamingCollectionServer server(std::move(cfg), url_meta, stats_,
+                                   prevalence_);
+  std::vector<EventWindow> windows;
+  server.ingest(delivered, windows);
+  server.finish(windows);
 
-  const auto horizon =
-      static_cast<model::Timestamp>(policy_.reorder_horizon_s);
-  const model::Timestamp period_end =
-      model::kMonthStart[model::kNumCalendarMonths];
-
+  std::size_t total = 0;
+  for (const EventWindow& w : windows) total += w.events.size();
   EventStore accepted;
-  accepted.reserve(delivered.size());
-
-  std::unordered_set<std::uint64_t> seen_reports;
-  seen_reports.reserve(delivered.size());
-
-  // Reorder buffer: events whose reported time may still be overtaken,
-  // keyed by (reported time, report_id) — a unique total order, so the
-  // release sequence is deterministic.
-  std::map<std::pair<model::Timestamp, std::uint64_t>, model::DownloadEvent>
-      pending;
-  // Upper bound on reported times already released from the buffer; an
-  // event reported earlier than this cannot be emitted in order anymore.
-  model::Timestamp released_through =
-      std::numeric_limits<model::Timestamp>::min();
-
-  const auto release_until = [&](model::Timestamp watermark) {
-    while (!pending.empty() && pending.begin()->first.first <= watermark) {
-      apply_rules(pending.begin()->second, url_meta, policy_, stats_,
-                  machines_per_file_, accepted);
-      pending.erase(pending.begin());
-    }
-    released_through = std::max(released_through, watermark);
-  };
-
-  for (const auto& r : delivered) {
-    if (!seen_reports.insert(r.report_id).second) {
-      ++stats_.dropped_duplicate;
-      continue;
-    }
-    const model::DownloadEvent& e = r.event;
-    if (e.url.raw() >= url_meta.size() || e.file.raw() >= num_files ||
-        e.time < 0 || e.time >= period_end) {
-      ++stats_.quarantined_malformed;
-      continue;
-    }
-    // Advance the arrival watermark, then admit the new event — or drop
-    // it as stale if its slot in the order has already been released.
-    release_until(r.arrival - horizon);
-    if (e.time < released_through) {
-      ++stats_.dropped_stale;
-      continue;
-    }
-    pending.emplace(std::make_pair(e.time, r.report_id), e);
-  }
-  release_until(std::numeric_limits<model::Timestamp>::max());
-
-  record_stats_delta(before, stats_);
+  accepted.reserve(total);
+  for (const EventWindow& w : windows)
+    for (std::size_t i = 0; i < w.events.size(); ++i)
+      accepted.push_back(w.events[i]);
   return accepted;
 }
 

@@ -29,8 +29,14 @@
 // Every delivered copy increments exactly one stats counter, so
 // `accepted + all drop/quarantine counters == total_seen()` holds on both
 // ingest paths.
+//
+// Since the streaming refactor, `filter_transport` is a thin batch wrapper
+// around `telemetry::StreamingCollectionServer` (streaming.hpp), which runs
+// the same dedup → quarantine → reorder → §II-A machinery incrementally
+// over delivered chunks and emits closed time-windows.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -76,10 +82,79 @@ struct CollectionStats {
   }
 };
 
+// Bounded per-file prevalence state. The §II-A rule only ever needs the
+// identities of machines admitted *below* sigma — membership decides
+// whether a repeat download from an admitted machine is still reportable —
+// so the stored set is structurally capped at sigma entries and kept as a
+// sorted inline vector (a handful of contiguous u32s) instead of a
+// node-based hash set per file. Under long-lived streaming ingest the
+// per-file footprint is therefore a small constant, and saturated files
+// answer the common "new machine past the cap" probe with one flag load.
+class PrevalenceTracker {
+ public:
+  explicit PrevalenceTracker(std::uint32_t sigma = 20) noexcept
+      : sigma_(sigma) {}
+
+  // Applies the prevalence rule for one executed event: returns true when
+  // the event is reportable (machine already admitted, or cap not yet
+  // reached — the machine is then admitted).
+  bool admit(model::FileId f, model::MachineId m) {
+    Entry& e = files_[f.raw()];
+    const std::uint32_t machine = m.raw();
+    const auto it =
+        std::lower_bound(e.machines.begin(), e.machines.end(), machine);
+    if (it != e.machines.end() && *it == machine) return true;  // repeat
+    if (e.saturated) return false;  // new machine past the cap
+    e.machines.insert(it, machine);
+    if (e.machines.size() >= sigma_) e.saturated = true;
+    return true;
+  }
+
+  // Distinct machines admitted for `f`; capped at sigma by construction.
+  [[nodiscard]] std::uint32_t prevalence(model::FileId f) const {
+    const auto it = files_.find(f.raw());
+    return it == files_.end()
+               ? 0
+               : static_cast<std::uint32_t>(it->second.machines.size());
+  }
+
+  [[nodiscard]] bool saturated(model::FileId f) const {
+    const auto it = files_.find(f.raw());
+    return it != files_.end() && it->second.saturated;
+  }
+
+  [[nodiscard]] std::uint32_t sigma() const noexcept { return sigma_; }
+
+ private:
+  struct Entry {
+    std::vector<std::uint32_t> machines;  // sorted; <= sigma entries
+    bool saturated = false;
+  };
+  std::uint32_t sigma_;
+  std::unordered_map<std::uint32_t, Entry> files_;
+};
+
+namespace detail {
+
+// §II-A reporting rules for one event. Exactly one stats counter is
+// incremented per call, so counters always sum to the events examined.
+// Shared by the batch filters below and the streaming server.
+void apply_rules(const model::DownloadEvent& e,
+                 std::span<const model::UrlMeta> url_meta,
+                 const CollectionPolicy& policy, CollectionStats& stats,
+                 PrevalenceTracker& prevalence, EventStore& accepted);
+
+// Mirrors a stats delta into the metrics registry (one add per counter,
+// outside the hot loop).
+void record_stats_delta(const CollectionStats& before,
+                        const CollectionStats& after);
+
+}  // namespace detail
+
 class CollectionServer {
  public:
   explicit CollectionServer(CollectionPolicy policy)
-      : policy_(std::move(policy)) {}
+      : policy_(std::move(policy)), prevalence_(policy_.sigma) {}
 
   // Replays `raw` (must be time-sorted) through the reporting rules and
   // returns the accepted stream in columnar form. `url_meta` maps each
@@ -93,7 +168,8 @@ class CollectionServer {
   // Hardened ingest for a faulty channel: `delivered` must be sorted by
   // arrival (FaultyTransport::deliver's output order). Runs dedup →
   // quarantine → bounded reorder → §II-A rules. `num_files` bounds valid
-  // FileIds for payload validation.
+  // FileIds for payload validation. One-window batch wrapper around
+  // StreamingCollectionServer.
   [[nodiscard]] EventStore filter_transport(
       std::span<const DeliveredReport> delivered,
       std::span<const model::UrlMeta> url_meta, std::size_t num_files);
@@ -105,17 +181,13 @@ class CollectionServer {
   // Distinct machines that downloaded `f` among *accepted* events, capped
   // at sigma by construction.
   [[nodiscard]] std::uint32_t reported_prevalence(model::FileId f) const {
-    auto it = machines_per_file_.find(f);
-    return it == machines_per_file_.end()
-               ? 0
-               : static_cast<std::uint32_t>(it->second.size());
+    return prevalence_.prevalence(f);
   }
 
  private:
   CollectionPolicy policy_;
   CollectionStats stats_;
-  std::unordered_map<model::FileId, std::unordered_set<model::MachineId>>
-      machines_per_file_;
+  PrevalenceTracker prevalence_;
 };
 
 }  // namespace longtail::telemetry

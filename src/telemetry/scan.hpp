@@ -106,6 +106,43 @@ auto scan_reduce(const Corpus& corpus, MakeAcc make_acc, Fn fn,
                      std::move(fn), std::move(combine), label);
 }
 
+// Incremental-combine form of `scan_reduce` for the streaming path: the
+// same per-event fold, absorbed window-by-window as the streaming server
+// closes them, with the running accumulator available at every window
+// boundary. The fold sees events in exactly the order the batch scan
+// does (windows partition the time-sorted stream), so any accumulator
+// whose batch combine is order-preserving yields bit-identical snapshots.
+// `snapshot()` returns a copy of the running state; callers finish it
+// into a report exactly as the batch path finishes its scan result.
+template <typename Acc, typename Fn>
+class IncrementalReducer {
+ public:
+  IncrementalReducer(Acc acc, Fn fn, const char* label = "")
+      : acc_(std::move(acc)), fn_(std::move(fn)), label_(label) {}
+
+  // Folds one closed window of events into the running accumulator.
+  void absorb(const EventStore& window) {
+    LONGTAIL_TRACE_SPAN_DETAIL("corpus.absorb", std::string(label_));
+    LONGTAIL_METRIC_COUNT("corpus.scan.windows_absorbed", 1);
+    LONGTAIL_METRIC_COUNT("corpus.scan.events_scanned", window.size());
+    for (std::size_t i = 0; i < window.size(); ++i) fn_(acc_, window[i]);
+  }
+
+  [[nodiscard]] const Acc& state() const noexcept { return acc_; }
+  [[nodiscard]] Acc& state() noexcept { return acc_; }
+  [[nodiscard]] Acc snapshot() const { return acc_; }
+
+ private:
+  Acc acc_;
+  Fn fn_;
+  const char* label_;
+};
+
+template <typename Acc, typename Fn>
+IncrementalReducer(Acc, Fn) -> IncrementalReducer<Acc, Fn>;
+template <typename Acc, typename Fn>
+IncrementalReducer(Acc, Fn, const char*) -> IncrementalReducer<Acc, Fn>;
+
 // Deterministic sharded reduction over an entity index range [0, n) —
 // files, machines, observed-file lists. fn(acc, i) folds one index.
 template <typename MakeAcc, typename Fn, typename Combine>

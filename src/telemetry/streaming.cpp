@@ -1,0 +1,162 @@
+#include "telemetry/streaming.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <string>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace longtail::telemetry {
+
+model::Timestamp StreamingConfig::window_from_env() {
+  static constexpr model::Timestamp kDefault = 7 * model::kSecondsPerDay;
+  const char* env = std::getenv("LONGTAIL_STREAM_WINDOW");
+  if (env == nullptr || *env == '\0') return kDefault;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return kDefault;
+  return static_cast<model::Timestamp>(v);
+}
+
+StreamingCollectionServer::StreamingCollectionServer(
+    StreamingConfig cfg, std::span<const model::UrlMeta> url_meta)
+    : cfg_(std::move(cfg)),
+      url_meta_(url_meta),
+      own_prevalence_(cfg_.policy.sigma),
+      stats_(&own_stats_),
+      prevalence_(&own_prevalence_) {}
+
+StreamingCollectionServer::StreamingCollectionServer(
+    StreamingConfig cfg, std::span<const model::UrlMeta> url_meta,
+    CollectionStats& stats, PrevalenceTracker& prevalence)
+    : cfg_(std::move(cfg)),
+      url_meta_(url_meta),
+      own_prevalence_(0),
+      stats_(&stats),
+      prevalence_(&prevalence),
+      base_seen_(stats.total_seen()) {}
+
+model::Timestamp StreamingCollectionServer::window_end(
+    std::size_t index) const noexcept {
+  if (cfg_.window_s <= 0) return cfg_.period_end;
+  const auto end = static_cast<model::Timestamp>(index + 1) * cfg_.window_s;
+  return std::min(end, cfg_.period_end);
+}
+
+void StreamingCollectionServer::close_windows_through(
+    model::Timestamp watermark, std::vector<EventWindow>& closed) {
+  // Window k is final once the watermark reaches its end: any later
+  // arrival reported inside it would be < released_through_, i.e. stale.
+  const model::Timestamp begin_step =
+      cfg_.window_s <= 0 ? cfg_.period_end : cfg_.window_s;
+  while (static_cast<model::Timestamp>(next_window_) * begin_step <
+             cfg_.period_end &&
+         window_end(next_window_) <= watermark) {
+    EventWindow w;
+    w.index = next_window_;
+    w.begin = static_cast<model::Timestamp>(next_window_) * begin_step;
+    w.end = window_end(next_window_);
+    w.events = std::move(open_events_);
+    open_events_ = EventStore{};
+    LONGTAIL_METRIC_COUNT("telemetry.stream.windows_closed", 1);
+    LONGTAIL_METRIC_COUNT("telemetry.stream.window_events",
+                          w.events.size());
+    closed.push_back(std::move(w));
+    ++next_window_;
+  }
+}
+
+void StreamingCollectionServer::release_until(
+    model::Timestamp watermark, std::vector<EventWindow>& closed) {
+  while (!pending_.empty() && pending_.begin()->first.first <= watermark) {
+    const model::DownloadEvent e = pending_.begin()->second;
+    pending_.erase(pending_.begin());
+    // The release sequence is nondecreasing in reported time, so windows
+    // wholly behind this event are final — close them before admitting it.
+    close_windows_through(e.time, closed);
+    detail::apply_rules(e, url_meta_, cfg_.policy, *stats_, *prevalence_,
+                        open_events_);
+  }
+  released_through_ = std::max(released_through_, watermark);
+  close_windows_through(released_through_, closed);
+}
+
+void StreamingCollectionServer::ingest(std::span<const DeliveredReport> chunk,
+                                       std::vector<EventWindow>& closed) {
+  LONGTAIL_TRACE_SPAN_DETAIL("telemetry.stream_ingest",
+                             "copies=" + std::to_string(chunk.size()));
+  LONGTAIL_METRIC_TIMER("telemetry.stream.ingest_ms");
+  LONGTAIL_METRIC_COUNT("telemetry.stream.chunks", 1);
+  const CollectionStats before = *stats_;
+
+  if (cfg_.trusted) {
+    // Exactly-once ordered channel: every report is already in reported
+    // time order with a unique id, so dedup and the reorder buffer are
+    // no-ops — validate, advance the watermark, and apply the §II-A
+    // rules directly into the open window.
+    for (const auto& r : chunk) {
+      ++consumed_;
+      const model::DownloadEvent& e = r.event;
+      if (e.url.raw() >= url_meta_.size() || e.file.raw() >= cfg_.num_files ||
+          e.time < 0 || e.time >= cfg_.period_end) {
+        ++stats_->quarantined_malformed;
+        continue;
+      }
+      if (e.time < released_through_) {
+        ++stats_->dropped_stale;  // feed violated the ordering contract
+        continue;
+      }
+      close_windows_through(e.time, closed);
+      released_through_ = std::max(released_through_, e.time);
+      detail::apply_rules(e, url_meta_, cfg_.policy, *stats_, *prevalence_,
+                          open_events_);
+    }
+    assert(conserved());
+    detail::record_stats_delta(before, *stats_);
+    return;
+  }
+
+  for (const auto& r : chunk) {
+    ++consumed_;
+    if (!seen_reports_.insert(r.report_id).second) {
+      ++stats_->dropped_duplicate;
+      continue;
+    }
+    const model::DownloadEvent& e = r.event;
+    if (e.url.raw() >= url_meta_.size() || e.file.raw() >= cfg_.num_files ||
+        e.time < 0 || e.time >= cfg_.period_end) {
+      ++stats_->quarantined_malformed;
+      continue;
+    }
+    // Advance the arrival watermark, then admit the new event — or drop
+    // it as stale if its slot in the order has already been released.
+    const auto horizon =
+        static_cast<model::Timestamp>(cfg_.policy.reorder_horizon_s);
+    release_until(r.arrival - horizon, closed);
+    if (e.time < released_through_) {
+      ++stats_->dropped_stale;
+      continue;
+    }
+    pending_.emplace(std::make_pair(e.time, r.report_id), e);
+  }
+
+  assert(conserved());
+  LONGTAIL_METRIC_GAUGE("telemetry.stream.pending",
+                        static_cast<std::int64_t>(pending_.size()));
+  detail::record_stats_delta(before, *stats_);
+}
+
+void StreamingCollectionServer::finish(std::vector<EventWindow>& closed) {
+  if (finished_) return;
+  finished_ = true;
+  LONGTAIL_TRACE_SPAN("telemetry.stream_finish");
+  const CollectionStats before = *stats_;
+  release_until(std::numeric_limits<model::Timestamp>::max(), closed);
+  assert(pending_.empty());
+  assert(conserved());
+  detail::record_stats_delta(before, *stats_);
+}
+
+}  // namespace longtail::telemetry

@@ -1,0 +1,179 @@
+// Incremental analytics: StreamingAnalytics snapshots taken after
+// absorbing the full windowed stream must be bit-identical to the batch
+// passes over the same corpus — for every window width, because every
+// accumulator is order-free and the folds are shared with the batch
+// scans.
+#include "analysis/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "analysis/monthly.hpp"
+#include "analysis/prevalence.hpp"
+#include "analysis/signers.hpp"
+#include "dataset_fixture.hpp"
+#include "telemetry/streaming.hpp"
+#include "telemetry/transport.hpp"
+
+namespace longtail::analysis {
+namespace {
+
+const core::LongtailPipeline& pipeline() {
+  return test::shared_pipeline(0.04);
+}
+
+// Re-ingests the collected corpus through the streaming path with a
+// pass-through policy, so the absorbed windows partition exactly the
+// corpus events.
+std::vector<telemetry::EventWindow> windowize(const telemetry::Corpus& corpus,
+                                              model::Timestamp window_s) {
+  telemetry::StreamingConfig cfg;
+  cfg.policy.sigma = std::numeric_limits<std::uint32_t>::max();
+  cfg.window_s = window_s;
+  cfg.num_files = corpus.files.size();
+  cfg.trusted = true;
+  telemetry::StreamingCollectionServer server(std::move(cfg), corpus.urls);
+
+  std::vector<telemetry::EventWindow> windows;
+  std::vector<telemetry::DeliveredReport> buffer;
+  const auto& events = corpus.events;
+  constexpr std::size_t kChunk = 10'000;
+  for (std::size_t begin = 0; begin < events.size(); begin += kChunk) {
+    const std::size_t end = std::min(events.size(), begin + kChunk);
+    buffer.clear();
+    for (std::size_t i = begin; i < end; ++i)
+      buffer.push_back(telemetry::DeliveredReport{
+          events[i], static_cast<std::uint64_t>(i), events[i].time(), 0,
+          false});
+    server.ingest(buffer, windows);
+  }
+  server.finish(windows);
+  EXPECT_EQ(server.stats().accepted, events.size());
+  return windows;
+}
+
+void expect_same_row(const MonthlyRow& s, const MonthlyRow& b) {
+  EXPECT_EQ(s.machines, b.machines);
+  EXPECT_EQ(s.events, b.events);
+  EXPECT_EQ(s.processes, b.processes);
+  EXPECT_EQ(s.proc_benign, b.proc_benign);
+  EXPECT_EQ(s.proc_likely_benign, b.proc_likely_benign);
+  EXPECT_EQ(s.proc_malicious, b.proc_malicious);
+  EXPECT_EQ(s.proc_likely_malicious, b.proc_likely_malicious);
+  EXPECT_EQ(s.files, b.files);
+  EXPECT_EQ(s.file_benign, b.file_benign);
+  EXPECT_EQ(s.file_likely_benign, b.file_likely_benign);
+  EXPECT_EQ(s.file_malicious, b.file_malicious);
+  EXPECT_EQ(s.file_likely_malicious, b.file_likely_malicious);
+  EXPECT_EQ(s.urls, b.urls);
+  EXPECT_EQ(s.url_benign, b.url_benign);
+  EXPECT_EQ(s.url_malicious, b.url_malicious);
+}
+
+void expect_same_signing_row(const SignedRateRow& s, const SignedRateRow& b) {
+  EXPECT_EQ(s.files, b.files);
+  EXPECT_EQ(s.signed_pct, b.signed_pct);
+  EXPECT_EQ(s.browser_files, b.browser_files);
+  EXPECT_EQ(s.browser_signed_pct, b.browser_signed_pct);
+}
+
+void expect_same_cdf(const util::EmpiricalCdf& s, const util::EmpiricalCdf& b) {
+  ASSERT_EQ(s.size(), b.size());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0})
+    EXPECT_EQ(s.quantile(q), b.quantile(q)) << "quantile " << q;
+}
+
+TEST(StreamingAnalytics, SnapshotsAreBitIdenticalToBatchAtEveryWidth) {
+  const auto& p = pipeline();
+  const auto& a = p.annotated();
+  const auto& corpus = p.dataset().corpus;
+
+  const auto batch_monthly = monthly_summary(a);
+  const auto batch_prevalence = prevalence_distributions(a);
+  const auto batch_signing = signing_rates(a);
+  const auto batch_coverage = machine_coverage(a);
+
+  // One calendar week (the serving default) and one awkward prime width
+  // that straddles month boundaries.
+  for (const model::Timestamp window_s : {model::Timestamp{7 * 86'400},
+                                          model::Timestamp{999'983}}) {
+    SCOPED_TRACE(testing::Message() << "window_s=" << window_s);
+    const auto windows = windowize(corpus, window_s);
+    ASSERT_GT(windows.size(), 1u);
+
+    StreamingAnalytics analytics(corpus);
+    for (const auto& w : windows) analytics.absorb(w);
+    EXPECT_EQ(analytics.events_absorbed(), corpus.events.size());
+    EXPECT_EQ(analytics.windows_absorbed(), windows.size());
+
+    const auto monthly = analytics.monthly(a);
+    expect_same_row(monthly.overall, batch_monthly.overall);
+    for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m)
+      expect_same_row(monthly.months[m], batch_monthly.months[m]);
+
+    const auto prevalence = analytics.prevalence(a);
+    expect_same_cdf(prevalence.all, batch_prevalence.all);
+    expect_same_cdf(prevalence.benign, batch_prevalence.benign);
+    expect_same_cdf(prevalence.malicious, batch_prevalence.malicious);
+    expect_same_cdf(prevalence.unknown, batch_prevalence.unknown);
+    EXPECT_EQ(prevalence.prevalence_one_fraction,
+              batch_prevalence.prevalence_one_fraction);
+    EXPECT_EQ(prevalence.at_cap_fraction, batch_prevalence.at_cap_fraction);
+
+    const auto signing = analytics.signing(a);
+    expect_same_signing_row(signing.benign, batch_signing.benign);
+    expect_same_signing_row(signing.unknown, batch_signing.unknown);
+    expect_same_signing_row(signing.malicious, batch_signing.malicious);
+    for (std::size_t t = 0; t < signing.per_type.size(); ++t)
+      expect_same_signing_row(signing.per_type[t], batch_signing.per_type[t]);
+
+    const auto coverage = analytics.coverage(a);
+    EXPECT_EQ(coverage.active_machines, batch_coverage.active_machines);
+    for (std::size_t v = 0; v < coverage.machines.size(); ++v)
+      EXPECT_EQ(coverage.machines[v], batch_coverage.machines[v]);
+  }
+}
+
+TEST(StreamingAnalytics, MidStreamSnapshotMatchesBatchOnPrefix) {
+  // A snapshot at an interior window boundary equals the batch analyses
+  // applied to a corpus truncated at that boundary.
+  const auto& p = pipeline();
+  const auto& a = p.annotated();
+  const auto& corpus = p.dataset().corpus;
+  const auto windows = windowize(corpus, 14 * 86'400);
+  ASSERT_GT(windows.size(), 2u);
+
+  const std::size_t half = windows.size() / 2;
+  StreamingAnalytics analytics(corpus);
+  std::uint64_t prefix_events = 0;
+  for (std::size_t i = 0; i < half; ++i) {
+    analytics.absorb(windows[i]);
+    prefix_events += windows[i].events.size();
+  }
+  EXPECT_EQ(analytics.events_absorbed(), prefix_events);
+
+  // The batch comparator: a corpus whose event table is the prefix, with
+  // the full corpus's labels and entity tables.
+  telemetry::Corpus prefix = corpus;
+  prefix.events.clear();
+  for (std::size_t i = 0; i < half; ++i)
+    for (std::size_t j = 0; j < windows[i].events.size(); ++j)
+      prefix.events.push_back(windows[i].events[j]);
+  AnnotatedCorpus pa(prefix);
+  pa.labels = a.labels;
+  pa.file_types = a.file_types;
+  pa.process_types = a.process_types;
+  pa.url_verdicts = a.url_verdicts;
+
+  const auto monthly = analytics.monthly(pa);
+  const auto batch_monthly = monthly_summary(pa);
+  expect_same_row(monthly.overall, batch_monthly.overall);
+  for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m)
+    expect_same_row(monthly.months[m], batch_monthly.months[m]);
+}
+
+}  // namespace
+}  // namespace longtail::analysis

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "core/pipeline.hpp"
 #include "dataset_fixture.hpp"
+#include "telemetry/streaming.hpp"
+#include "telemetry/transport.hpp"
 
 namespace longtail::deploy {
 namespace {
@@ -73,6 +78,135 @@ TEST(OnlineLabeler, RetrospectiveMatchesPipelineExperiment) {
   const auto& april = retrospective[2];
   EXPECT_GT(april.rules_active, eval.selected.total / 2);
   EXPECT_GT(april.tp_rate(), 95.0);
+}
+
+// Re-ingests the collected corpus through the streaming path with a
+// pass-through policy so the serving loop sees exactly the corpus replay,
+// partitioned into windows.
+std::vector<telemetry::EventWindow> windowize(const telemetry::Corpus& corpus,
+                                              model::Timestamp window_s) {
+  telemetry::StreamingConfig cfg;
+  cfg.policy.sigma = std::numeric_limits<std::uint32_t>::max();
+  cfg.window_s = window_s;
+  cfg.num_files = corpus.files.size();
+  cfg.trusted = true;
+  telemetry::StreamingCollectionServer server(std::move(cfg), corpus.urls);
+  std::vector<telemetry::EventWindow> windows;
+  std::vector<telemetry::DeliveredReport> buffer;
+  const auto& events = corpus.events;
+  constexpr std::size_t kChunk = 10'000;
+  for (std::size_t begin = 0; begin < events.size(); begin += kChunk) {
+    const std::size_t end = std::min(events.size(), begin + kChunk);
+    buffer.clear();
+    for (std::size_t i = begin; i < end; ++i)
+      buffer.push_back(telemetry::DeliveredReport{
+          events[i], static_cast<std::uint64_t>(i), events[i].time(), 0,
+          false});
+    server.ingest(buffer, windows);
+  }
+  server.finish(windows);
+  return windows;
+}
+
+TEST(OnlineLabeler, WindowedServingMatchesBatchReplay) {
+  const auto batch = run_mode(true);
+
+  OnlineConfig config;
+  config.labels_as_of_training_time = true;
+  OnlineLabeler serving(pipeline().dataset(), pipeline().annotated(), config);
+  const auto windows =
+      windowize(pipeline().dataset().corpus, /*window_s=*/7 * 86'400);
+  ASSERT_GT(windows.size(), 1u);
+  for (const auto& w : windows) serving.serve(w);
+  serving.finish();
+
+  const auto& streamed = serving.monthly();
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t m = 0; m < batch.size(); ++m) {
+    EXPECT_EQ(streamed[m].events, batch[m].events) << "month " << m;
+    EXPECT_EQ(streamed[m].decided_malicious, batch[m].decided_malicious);
+    EXPECT_EQ(streamed[m].decided_benign, batch[m].decided_benign);
+    EXPECT_EQ(streamed[m].rejected, batch[m].rejected);
+    EXPECT_EQ(streamed[m].unmatched, batch[m].unmatched);
+    EXPECT_EQ(streamed[m].true_positives, batch[m].true_positives);
+    EXPECT_EQ(streamed[m].false_positives, batch[m].false_positives);
+    EXPECT_EQ(streamed[m].final_malicious_decided,
+              batch[m].final_malicious_decided);
+    EXPECT_EQ(streamed[m].final_benign_decided,
+              batch[m].final_benign_decided);
+    EXPECT_EQ(streamed[m].rules_active, batch[m].rules_active);
+    EXPECT_EQ(streamed[m].training_instances, batch[m].training_instances);
+  }
+  EXPECT_EQ(serving.events_served(),
+            pipeline().dataset().corpus.events.size());
+  const auto& fresh = serving.freshness();
+  EXPECT_GT(fresh.files_reported, 0u);
+  EXPECT_EQ(fresh.files_reported, fresh.files_labeled + fresh.files_pending);
+}
+
+TEST(OnlineLabeler, FreshnessLatencyIsExactOnHandBuiltStream) {
+  const auto& dataset = pipeline().dataset();
+  const auto& corpus = dataset.corpus;
+
+  // Three files with fully characterized evidence: a whitelisted one
+  // (label matures at first report), a clean one with a long scan span
+  // (label matures when the span crosses the 14-day threshold), and one
+  // with no evidence at all (pending forever).
+  constexpr std::uint32_t kNone = ~0u;
+  std::uint32_t wl_file = kNone, clean_file = kNone, dark_file = kNone;
+  constexpr model::Timestamp kDay = model::kSecondsPerDay;
+  const model::Timestamp period_end =
+      model::kMonthStart[model::kNumCalendarMonths];
+  for (std::uint32_t f = 0; f < corpus.files.size(); ++f) {
+    const model::FileId id{f};
+    const auto& vt = dataset.vt.query(id);
+    if (dataset.whitelist.contains(id)) {
+      if (wl_file == kNone) wl_file = f;
+    } else if (!vt.has_value()) {
+      if (dark_file == kNone) dark_file = f;
+    } else if (vt->clean() && vt->scan_span_days() >= 14 &&
+               vt->first_scan > 100 &&
+               vt->first_scan + 14 * kDay < period_end) {
+      if (clean_file == kNone) clean_file = f;
+    }
+    if (wl_file != kNone && clean_file != kNone && dark_file != kNone) break;
+  }
+  ASSERT_NE(wl_file, kNone);
+  ASSERT_NE(clean_file, kNone);
+  ASSERT_NE(dark_file, kNone);
+  const auto clean_matures =
+      dataset.vt.query(model::FileId{clean_file})->first_scan + 14 * kDay;
+
+  // Two hand-built January windows (no classifier is active in January,
+  // so the evidence route alone determines every label).
+  auto event_at = [](std::uint32_t file, model::Timestamp t) {
+    return model::DownloadEvent{model::FileId{file}, model::MachineId{0},
+                                model::ProcessId{0}, model::UrlId{0}, t,
+                                true};
+  };
+  telemetry::EventWindow w0{0, 0, 100, {}};
+  w0.events.push_back(event_at(wl_file, 10));
+  w0.events.push_back(event_at(clean_file, 20));
+  telemetry::EventWindow w1{1, 100, 200, {}};
+  w1.events.push_back(event_at(dark_file, 150));
+  w1.events.push_back(event_at(wl_file, 160));  // repeat: not a new report
+
+  OnlineLabeler serving(dataset, pipeline().annotated(), {});
+  serving.serve(w0);
+  serving.serve(w1);
+  serving.finish();
+
+  const auto& fresh = serving.freshness();
+  EXPECT_EQ(fresh.files_reported, 3u);
+  EXPECT_EQ(fresh.files_labeled, 2u);
+  EXPECT_EQ(fresh.files_pending, 1u);
+  // Whitelist: latency 0. Clean file first reported at t=20: its span
+  // crosses 14 days at first_scan + 14d, so the exact latency is known.
+  const double clean_latency = static_cast<double>(clean_matures - 20);
+  EXPECT_EQ(fresh.max_s, clean_latency);
+  EXPECT_EQ(fresh.mean_s, clean_latency / 2.0);
+  EXPECT_EQ(fresh.p50_s, clean_latency / 2.0);  // midpoint of {0, latency}
+  EXPECT_EQ(fresh.p99_s, 0.99 * clean_latency);
 }
 
 }  // namespace

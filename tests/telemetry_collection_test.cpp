@@ -4,6 +4,9 @@
 
 #include <vector>
 
+#include "telemetry/streaming.hpp"
+#include "telemetry/transport.hpp"
+
 namespace longtail::telemetry {
 namespace {
 
@@ -109,6 +112,94 @@ TEST(CollectionServer, StatsTotalSeen) {
   (void)server.filter(raw, urls);
   EXPECT_EQ(server.stats().total_seen(), 4u);
   EXPECT_EQ(server.stats().accepted, 1u);
+}
+
+TEST(PrevalenceTracker, StoresAtMostSigmaMachinesPerFile) {
+  PrevalenceTracker tracker(3);
+  EXPECT_TRUE(tracker.admit(FileId{0}, MachineId{0}));
+  EXPECT_TRUE(tracker.admit(FileId{0}, MachineId{1}));
+  EXPECT_TRUE(tracker.admit(FileId{0}, MachineId{2}));
+  // The cap is reached: new machines are refused, but repeat downloads
+  // from an already-admitted machine stay reportable.
+  EXPECT_FALSE(tracker.admit(FileId{0}, MachineId{3}));
+  EXPECT_TRUE(tracker.admit(FileId{0}, MachineId{1}));
+  EXPECT_EQ(tracker.prevalence(FileId{0}), 3u);
+  EXPECT_TRUE(tracker.saturated(FileId{0}));
+  EXPECT_FALSE(tracker.saturated(FileId{1}));
+  EXPECT_EQ(tracker.prevalence(FileId{1}), 0u);
+}
+
+TEST(ReorderBoundary, EventExactlyAtHorizonIsAdmitted) {
+  // The stale rule is strict: an event reported exactly at the released
+  // watermark is still admitted; one second earlier is stale.
+  CollectionServer server(
+      {.sigma = 20, .whitelisted_domains = {}, .reorder_horizon_s = 100.0});
+  const std::vector<DeliveredReport> delivered = {
+      {make_event(0, 0, 0, 1000), 0, 1100, 0, false},
+      {make_event(1, 1, 0, 999), 1, 1100, 0, false},
+  };
+  const auto urls = two_urls();
+  const auto out = server.filter_transport(delivered, urls, /*num_files=*/50);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file(), (FileId{0}));
+  EXPECT_EQ(server.stats().dropped_stale, 1u);
+  EXPECT_EQ(server.stats().total_seen(), delivered.size());
+}
+
+TEST(ReorderBoundary, EqualTimestampsReleaseInReportIdOrder) {
+  // Same reported second, arrival order 5, 9, 3: the (time, report_id)
+  // buffer key must release 3, 5, 9.
+  CollectionServer server({.sigma = 20,
+                           .whitelisted_domains = {},
+                           .reorder_horizon_s = 1'000'000.0});
+  const std::vector<DeliveredReport> delivered = {
+      {make_event(5, 0, 0, 500), 5, 600, 0, false},
+      {make_event(9, 1, 0, 500), 9, 610, 0, false},
+      {make_event(3, 2, 0, 500), 3, 620, 0, false},
+  };
+  const auto urls = two_urls();
+  const auto out = server.filter_transport(delivered, urls, /*num_files=*/50);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].file(), (FileId{3}));
+  EXPECT_EQ(out[1].file(), (FileId{5}));
+  EXPECT_EQ(out[2].file(), (FileId{9}));
+}
+
+TEST(StreamingWindows, WatermarkAdvanceClosesEmptyWindows) {
+  StreamingConfig cfg;
+  cfg.policy = {.sigma = 20, .whitelisted_domains = {}};
+  cfg.window_s = 100;
+  cfg.num_files = 50;
+  cfg.period_end = 500;
+  const auto urls = two_urls();
+  StreamingCollectionServer server(std::move(cfg), urls);
+
+  std::vector<EventWindow> closed;
+  const std::vector<DeliveredReport> chunk = {
+      {make_event(0, 0, 0, 50), 0, 50, 0, false},
+      {make_event(1, 1, 0, 450), 1, 450, 0, false},
+  };
+  server.ingest(chunk, closed);
+  // The watermark jumped to 450: windows 0-3 are final — including the
+  // empty middle ones — while the second event waits in the open window.
+  ASSERT_EQ(closed.size(), 4u);
+  EXPECT_EQ(closed[0].events.size(), 1u);
+  for (std::size_t k = 1; k < 4; ++k) {
+    EXPECT_EQ(closed[k].events.size(), 0u);
+    EXPECT_EQ(closed[k].begin, static_cast<model::Timestamp>(k) * 100);
+    EXPECT_EQ(closed[k].end, static_cast<model::Timestamp>(k + 1) * 100);
+  }
+  EXPECT_EQ(server.watermark(), 450);
+  EXPECT_EQ(server.pending(), 1u);
+  EXPECT_TRUE(server.conserved());
+
+  server.finish(closed);
+  ASSERT_EQ(closed.size(), 5u);
+  EXPECT_EQ(closed[4].events.size(), 1u);
+  EXPECT_EQ(closed[4].end, 500);
+  EXPECT_EQ(server.pending(), 0u);
+  EXPECT_TRUE(server.conserved());
+  EXPECT_EQ(server.stats().accepted, 2u);
 }
 
 }  // namespace

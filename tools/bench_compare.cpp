@@ -53,6 +53,10 @@ constexpr Metric kGatedMetrics[] = {
     {"events_per_sec", true},
     {"resolve_events_ms", false},
     {"analysis_ms", false},
+    // Streaming section: sustained untrusted-ingest throughput. The key
+    // is distinct from "events_per_sec" on purpose — the exact-quoted-key
+    // scan must not conflate the two.
+    {"ingest_events_per_sec", true},
 };
 
 // Histogram sums below this many milliseconds are too noisy to gate.
