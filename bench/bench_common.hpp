@@ -77,19 +77,24 @@ inline std::string& last_load_path() {
 // children use the same one); this alias keeps bench call sites short.
 inline double max_rss_mb() { return util::profile::peak_rss_mb(); }
 
-// Cache file name for the binary dataset at this scale and fault profile.
-// The file format version is part of the name so a codec bump never reads
-// stale caches; the fault cache key keeps faulted datasets from shadowing
-// the fault-free one (empty for the zero profile, so fault-free paths are
-// unchanged).
+// Cache file name for the binary dataset at this scale, fault profile,
+// and scenario. The file format version is part of the name so a codec
+// bump never reads stale caches; the fault and scenario cache keys keep
+// perturbed datasets from shadowing the clean one (both empty for the
+// zero profiles, so unperturbed paths are unchanged). The scenario spec is
+// *not* serialized inside the LTDS file — the key in the file name is
+// what pins a cache entry to its scenario, so a cached dataset is never
+// reused across scenario specs.
 inline std::string corpus_cache_path(
     const std::string& dir, double scale,
-    const telemetry::FaultProfile& faults = {}) {
+    const telemetry::FaultProfile& faults = {},
+    const synth::ScenarioProfile& scenario = {}) {
   const std::string fkey = faults.cache_key();
-  char name[112];
-  std::snprintf(name, sizeof(name), "longtail_ds_v%u_s%g%s%s.bin",
+  const std::string skey = scenario.cache_key();
+  char name[128];
+  std::snprintf(name, sizeof(name), "longtail_ds_v%u_s%g%s%s%s%s.bin",
                 synth::kDatasetBinaryVersion, scale, fkey.empty() ? "" : "_",
-                fkey.c_str());
+                fkey.c_str(), skey.empty() ? "" : "_", skey.c_str());
   return (std::filesystem::path(dir) / name).string();
 }
 
@@ -102,7 +107,7 @@ inline synth::Dataset make_dataset(const synth::CalibrationProfile& profile) {
   if (dir == nullptr || *dir == '\0') return synth::generate_dataset(profile);
 
   const std::string path =
-      corpus_cache_path(dir, profile.scale, profile.faults);
+      corpus_cache_path(dir, profile.scale, profile.faults, profile.scenario);
   if (std::filesystem::exists(path)) {
     try {
       // A hit maps the file zero-copy by default (the event columns stay
@@ -148,6 +153,7 @@ inline synth::Dataset make_dataset(const synth::CalibrationProfile& profile) {
 inline synth::Dataset make_dataset(double scale) {
   auto profile = synth::paper_calibration(scale);
   profile.faults = telemetry::faults_from_env();
+  profile.scenario = synth::scenario_from_env();
   return make_dataset(profile);
 }
 
@@ -158,9 +164,13 @@ inline core::LongtailPipeline make_pipeline(double default_scale = 0.10) {
               scale);
   auto profile = synth::paper_calibration(scale);
   profile.faults = telemetry::faults_from_env();
+  profile.scenario = synth::scenario_from_env();
   if (profile.faults.any())
     std::fprintf(stderr, "[longtail] fault profile active: %s\n",
                  profile.faults.spec().c_str());
+  if (profile.scenario.active())
+    std::fprintf(stderr, "[longtail] scenario active: %s\n",
+                 profile.scenario.spec().c_str());
   return core::LongtailPipeline(make_dataset(profile));
 }
 
@@ -235,6 +245,7 @@ inline std::string run_manifest_json(double scale,
                                      std::uint64_t fingerprint = 0) {
   const auto profile = synth::paper_calibration(scale);
   const auto faults = telemetry::faults_from_env();
+  const auto scenario = synth::scenario_from_env();
 
   // Every LONGTAIL_* environment knob, sorted, so two manifests diff
   // cleanly. Values are self-produced strings but escape them anyway.
@@ -277,7 +288,9 @@ inline std::string run_manifest_json(double scale,
       .field("build_type", std::string_view(LONGTAIL_BUILD_TYPE))
       .field("dataset_fingerprint", std::string_view(fp))
       .field("faults",
-             faults.any() ? std::string_view(faults.spec()) : "none");
+             faults.any() ? std::string_view(faults.spec()) : "none")
+      .field("scenario",
+             scenario.active() ? std::string_view(scenario.spec()) : "none");
   return run.str();
 }
 

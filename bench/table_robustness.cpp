@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "sweep_common.hpp"
 
 namespace {
 
@@ -28,11 +28,7 @@ struct SweepRun {
   std::uint64_t events = 0;
   std::uint64_t fingerprint = 0;
   bool conservation = true;
-  // Headline metrics.
-  double unknown_file_pct = 0;
-  double unknown_machine_pct = 0;
-  double rule_tp_rate = 0;
-  double rule_fp_rate = 0;
+  bench::HeadlineMetrics headline;
 };
 
 SweepRun measure(const std::string& name, double scale,
@@ -57,36 +53,13 @@ SweepRun measure(const std::string& name, double scale,
                          ? seen == run.transport.delivered
                          : run.transport.reports_offered == 0;
 
-  core::LongtailPipeline pipeline(std::move(ds));
-  const auto monthly = analysis::monthly_summary(pipeline.annotated());
-  run.unknown_file_pct = 100.0 - monthly.overall.file_benign -
-                         monthly.overall.file_likely_benign -
-                         monthly.overall.file_malicious -
-                         monthly.overall.file_likely_malicious;
-  run.unknown_machine_pct =
-      analysis::machine_coverage(pipeline.annotated())
-          .pct(model::Verdict::kUnknown);
-
-  const auto experiment = pipeline.run_rule_experiment(model::Month::kMarch,
-                                                       model::Month::kApril);
-  const auto eval = core::LongtailPipeline::evaluate_tau(experiment, 0.001);
-  run.rule_tp_rate = eval.eval.tp_rate();
-  run.rule_fp_rate = eval.eval.fp_rate();
+  const core::LongtailPipeline pipeline(std::move(ds));
+  run.headline = bench::measure_headline(pipeline);
   return run;
 }
 
 std::string headline_json(const SweepRun& r) {
-  char fp[32];
-  std::snprintf(fp, sizeof(fp), "0x%016llx",
-                static_cast<unsigned long long>(r.fingerprint));
-  return bench::JsonObject()
-      .field("unknown_file_pct", r.unknown_file_pct)
-      .field("unknown_machine_pct", r.unknown_machine_pct)
-      .field("rule_tp_rate", r.rule_tp_rate)
-      .field("rule_fp_rate", r.rule_fp_rate)
-      .field("events", r.events)
-      .field("fingerprint", std::string_view(fp))
-      .str();
+  return bench::headline_json(r.headline, r.events, r.fingerprint);
 }
 
 }  // namespace
@@ -116,9 +89,10 @@ int main() {
                    util::with_commas(r.collection.quarantined_malformed),
                    util::with_commas(r.collection.dropped_stale),
                    util::with_commas(r.collection.accepted),
-                   util::pct(r.unknown_file_pct),
-                   util::pct(r.unknown_machine_pct),
-                   util::pct(r.rule_tp_rate), util::pct(r.rule_fp_rate)});
+                   util::pct(r.headline.unknown_file_pct),
+                   util::pct(r.headline.unknown_machine_pct),
+                   util::pct(r.headline.rule_tp_rate),
+                   util::pct(r.headline.rule_fp_rate)});
   };
   add_row(baseline);
   for (const auto& r : runs) add_row(r);
@@ -151,14 +125,7 @@ int main() {
             .field("dropped_stale", r.collection.dropped_stale)
             .str();
     const auto drift_json =
-        bench::JsonObject()
-            .field("unknown_file_pct",
-                   r.unknown_file_pct - baseline.unknown_file_pct)
-            .field("unknown_machine_pct",
-                   r.unknown_machine_pct - baseline.unknown_machine_pct)
-            .field("rule_tp_rate", r.rule_tp_rate - baseline.rule_tp_rate)
-            .field("rule_fp_rate", r.rule_fp_rate - baseline.rule_fp_rate)
-            .str();
+        bench::headline_drift_json(r.headline, baseline.headline);
     profiles_json += bench::JsonObject()
                          .field("name", std::string_view(r.name))
                          .field("spec", std::string_view(r.faults.spec()))
@@ -193,18 +160,21 @@ int main() {
       "  severe   unk file %+0.2f, unk mach %+0.2f, TP %+0.2f, FP %+0.2f\n"
       "Conservation (accepted + drops + quarantine == delivered): %s\n"
       "Deterministic across LONGTAIL_THREADS {1,2,8}: %s\n",
-      runs[0].unknown_file_pct - baseline.unknown_file_pct,
-      runs[0].unknown_machine_pct - baseline.unknown_machine_pct,
-      runs[0].rule_tp_rate - baseline.rule_tp_rate,
-      runs[0].rule_fp_rate - baseline.rule_fp_rate,
-      runs[1].unknown_file_pct - baseline.unknown_file_pct,
-      runs[1].unknown_machine_pct - baseline.unknown_machine_pct,
-      runs[1].rule_tp_rate - baseline.rule_tp_rate,
-      runs[1].rule_fp_rate - baseline.rule_fp_rate,
-      runs[2].unknown_file_pct - baseline.unknown_file_pct,
-      runs[2].unknown_machine_pct - baseline.unknown_machine_pct,
-      runs[2].rule_tp_rate - baseline.rule_tp_rate,
-      runs[2].rule_fp_rate - baseline.rule_fp_rate,
+      runs[0].headline.unknown_file_pct - baseline.headline.unknown_file_pct,
+      runs[0].headline.unknown_machine_pct -
+          baseline.headline.unknown_machine_pct,
+      runs[0].headline.rule_tp_rate - baseline.headline.rule_tp_rate,
+      runs[0].headline.rule_fp_rate - baseline.headline.rule_fp_rate,
+      runs[1].headline.unknown_file_pct - baseline.headline.unknown_file_pct,
+      runs[1].headline.unknown_machine_pct -
+          baseline.headline.unknown_machine_pct,
+      runs[1].headline.rule_tp_rate - baseline.headline.rule_tp_rate,
+      runs[1].headline.rule_fp_rate - baseline.headline.rule_fp_rate,
+      runs[2].headline.unknown_file_pct - baseline.headline.unknown_file_pct,
+      runs[2].headline.unknown_machine_pct -
+          baseline.headline.unknown_machine_pct,
+      runs[2].headline.rule_tp_rate - baseline.headline.rule_tp_rate,
+      runs[2].headline.rule_fp_rate - baseline.headline.rule_fp_rate,
       conservation ? "yes" : "NO", deterministic ? "yes" : "NO");
 
   const auto json = bench::JsonObject()

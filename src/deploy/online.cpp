@@ -171,6 +171,8 @@ void OnlineLabeler::serve(const telemetry::EventWindow& window) {
   LONGTAIL_METRIC_TIMER("deploy.serve_ms");
   for (std::size_t i = 0; i < window.events.size(); ++i)
     serve_event(window.events[i]);
+  if (window.events.size() > peak_window_events_)
+    peak_window_events_ = window.events.size();
   LONGTAIL_METRIC_COUNT("deploy.serve.windows", 1);
   LONGTAIL_METRIC_COUNT("deploy.serve.events", window.events.size());
 }

@@ -132,6 +132,13 @@ class OnlineLabeler {
   [[nodiscard]] std::uint64_t events_served() const noexcept {
     return events_served_;
   }
+  // Serving-load shape: the largest single ingest window served, in
+  // events. Flash-crowd scenarios concentrate a whole campaign into one
+  // window; the freshness percentiles under that spike are the serving
+  // loop's burst-tolerance signal (bench/table_scenarios.cpp).
+  [[nodiscard]] std::uint64_t peak_window_events() const noexcept {
+    return peak_window_events_;
+  }
 
  private:
   struct FileFreshness {
@@ -173,6 +180,7 @@ class OnlineLabeler {
   std::unordered_map<std::uint32_t, model::DownloadEvent> month_firsts_;
   std::vector<MonthlyDeployStats> monthly_;
   std::uint64_t events_served_ = 0;
+  std::uint64_t peak_window_events_ = 0;
   bool finished_ = false;
 
   // Freshness state.

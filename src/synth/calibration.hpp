@@ -26,6 +26,7 @@
 
 #include "model/labels.hpp"
 #include "model/time.hpp"
+#include "synth/scenario.hpp"
 #include "telemetry/faults.hpp"
 
 namespace longtail::synth {
@@ -159,6 +160,13 @@ struct CalibrationProfile {
   // fault-unaware build. `paper_calibration` never sets this; it comes
   // from LONGTAIL_FAULTS (bench/table drivers) or from test code.
   telemetry::FaultProfile faults;
+
+  // Adversarial world-level stressors (synth/scenario.hpp). Inactive by
+  // default: the generator then takes the exact seed code path and output
+  // is byte-identical to a scenario-unaware build. `paper_calibration`
+  // never sets this; it comes from LONGTAIL_SCENARIO (bench/table
+  // drivers) or from test code.
+  ScenarioProfile scenario;
 
   std::array<MonthCalibration, model::kNumCollectionMonths> months{};
   TypePct malware_type_pct{};  // Table II

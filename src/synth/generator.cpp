@@ -87,7 +87,29 @@ struct FileDraft {
   int primary_cat = kCatBrowser;
   Timestamp first_time = 0;
   UrlId primary_url;
+  // Scenario flash-crowd width: when > 0, every download of this file
+  // lands within [first_time, first_time + window_s) instead of the
+  // calibrated weeks-long exponential spread. 0 for the seed world.
+  double window_s = 0;
+  // Scenario PPI rotation: this file's downloader categories go through
+  // ppi_rotate_cat. False for the seed world.
+  bool ppi_shifted = false;
 };
+
+// PPI-style distribution rotation: browser-delivered files move to
+// pay-per-install dropper chains, and each malware downloader type hands
+// its traffic to the next type in the rotation. Benign system categories
+// (updaters, Java, Acrobat) and unknown processes are untouched.
+inline int ppi_rotate_cat(int cat) {
+  if (cat == kCatBrowser)
+    return kCatMalProcBase + static_cast<int>(idx(MalwareType::kDropper));
+  if (cat >= kCatMalProcBase && cat < kCatUnknownProc) {
+    const int t = cat - kCatMalProcBase;
+    return kCatMalProcBase +
+           (t + 1) % static_cast<int>(model::kNumMalwareTypes);
+  }
+  return cat;
+}
 
 // A raw event pending machine/time resolution against the infection
 // registry (downloads initiated by malicious processes).
@@ -123,6 +145,7 @@ class Generator {
   void build_cat_samplers();
   void compute_signer_prefixes();
   void draft_files();
+  void apply_scenario();
   [[nodiscard]] model::FileMeta draft_file_meta(std::uint32_t file_index,
                                                 const FileDraft& d) const;
   void materialize_files();
@@ -451,6 +474,147 @@ void Generator::draft_files() {
   }
 }
 
+// World-level adversarial stressors (synth/scenario.hpp), applied to the
+// drafted population before materialization. Runs serially on the master
+// stream: the mutated and injected drafts become part of the drafted
+// world, so every downstream parallel phase keys its per-file substreams
+// on the final draft indices and stays bit-identical across thread
+// counts. Each stressor draws from rng_ only when its knob is on, and the
+// whole pass is skipped when the profile is inactive — the seed world's
+// RNG sequence is untouched.
+//
+// Application order is fixed (PPI shift, churn, bursts, storms) so a
+// composed scenario is one deterministic world: churn variants inherit
+// their base draft's PPI flag, and injected campaign/storm files are
+// never churned or rotated.
+void Generator::apply_scenario() {
+  const ScenarioProfile& sc = profile_.scenario;
+  const Timestamp period_end = model::kMonthStart[model::kNumCalendarMonths];
+  const std::size_t base_drafts = drafts_.size();
+
+  // PPI-style distribution shift: from ppi_shift_month on, a slice of the
+  // malicious-nature population joins the rotated downloader mix.
+  if (sc.ppi_active()) {
+    std::size_t shifted = 0;
+    for (auto& d : drafts_) {
+      if (d.nature != Nature::kMalicious || d.month < sc.ppi_shift_month)
+        continue;
+      if (!rng_.bernoulli(sc.ppi_shift_rate)) continue;
+      d.ppi_shifted = true;
+      d.primary_cat = ppi_rotate_cat(d.primary_cat);
+      ++shifted;
+    }
+    LONGTAIL_METRIC_COUNT("synth.scenario.ppi_shifted_files", shifted);
+  }
+
+  // Polymorphic hash churn: a prevalent labeled dropper is re-hashed per
+  // victim cohort. The base hash keeps one cohort (and the repeat traffic
+  // already aimed at it); the remaining victims move to fresh-hash
+  // variants the AV crowd has never processed (intended unknown), each at
+  // most churn_cohort machines — below sigma, so the prevalence cap never
+  // fires on them. Victim counts are split exactly, so raw download
+  // volume is conserved while cap saturation falls.
+  if (sc.churn_active()) {
+    std::size_t variants = 0;
+    for (std::size_t f = 0; f < base_drafts; ++f) {
+      const bool eligible = drafts_[f].nature == Nature::kMalicious &&
+                            drafts_[f].type == MalwareType::kDropper &&
+                            drafts_[f].prevalence > sc.churn_cohort;
+      if (!eligible || !rng_.bernoulli(sc.churn_rate)) continue;
+      const FileDraft base = drafts_[f];
+      drafts_[f].prevalence = sc.churn_cohort;
+      std::uint32_t remaining = base.prevalence - sc.churn_cohort;
+      while (remaining > 0) {
+        const std::uint32_t take = std::min(remaining, sc.churn_cohort);
+        remaining -= take;
+        FileDraft v = base;
+        v.intended = Verdict::kUnknown;
+        v.prevalence = take;
+        v.repeats = 0;
+        v.first_time = std::min<Timestamp>(
+            base.first_time +
+                static_cast<Timestamp>(rng_.exponential(3.0 * 86'400.0)),
+            period_end - 1);
+        drafts_.push_back(v);
+        ++variants;
+      }
+    }
+    LONGTAIL_METRIC_COUNT("synth.scenario.churn_variants", variants);
+  }
+
+  // Campaign bursts: flash-crowd droppers landing on many machines inside
+  // a narrow window. Injected as fresh unknown-intended drafts whose
+  // window_s makes every download land within burst_window_s of first
+  // appearance.
+  if (sc.bursts_active()) {
+    const auto n = profile_.scaled(sc.burst_files);
+    const auto victims =
+        static_cast<std::uint32_t>(profile_.scaled(sc.burst_machines));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      FileDraft d;
+      const auto m = static_cast<std::size_t>(
+          rng_.uniform(model::kNumCollectionMonths));
+      d.month = static_cast<std::uint8_t>(m);
+      d.intended = Verdict::kUnknown;
+      d.nature = Nature::kMalicious;
+      d.type = MalwareType::kDropper;
+      d.family = world_.family_ids[head_heavy(world_.family_ids.size(), 3.0)];
+      for (int tries = 0; d.family == zbot_family_ && tries < 8; ++tries)
+        d.family =
+            world_.family_ids[head_heavy(world_.family_ids.size(), 3.0)];
+      d.extractable = rng_.bernoulli(0.42);
+      d.prevalence = victims;
+      d.primary_cat = kCatBrowser;
+      d.window_s = sc.burst_window_s;
+      const auto month_begin =
+          model::month_begin(static_cast<model::Month>(m));
+      const auto month_len =
+          model::month_end(static_cast<model::Month>(m)) - month_begin;
+      const auto window = static_cast<Timestamp>(sc.burst_window_s);
+      const auto span =
+          month_len > window ? month_len - window : Timestamp{1};
+      d.first_time = month_begin + static_cast<Timestamp>(rng_.uniform(
+                                       static_cast<std::uint64_t>(span)));
+      drafts_.push_back(d);
+    }
+    LONGTAIL_METRIC_COUNT("synth.scenario.burst_files", n);
+  }
+
+  // Benign update storms: a popular updater ships a release to its whole
+  // install base within hours. Same flash-crowd mechanics, benign files
+  // on plain machines via the OS-updater category.
+  if (sc.storms_active()) {
+    const auto n = profile_.scaled(sc.storm_files);
+    const auto base = static_cast<std::uint32_t>(
+        profile_.scaled(sc.storm_machines));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      FileDraft d;
+      const auto m = static_cast<std::size_t>(
+          rng_.uniform(model::kNumCollectionMonths));
+      d.month = static_cast<std::uint8_t>(m);
+      d.intended = Verdict::kBenign;
+      d.nature = Nature::kBenign;
+      d.prevalence = base;
+      d.primary_cat = kCatWindows;
+      d.window_s = sc.storm_window_s;
+      const auto month_begin =
+          model::month_begin(static_cast<model::Month>(m));
+      const auto month_len =
+          model::month_end(static_cast<model::Month>(m)) - month_begin;
+      const auto window = static_cast<Timestamp>(sc.storm_window_s);
+      const auto span =
+          month_len > window ? month_len - window : Timestamp{1};
+      d.first_time = month_begin + static_cast<Timestamp>(rng_.uniform(
+                                       static_cast<std::uint64_t>(span)));
+      drafts_.push_back(d);
+    }
+    LONGTAIL_METRIC_COUNT("synth.scenario.storm_files", n);
+  }
+
+  LONGTAIL_METRIC_COUNT("synth.scenario.injected_files",
+                        drafts_.size() - base_drafts);
+}
+
 DomainId Generator::pick_domain(const FileDraft& d, util::Rng& rng) const {
   struct RoleWeight {
     const std::vector<DomainId>* pool;
@@ -643,14 +807,19 @@ Generator::FileResolution Generator::resolve_independent_file(
   std::vector<MachineId> used;
   used.reserve(d.prevalence);
   for (std::uint32_t i = 0; i < d.prevalence; ++i) {
-    const int cat = (i == 0 || rng.bernoulli(0.85))
-                        ? d.primary_cat
-                        : static_cast<int>(
-                              cat_samplers_[class_key(d)].sample(rng));
-    Timestamp t =
-        i == 0 ? d.first_time
-               : d.first_time + static_cast<Timestamp>(
-                                    rng.exponential(6.0 * 86'400.0));
+    int cat = d.primary_cat;
+    if (i != 0 && !rng.bernoulli(0.85)) {
+      cat = static_cast<int>(cat_samplers_[class_key(d)].sample(rng));
+      if (d.ppi_shifted) cat = ppi_rotate_cat(cat);
+    }
+    // Scenario flash crowds land every download inside the file's burst
+    // window; the calibrated world spreads them over weeks.
+    Timestamp t = i == 0  ? d.first_time
+                  : d.window_s > 0
+                      ? d.first_time + static_cast<Timestamp>(
+                                           rng.uniform01() * d.window_s)
+                      : d.first_time + static_cast<Timestamp>(
+                                           rng.exponential(6.0 * 86'400.0));
     t = std::min(t, period_end - 1);
 
     if (cat >= kCatMalProcBase && cat < kCatUnknownProc) {
@@ -711,13 +880,18 @@ std::vector<Generator::SlotPlan> Generator::plan_chain_file(
   std::vector<SlotPlan> plan(d.prevalence);
   for (std::uint32_t i = 0; i < d.prevalence; ++i) {
     SlotPlan& s = plan[i];
-    s.cat = (i == 0 || rng.bernoulli(0.85))
-                ? d.primary_cat
-                : static_cast<int>(cat_samplers_[class_key(d)].sample(rng));
+    s.cat = d.primary_cat;
+    if (i != 0 && !rng.bernoulli(0.85)) {
+      s.cat = static_cast<int>(cat_samplers_[class_key(d)].sample(rng));
+      if (d.ppi_shifted) s.cat = ppi_rotate_cat(s.cat);
+    }
     const Timestamp t =
-        i == 0 ? d.first_time
-               : d.first_time + static_cast<Timestamp>(
-                                    rng.exponential(6.0 * 86'400.0));
+        i == 0  ? d.first_time
+        : d.window_s > 0
+            ? d.first_time +
+                  static_cast<Timestamp>(rng.uniform01() * d.window_s)
+            : d.first_time + static_cast<Timestamp>(
+                                 rng.exponential(6.0 * 86'400.0));
     s.time = std::min(t, period_end - 1);
     if (s.cat >= kCatMalProcBase && s.cat < kCatUnknownProc) {
       s.is_pending = true;
@@ -1104,6 +1278,10 @@ void Generator::finalize_corpus() {
 
   world_.corpus.machine_count = world_.num_machines();
   collection_stats_ = server.stats();
+  LONGTAIL_METRIC_COUNT("telemetry.sigma.saturated_files",
+                        server.sigma_saturated_files());
+  LONGTAIL_METRIC_COUNT("telemetry.sigma.tracked_files",
+                        server.sigma_tracked_files());
 }
 
 model::FileMeta Generator::draft_file_meta(std::uint32_t file_index,
@@ -1153,6 +1331,24 @@ model::FileMeta Generator::draft_file_meta(std::uint32_t file_index,
           (d.month * std::max<std::size_t>(prefix / 3, 1)) % pool.size();
       meta.signer = pool[(offset + head_heavy(rng, prefix, 1.0)) % pool.size()];
     }
+    meta.ca = world_.signer_ca[meta.signer.raw()];
+  }
+
+  // Scenario: stolen signing certificate (§VII). Inside the compromise
+  // window the adversary deliberately signs malicious files with one of
+  // the most popular trusted benign signers; from the revocation month on
+  // the certificate is dead and unused. The draws are gated on the knob,
+  // so an inactive scenario leaves this substream's sequence untouched.
+  const auto& sc = profile_.scenario;
+  if (sc.signer_active() && d.nature == Nature::kMalicious &&
+      d.month >= sc.signer_compromise_month &&
+      d.month < sc.signer_revoke_month &&
+      !world_.benign_signer_pool.empty() &&
+      rng.bernoulli(sc.stolen_signer_rate)) {
+    const auto n_stolen = std::min<std::size_t>(
+        sc.stolen_signer_count, world_.benign_signer_pool.size());
+    meta.is_signed = true;
+    meta.signer = world_.benign_signer_pool[rng.uniform(n_stolen)];
     meta.ca = world_.signer_ca[meta.signer.raw()];
   }
 
@@ -1335,6 +1531,11 @@ Dataset Generator::run() {
     LONGTAIL_METRIC_TIMER("synth.draft_files_ms");
     draft_files();
     LONGTAIL_METRIC_COUNT("synth.files_drafted", drafts_.size());
+  }
+  if (profile_.scenario.active()) {
+    LONGTAIL_TRACE_SPAN("synth.apply_scenario");
+    LONGTAIL_METRIC_TIMER("synth.apply_scenario_ms");
+    apply_scenario();
   }
   {
     LONGTAIL_TRACE_SPAN("synth.materialize_files");

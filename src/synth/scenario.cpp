@@ -1,0 +1,212 @@
+#include "synth/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/time.hpp"
+#include "util/hash.hpp"
+#include "util/spec.hpp"
+
+namespace longtail::synth {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%s=%g", out.empty() ? "" : ",", key, v);
+  out += buf;
+}
+
+constexpr std::string_view kSpecName = "scenario spec";
+constexpr std::string_view kValidKeys =
+    "burst_files, burst_machines, burst_window, churn, cohort, signer, "
+    "signers, signer_month, revoke_month, ppi, ppi_month, storm_files, "
+    "storm_machines, storm_window";
+
+double parse_num(std::string_view key, std::string_view value, double lo,
+                 double hi) {
+  return util::parse_spec_number(kSpecName, key, value, lo, hi);
+}
+
+std::uint32_t parse_count(std::string_view key, std::string_view value,
+                          double hi) {
+  return static_cast<std::uint32_t>(parse_num(key, value, 0.0, hi));
+}
+
+std::uint32_t parse_month(std::string_view key, std::string_view value) {
+  return parse_count(key, value,
+                     static_cast<double>(model::kNumCollectionMonths));
+}
+
+}  // namespace
+
+std::string ScenarioProfile::spec() const {
+  const ScenarioProfile defaults;
+  std::string out;
+  if (burst_files != defaults.burst_files)
+    append_kv(out, "burst_files", burst_files);
+  if (burst_machines != defaults.burst_machines)
+    append_kv(out, "burst_machines", burst_machines);
+  if (burst_window_s != defaults.burst_window_s)
+    append_kv(out, "burst_window", burst_window_s);
+  if (churn_rate != defaults.churn_rate) append_kv(out, "churn", churn_rate);
+  if (churn_cohort != defaults.churn_cohort)
+    append_kv(out, "cohort", churn_cohort);
+  if (stolen_signer_rate != defaults.stolen_signer_rate)
+    append_kv(out, "signer", stolen_signer_rate);
+  if (stolen_signer_count != defaults.stolen_signer_count)
+    append_kv(out, "signers", stolen_signer_count);
+  if (signer_compromise_month != defaults.signer_compromise_month)
+    append_kv(out, "signer_month", signer_compromise_month);
+  if (signer_revoke_month != defaults.signer_revoke_month)
+    append_kv(out, "revoke_month", signer_revoke_month);
+  if (ppi_shift_rate != defaults.ppi_shift_rate)
+    append_kv(out, "ppi", ppi_shift_rate);
+  if (ppi_shift_month != defaults.ppi_shift_month)
+    append_kv(out, "ppi_month", ppi_shift_month);
+  if (storm_files != defaults.storm_files)
+    append_kv(out, "storm_files", storm_files);
+  if (storm_machines != defaults.storm_machines)
+    append_kv(out, "storm_machines", storm_machines);
+  if (storm_window_s != defaults.storm_window_s)
+    append_kv(out, "storm_window", storm_window_s);
+  return out;
+}
+
+std::string ScenarioProfile::cache_key() const {
+  if (!active()) return {};
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "s%08x",
+                static_cast<unsigned>(util::fnv1a64(spec()) & 0xFFFFFFFFu));
+  return buf;
+}
+
+std::optional<ScenarioProfile> named_scenario_profile(std::string_view name) {
+  ScenarioProfile p;
+  if (name == "off" || name == "none") return p;
+  if (name == "campaign") {
+    // A quarter-million flash-crowd downloads at paper scale: 150
+    // campaign droppers × ~2500 victims each, landing inside an hour.
+    p.burst_files = 150;
+    p.burst_machines = 2500;
+    p.burst_window_s = 3600.0;
+    return p;
+  }
+  if (name == "churn") {
+    // §VII evasion: 80% of prevalent labeled droppers are re-hashed into
+    // 8-victim cohort variants — each far below σ = 20.
+    p.churn_rate = 0.80;
+    p.churn_cohort = 8;
+    return p;
+  }
+  if (name == "stolen_cert") {
+    // The 2 most popular benign signers are compromised in March; 60% of
+    // malicious files first seen before the June revocation carry the
+    // stolen signature.
+    p.stolen_signer_rate = 0.60;
+    p.stolen_signer_count = 2;
+    p.signer_compromise_month = 2;
+    p.signer_revoke_month = 5;
+    return p;
+  }
+  if (name == "ppi_shift") {
+    // From April on, 70% of malicious-nature files join the rotated
+    // pay-per-install distribution mix.
+    p.ppi_shift_rate = 0.70;
+    p.ppi_shift_month = 3;
+    return p;
+  }
+  if (name == "update_storm") {
+    // A dozen benign releases, each shipped to a ~12k-machine install
+    // base within two hours.
+    p.storm_files = 12;
+    p.storm_machines = 12'000;
+    p.storm_window_s = 7200.0;
+    return p;
+  }
+  if (name == "worst_day") {
+    // All five stressors at once — the composition stress test.
+    ScenarioProfile w = *named_scenario_profile("campaign");
+    const ScenarioProfile churn = *named_scenario_profile("churn");
+    const ScenarioProfile cert = *named_scenario_profile("stolen_cert");
+    const ScenarioProfile ppi = *named_scenario_profile("ppi_shift");
+    const ScenarioProfile storm = *named_scenario_profile("update_storm");
+    w.churn_rate = churn.churn_rate;
+    w.churn_cohort = churn.churn_cohort;
+    w.stolen_signer_rate = cert.stolen_signer_rate;
+    w.stolen_signer_count = cert.stolen_signer_count;
+    w.signer_compromise_month = cert.signer_compromise_month;
+    w.signer_revoke_month = cert.signer_revoke_month;
+    w.ppi_shift_rate = ppi.ppi_shift_rate;
+    w.ppi_shift_month = ppi.ppi_shift_month;
+    w.storm_files = storm.storm_files;
+    w.storm_machines = storm.storm_machines;
+    w.storm_window_s = storm.storm_window_s;
+    return w;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string_view>& scenario_preset_names() {
+  static const std::vector<std::string_view> names = {
+      "campaign", "churn", "stolen_cert", "ppi_shift", "update_storm",
+      "worst_day"};
+  return names;
+}
+
+ScenarioProfile parse_scenario_profile(std::string_view text) {
+  if (const auto named = named_scenario_profile(text)) return *named;
+
+  ScenarioProfile p;
+  util::for_each_spec_kv(
+      kSpecName, text, [&p](std::string_view key, std::string_view value) {
+        if (key == "burst_files") {
+          p.burst_files = parse_count(key, value, 1e9);
+        } else if (key == "burst_machines") {
+          p.burst_machines = parse_count(key, value, 1e9);
+        } else if (key == "burst_window") {
+          p.burst_window_s = parse_num(key, value, 1.0, 1e9);
+        } else if (key == "churn") {
+          p.churn_rate = parse_num(key, value, 0.0, 1.0);
+        } else if (key == "cohort") {
+          p.churn_cohort = parse_count(key, value, 1e9);
+        } else if (key == "signer") {
+          p.stolen_signer_rate = parse_num(key, value, 0.0, 1.0);
+        } else if (key == "signers") {
+          p.stolen_signer_count = parse_count(key, value, 1e6);
+        } else if (key == "signer_month") {
+          p.signer_compromise_month = parse_month(key, value);
+        } else if (key == "revoke_month") {
+          p.signer_revoke_month = parse_month(key, value);
+        } else if (key == "ppi") {
+          p.ppi_shift_rate = parse_num(key, value, 0.0, 1.0);
+        } else if (key == "ppi_month") {
+          p.ppi_shift_month = parse_month(key, value);
+        } else if (key == "storm_files") {
+          p.storm_files = parse_count(key, value, 1e9);
+        } else if (key == "storm_machines") {
+          p.storm_machines = parse_count(key, value, 1e9);
+        } else if (key == "storm_window") {
+          p.storm_window_s = parse_num(key, value, 1.0, 1e9);
+        } else {
+          util::unknown_spec_key(kSpecName, key, kValidKeys);
+        }
+      });
+  return p;
+}
+
+ScenarioProfile scenario_from_env() {
+  const char* env = std::getenv("LONGTAIL_SCENARIO");
+  if (env == nullptr || *env == '\0') return {};
+  try {
+    return parse_scenario_profile(env);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr,
+                 "[longtail] warning: invalid LONGTAIL_SCENARIO='%s' (%s); "
+                 "running the unperturbed world\n",
+                 env, ex.what());
+    return {};
+  }
+}
+
+}  // namespace longtail::synth

@@ -1,0 +1,147 @@
+// The adversarial scenario model: world-level stressors for the
+// generator, composable with the transport fault model.
+//
+// telemetry::FaultProfile perturbs *delivery* — how truthfully the
+// collection server sees a fixed world. A ScenarioProfile perturbs the
+// *world itself*: the adversarial and operational dynamics the paper's
+// §VII threat analysis names but its one fixed dataset cannot measure,
+// with burst/churn parameters grounded in the VT-feed measurement
+// literature (bursty first-seen arrivals, heavy hash churn). Five
+// stressors, each off by default:
+//
+//   * campaign bursts — a malware campaign lands one dropper on many
+//     machines inside a narrow flash-crowd window, instead of the
+//     calibrated weeks-long exponential spread;
+//   * polymorphic hash churn — droppers are re-hashed per victim cohort,
+//     splitting one prevalent file into many low-prevalence variants so
+//     each stays under the prevalence cap σ and below AV radar;
+//   * signer-certificate compromise — a trusted benign signer's stolen
+//     certificate signs malicious files between a compromise month and a
+//     revocation month (§VII's "stolen signing certificates");
+//   * PPI-style distribution shift — the downloader mix rotates
+//     mid-period: files that arrived via browsers start arriving via
+//     pay-per-install dropper chains, and malware downloader roles
+//     rotate, so rules learned on month T face a shifted month T+1;
+//   * benign update storms — a popular updater ships a release to its
+//     whole install base in hours, flooding the stream with benign
+//     flash-crowd traffic.
+//
+// Every stressor draws from the generator's per-entity RNG substreams, so
+// any scenario is bit-identical across LONGTAIL_THREADS values and across
+// reruns; the all-default profile takes the exact seed code path (no
+// extra RNG draws), so output is byte-identical to a scenario-unaware
+// build. Profiles come from named presets (the bench/table_scenarios.cpp
+// sweep), a "k=v,k=v" spec string, or the LONGTAIL_SCENARIO environment
+// variable (see scenario_from_env).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace longtail::synth {
+
+struct ScenarioProfile {
+  // --- campaign bursts (flash-crowd malware delivery) ---
+  // Number of campaign dropper files injected over the period, at paper
+  // scale (CalibrationProfile::scaled applies the run's scale factor).
+  std::uint32_t burst_files = 0;
+  // Victim machines per campaign file, at paper scale. Raw prevalence
+  // before the collection server's sigma cap.
+  std::uint32_t burst_machines = 0;
+  // Flash-crowd width in seconds: all of a campaign file's downloads land
+  // within this window of its first appearance.
+  double burst_window_s = 3600.0;
+
+  // --- polymorphic hash churn (§VII prevalence-filter evasion) ---
+  // P(a prevalent labeled dropper is re-hashed per victim cohort).
+  double churn_rate = 0.0;
+  // Victims per re-hashed variant; below sigma this defeats the cap.
+  std::uint32_t churn_cohort = 8;
+
+  // --- signer-certificate compromise + revocation ---
+  // P(a malicious file inside the compromise window is signed with a
+  // stolen trusted-signer certificate).
+  double stolen_signer_rate = 0.0;
+  // How many of the most popular benign signers are compromised.
+  std::uint32_t stolen_signer_count = 1;
+  // Collection-month window [compromise, revoke): files first seen from
+  // the compromise month up to (excluding) the revocation month can carry
+  // the stolen signature; from the revocation month on the certificate is
+  // dead and the adversary stops using it.
+  std::uint32_t signer_compromise_month = 2;  // March
+  std::uint32_t signer_revoke_month = 5;      // June
+
+  // --- PPI-style distribution shift ---
+  // P(a malicious-nature file joins the rotated distribution) for files
+  // first seen in or after ppi_shift_month.
+  double ppi_shift_rate = 0.0;
+  std::uint32_t ppi_shift_month = 3;  // April
+
+  // --- benign update storms ---
+  // Storm release files over the period and install-base machines per
+  // release, both at paper scale; window as for bursts.
+  std::uint32_t storm_files = 0;
+  std::uint32_t storm_machines = 0;
+  double storm_window_s = 7200.0;
+
+  [[nodiscard]] bool bursts_active() const noexcept {
+    return burst_files > 0 && burst_machines > 0;
+  }
+  [[nodiscard]] bool churn_active() const noexcept {
+    return churn_rate > 0.0 && churn_cohort > 0;
+  }
+  [[nodiscard]] bool signer_active() const noexcept {
+    return stolen_signer_rate > 0.0 && stolen_signer_count > 0 &&
+           signer_compromise_month < signer_revoke_month;
+  }
+  [[nodiscard]] bool ppi_active() const noexcept {
+    return ppi_shift_rate > 0.0;
+  }
+  [[nodiscard]] bool storms_active() const noexcept {
+    return storm_files > 0 && storm_machines > 0;
+  }
+  // Any stressor on? False for the default profile — the generator then
+  // takes the exact seed code path.
+  [[nodiscard]] bool active() const noexcept {
+    return bursts_active() || churn_active() || signer_active() ||
+           ppi_active() || storms_active();
+  }
+
+  // Canonical "k=v,k=v" spec (only non-default fields). Parsing the
+  // result reproduces the profile; also the cache-key ingredient.
+  [[nodiscard]] std::string spec() const;
+
+  // Short stable hex tag of the spec for cache file names ("s" + 8 hex
+  // digits). The inactive profile returns an empty string so
+  // scenario-free cache paths are unchanged from the scenario-unaware
+  // code.
+  [[nodiscard]] std::string cache_key() const;
+};
+
+// Named presets for the scenario sweep. Recognized: "off"/"none",
+// "campaign", "churn", "stolen_cert", "ppi_shift", "update_storm", and
+// "worst_day" (all five composed). Returns nullopt for unknown names.
+[[nodiscard]] std::optional<ScenarioProfile> named_scenario_profile(
+    std::string_view name);
+
+// Names of the non-trivial presets, in sweep order.
+[[nodiscard]] const std::vector<std::string_view>& scenario_preset_names();
+
+// Parses a profile from a named preset or a "k=v,k=v" spec. Keys:
+// burst_files, burst_machines, burst_window (seconds), churn (rate),
+// cohort (machines), signer (rate), signers (count), signer_month,
+// revoke_month (collection-month indices), ppi (rate), ppi_month,
+// storm_files, storm_machines, storm_window (seconds). Throws
+// std::runtime_error naming the offending key/value on malformed input.
+[[nodiscard]] ScenarioProfile parse_scenario_profile(std::string_view text);
+
+// The LONGTAIL_SCENARIO environment knob: unset/empty means the inactive
+// profile (the byte-identical seed world). An invalid value warns on
+// stderr — naming the offending fragment — and falls back to the
+// inactive profile rather than silently perturbing the dataset.
+[[nodiscard]] ScenarioProfile scenario_from_env();
+
+}  // namespace longtail::synth

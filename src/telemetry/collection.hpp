@@ -123,6 +123,21 @@ class PrevalenceTracker {
     return it != files_.end() && it->second.saturated;
   }
 
+  // Files whose admitted-machine set hit the cap (new machines on them
+  // are being dropped). A polymorphic-churn adversary keeps every variant
+  // under sigma, so this count *falls* while raw download volume is
+  // unchanged — the observable signature of the §VII prevalence-filter
+  // evasion the scenario sweep measures.
+  [[nodiscard]] std::uint64_t saturated_files() const {
+    std::uint64_t n = 0;
+    for (const auto& [f, e] : files_)
+      if (e.saturated) ++n;
+    return n;
+  }
+
+  // Files with at least one admitted machine.
+  [[nodiscard]] std::uint64_t tracked_files() const { return files_.size(); }
+
   [[nodiscard]] std::uint32_t sigma() const noexcept { return sigma_; }
 
  private:

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/hash.hpp"
+#include "util/spec.hpp"
 
 namespace longtail::telemetry {
 
@@ -17,16 +18,14 @@ void append_kv(std::string& out, const char* key, double v) {
   out += buf;
 }
 
+constexpr std::string_view kSpecName = "fault spec";
+constexpr std::string_view kValidKeys =
+    "drop, dup, retries, backoff, backoff_cap, jitter, skew, corrupt, "
+    "vt_loss, label_delay";
+
 double parse_rate(std::string_view key, std::string_view value, double lo,
                   double hi) {
-  const std::string v(value);
-  char* end = nullptr;
-  const double x = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || *end != '\0' || !std::isfinite(x) || x < lo ||
-      x > hi)
-    throw std::runtime_error("fault spec: bad value for '" +
-                             std::string(key) + "': '" + v + "'");
-  return x;
+  return util::parse_spec_number(kSpecName, key, value, lo, hi);
 }
 
 }  // namespace
@@ -104,45 +103,33 @@ FaultProfile parse_fault_profile(std::string_view text) {
   if (const auto named = named_fault_profile(text)) return *named;
 
   FaultProfile p;
-  std::string_view rest = text;
-  while (!rest.empty()) {
-    const auto comma = rest.find(',');
-    const std::string_view item = rest.substr(0, comma);
-    rest = comma == std::string_view::npos ? std::string_view{}
-                                           : rest.substr(comma + 1);
-    if (item.empty()) continue;
-    const auto eq = item.find('=');
-    if (eq == std::string_view::npos)
-      throw std::runtime_error("fault spec: expected key=value, got '" +
-                               std::string(item) + "'");
-    const std::string_view key = item.substr(0, eq);
-    const std::string_view value = item.substr(eq + 1);
-    if (key == "drop") {
-      p.drop_rate = parse_rate(key, value, 0.0, 1.0);
-    } else if (key == "dup") {
-      p.ack_loss_rate = parse_rate(key, value, 0.0, 1.0);
-    } else if (key == "retries") {
-      p.max_retransmits =
-          static_cast<std::uint32_t>(parse_rate(key, value, 0.0, 64.0));
-    } else if (key == "backoff") {
-      p.backoff_base_s = parse_rate(key, value, 0.0, 1e9);
-    } else if (key == "backoff_cap") {
-      p.backoff_cap_s = parse_rate(key, value, 0.0, 1e9);
-    } else if (key == "jitter") {
-      p.delivery_jitter_s = parse_rate(key, value, 0.0, 1e9);
-    } else if (key == "skew") {
-      p.clock_skew_s = parse_rate(key, value, 0.0, 1e9);
-    } else if (key == "corrupt") {
-      p.corrupt_rate = parse_rate(key, value, 0.0, 1.0);
-    } else if (key == "vt_loss") {
-      p.vt_loss_rate = parse_rate(key, value, 0.0, 1.0);
-    } else if (key == "label_delay") {
-      p.label_delay_mean_days = parse_rate(key, value, 0.0, 1e6);
-    } else {
-      throw std::runtime_error("fault spec: unknown key '" +
-                               std::string(key) + "'");
-    }
-  }
+  util::for_each_spec_kv(
+      kSpecName, text, [&p](std::string_view key, std::string_view value) {
+        if (key == "drop") {
+          p.drop_rate = parse_rate(key, value, 0.0, 1.0);
+        } else if (key == "dup") {
+          p.ack_loss_rate = parse_rate(key, value, 0.0, 1.0);
+        } else if (key == "retries") {
+          p.max_retransmits =
+              static_cast<std::uint32_t>(parse_rate(key, value, 0.0, 64.0));
+        } else if (key == "backoff") {
+          p.backoff_base_s = parse_rate(key, value, 0.0, 1e9);
+        } else if (key == "backoff_cap") {
+          p.backoff_cap_s = parse_rate(key, value, 0.0, 1e9);
+        } else if (key == "jitter") {
+          p.delivery_jitter_s = parse_rate(key, value, 0.0, 1e9);
+        } else if (key == "skew") {
+          p.clock_skew_s = parse_rate(key, value, 0.0, 1e9);
+        } else if (key == "corrupt") {
+          p.corrupt_rate = parse_rate(key, value, 0.0, 1.0);
+        } else if (key == "vt_loss") {
+          p.vt_loss_rate = parse_rate(key, value, 0.0, 1.0);
+        } else if (key == "label_delay") {
+          p.label_delay_mean_days = parse_rate(key, value, 0.0, 1e6);
+        } else {
+          util::unknown_spec_key(kSpecName, key, kValidKeys);
+        }
+      });
   return p;
 }
 

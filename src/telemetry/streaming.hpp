@@ -118,6 +118,14 @@ class StreamingCollectionServer {
   [[nodiscard]] std::uint32_t reported_prevalence(model::FileId f) const {
     return prevalence_->prevalence(f);
   }
+  // σ-cap saturation over everything admitted so far (see
+  // PrevalenceTracker::saturated_files).
+  [[nodiscard]] std::uint64_t sigma_saturated_files() const {
+    return prevalence_->saturated_files();
+  }
+  [[nodiscard]] std::uint64_t sigma_tracked_files() const {
+    return prevalence_->tracked_files();
+  }
 
   // Conservation law at the current watermark (see file comment).
   [[nodiscard]] bool conserved() const noexcept {

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -139,6 +141,35 @@ TEST(Faults, ParseRejectsMalformedSpecs) {
   EXPECT_THROW((void)parse_fault_profile("drop=0.1x"), std::runtime_error);
   EXPECT_THROW((void)parse_fault_profile("drop=1.5"), std::runtime_error);
   EXPECT_THROW((void)parse_fault_profile("drop=-0.1"), std::runtime_error);
+}
+
+std::string fault_parse_error(std::string_view text) {
+  try {
+    (void)parse_fault_profile(text);
+  } catch (const std::runtime_error& ex) {
+    return ex.what();
+  }
+  return {};
+}
+
+// The rejection is only actionable if the diagnostic names the offending
+// key/value (and, for a typo'd key, lists the keys that do exist) — the
+// faults_from_env warning prints exactly this message.
+TEST(Faults, ParserDiagnosticsNameOffendingKeyAndValue) {
+  const std::string bad_value = fault_parse_error("drop=1.5");
+  EXPECT_NE(bad_value.find("fault spec"), std::string::npos) << bad_value;
+  EXPECT_NE(bad_value.find("'drop'"), std::string::npos) << bad_value;
+  EXPECT_NE(bad_value.find("'1.5'"), std::string::npos) << bad_value;
+  EXPECT_NE(bad_value.find("[0, 1]"), std::string::npos) << bad_value;
+
+  const std::string no_eq = fault_parse_error("drop");
+  EXPECT_NE(no_eq.find("expected key=value"), std::string::npos) << no_eq;
+  EXPECT_NE(no_eq.find("'drop'"), std::string::npos) << no_eq;
+
+  const std::string unknown = fault_parse_error("dorp=0.1");
+  EXPECT_NE(unknown.find("unknown key 'dorp'"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("valid keys"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("drop"), std::string::npos) << unknown;
 }
 
 TEST(Faults, CacheKeysDistinguishProfiles) {
