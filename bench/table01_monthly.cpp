@@ -1,29 +1,12 @@
 // Reproduces Table I: monthly summary of the data collected by the AMV —
 // machines, download events, and the verdict breakdown of processes,
-// files, and URLs.
+// files, and URLs. The body lives in table_render.hpp so the migration
+// gate in pipeline_determinism_test can pin the same bytes.
 #include "bench_common.hpp"
-
-namespace {
-
-using namespace longtail;
-
-constexpr struct {
-  const char* month;
-  std::uint64_t machines, events, files;
-  double file_mal_pct;
-} kPaperRows[] = {
-    {"January", 292'516, 578'510, 366'981, 7.9},
-    {"February", 246'481, 470'291, 296'362, 8.9},
-    {"March", 248'568, 493'487, 312'662, 9.6},
-    {"April", 215'693, 427'110, 258'752, 12.6},
-    {"May", 180'947, 351'271, 218'156, 12.5},
-    {"June", 176'463, 351'509, 206'309, 14.0},
-    {"July", 157'457, 323'159, 188'564, 12.6},
-};
-
-}  // namespace
+#include "table_render.hpp"
 
 int main() {
+  using namespace longtail;
   bench::print_header(
       "Table I: monthly summary of collected download events",
       "Counts scale linearly with LONGTAIL_SCALE; percentages are "
@@ -33,41 +16,6 @@ int main() {
 
   const auto pipeline = bench::make_pipeline();
   const auto summary = analysis::monthly_summary(pipeline.annotated());
-
-  util::TextTable table(
-      {"Month", "Machines", "Events", "Processes",
-       "proc b/lb/m/lm %", "Files", "file b/lb/m/lm %", "URLs",
-       "url b/m %", "paper: machines/events/mal%"});
-  auto row_cells = [](const analysis::MonthlyRow& r) {
-    return std::vector<std::string>{
-        util::with_commas(r.machines),
-        util::with_commas(r.events),
-        util::with_commas(r.processes),
-        util::pct(r.proc_benign) + "/" + util::pct(r.proc_likely_benign) +
-            "/" + util::pct(r.proc_malicious) + "/" +
-            util::pct(r.proc_likely_malicious),
-        util::with_commas(r.files),
-        util::pct(r.file_benign) + "/" + util::pct(r.file_likely_benign) +
-            "/" + util::pct(r.file_malicious) + "/" +
-            util::pct(r.file_likely_malicious),
-        util::with_commas(r.urls),
-        util::pct(r.url_benign) + "/" + util::pct(r.url_malicious),
-    };
-  };
-
-  for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m) {
-    auto cells = row_cells(summary.months[m]);
-    cells.insert(cells.begin(), std::string(kPaperRows[m].month));
-    cells.push_back(util::with_commas(kPaperRows[m].machines) + "/" +
-                    util::with_commas(kPaperRows[m].events) + "/" +
-                    util::pct(kPaperRows[m].file_mal_pct));
-    table.add_row(std::move(cells));
-  }
-  auto overall = row_cells(summary.overall);
-  overall.insert(overall.begin(), "Overall");
-  overall.push_back("1,139,183/3,073,863/9.9%");
-  table.add_row(std::move(overall));
-
-  std::fputs(table.render().c_str(), stdout);
+  std::fputs(bench::render_table01(summary).c_str(), stdout);
   return 0;
 }

@@ -5,6 +5,7 @@
 // signed in every row; malicious files are signed far more than benign
 // (66% vs 30.7%).
 #include "bench_common.hpp"
+#include "table_render.hpp"
 
 int main() {
   using namespace longtail;
@@ -12,50 +13,8 @@ int main() {
                       "Per class and behaviour type, overall and "
                       "from-browser.");
 
-  // Paper reference: {overall signed %, browser signed %} (blank cells in
-  // the original scan marked with -1).
-  constexpr struct {
-    double overall, browser;
-  } kPaper[] = {
-      {85.6, -1},  {76.0, 79.6}, {-1, 91.8},  {-1, -1},   {1.2, 1.8},
-      {1.5, 2.2},  {2.8, 4.5},   {44.4, 68.7}, {5.5, 12.3}, {21.2, 25.0},
-      {65.1, 71.3},
-  };
-
   const auto pipeline = bench::make_pipeline();
   const auto rates = analysis::signing_rates(pipeline.annotated());
-
-  util::TextTable table({"Type", "# files", "Signed", "# browser files",
-                         "Browser signed", "paper signed/browser"});
-  auto paper_cell = [](double overall, double browser) {
-    auto fmt = [](double v) {
-      return v < 0 ? std::string("n/a") : util::pct(v);
-    };
-    return fmt(overall) + " / " + fmt(browser);
-  };
-  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t) {
-    const auto& row = rates.per_type[t];
-    table.add_row({std::string(to_string(static_cast<model::MalwareType>(t))),
-                   util::with_commas(row.files), util::pct(row.signed_pct),
-                   util::with_commas(row.browser_files),
-                   util::pct(row.browser_signed_pct),
-                   paper_cell(kPaper[t].overall, kPaper[t].browser)});
-  }
-  table.add_row({"benign", util::with_commas(rates.benign.files),
-                 util::pct(rates.benign.signed_pct),
-                 util::with_commas(rates.benign.browser_files),
-                 util::pct(rates.benign.browser_signed_pct),
-                 paper_cell(30.7, 32.1)});
-  table.add_row({"unknown", util::with_commas(rates.unknown.files),
-                 util::pct(rates.unknown.signed_pct),
-                 util::with_commas(rates.unknown.browser_files),
-                 util::pct(rates.unknown.browser_signed_pct),
-                 paper_cell(38.4, 42.1)});
-  table.add_row({"malicious (all)", util::with_commas(rates.malicious.files),
-                 util::pct(rates.malicious.signed_pct),
-                 util::with_commas(rates.malicious.browser_files),
-                 util::pct(rates.malicious.browser_signed_pct),
-                 paper_cell(66.0, 81.0)});
-  std::fputs(table.render().c_str(), stdout);
+  std::fputs(bench::render_table06(rates).c_str(), stdout);
   return 0;
 }

@@ -1,0 +1,126 @@
+// Body rendering for Table I and Table VI, shared between the bench
+// binaries (bench/table01_monthly.cpp, bench/table06_signed.cpp) and the
+// migration-equivalence gate in tests/pipeline_determinism_test.cpp. The
+// rendered strings are the byte-exact table bodies the binaries print, so
+// the determinism test can pin their hashes and catch any stdout drift a
+// container migration (e.g. std::unordered_map -> util::FlatMap) would
+// introduce without shelling out to the binaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+#include "analysis/signers.hpp"
+#include "util/table.hpp"
+
+namespace longtail::bench {
+
+// Table I body: one row per collection month plus the overall row, with
+// the paper's reference column. Byte-identical to what table01_monthly
+// prints after its header.
+inline std::string render_table01(const analysis::MonthlySummary& summary) {
+  // clang-format off
+  constexpr struct {
+    const char* month;
+    std::uint64_t machines, events, files;
+    double file_mal_pct;
+  } kPaperRows[] = {
+      {"January", 292'516, 578'510, 366'981, 7.9},
+      {"February", 246'481, 470'291, 296'362, 8.9},
+      {"March", 248'568, 493'487, 312'662, 9.6},
+      {"April", 215'693, 427'110, 258'752, 12.6},
+      {"May", 180'947, 351'271, 218'156, 12.5},
+      {"June", 176'463, 351'509, 206'309, 14.0},
+      {"July", 157'457, 323'159, 188'564, 12.6},
+  };
+  // clang-format on
+
+  util::TextTable table({"Month", "Machines", "Events", "Processes",
+                         "proc b/lb/m/lm %", "Files", "file b/lb/m/lm %",
+                         "URLs", "url b/m %",
+                         "paper: machines/events/mal%"});
+  auto row_cells = [](const analysis::MonthlyRow& r) {
+    return std::vector<std::string>{
+        util::with_commas(r.machines),
+        util::with_commas(r.events),
+        util::with_commas(r.processes),
+        util::pct(r.proc_benign) + "/" + util::pct(r.proc_likely_benign) +
+            "/" + util::pct(r.proc_malicious) + "/" +
+            util::pct(r.proc_likely_malicious),
+        util::with_commas(r.files),
+        util::pct(r.file_benign) + "/" + util::pct(r.file_likely_benign) +
+            "/" + util::pct(r.file_malicious) + "/" +
+            util::pct(r.file_likely_malicious),
+        util::with_commas(r.urls),
+        util::pct(r.url_benign) + "/" + util::pct(r.url_malicious),
+    };
+  };
+
+  for (std::size_t m = 0; m < model::kNumCollectionMonths; ++m) {
+    auto cells = row_cells(summary.months[m]);
+    cells.insert(cells.begin(), std::string(kPaperRows[m].month));
+    cells.push_back(util::with_commas(kPaperRows[m].machines) + "/" +
+                    util::with_commas(kPaperRows[m].events) + "/" +
+                    util::pct(kPaperRows[m].file_mal_pct));
+    table.add_row(std::move(cells));
+  }
+  auto overall = row_cells(summary.overall);
+  overall.insert(overall.begin(), "Overall");
+  overall.push_back("1,139,183/3,073,863/9.9%");
+  table.add_row(std::move(overall));
+  return table.render();
+}
+
+// Table VI body: signing rates per malware type plus the class rows.
+// Byte-identical to what table06_signed prints after its header.
+inline std::string render_table06(const analysis::SigningRates& rates) {
+  // Paper reference: {overall signed %, browser signed %} (blank cells in
+  // the original scan marked with -1).
+  // clang-format off
+  constexpr struct {
+    double overall, browser;
+  } kPaper[] = {
+      {85.6, -1},  {76.0, 79.6}, {-1, 91.8},  {-1, -1},   {1.2, 1.8},
+      {1.5, 2.2},  {2.8, 4.5},   {44.4, 68.7}, {5.5, 12.3}, {21.2, 25.0},
+      {65.1, 71.3},
+  };
+  // clang-format on
+
+  util::TextTable table({"Type", "# files", "Signed", "# browser files",
+                         "Browser signed", "paper signed/browser"});
+  auto paper_cell = [](double overall, double browser) {
+    auto fmt = [](double v) {
+      return v < 0 ? std::string("n/a") : util::pct(v);
+    };
+    return fmt(overall) + " / " + fmt(browser);
+  };
+  for (std::size_t t = 0; t < model::kNumMalwareTypes; ++t) {
+    const auto& row = rates.per_type[t];
+    table.add_row({std::string(to_string(static_cast<model::MalwareType>(t))),
+                   util::with_commas(row.files), util::pct(row.signed_pct),
+                   util::with_commas(row.browser_files),
+                   util::pct(row.browser_signed_pct),
+                   paper_cell(kPaper[t].overall, kPaper[t].browser)});
+  }
+  table.add_row({"benign", util::with_commas(rates.benign.files),
+                 util::pct(rates.benign.signed_pct),
+                 util::with_commas(rates.benign.browser_files),
+                 util::pct(rates.benign.browser_signed_pct),
+                 paper_cell(30.7, 32.1)});
+  table.add_row({"unknown", util::with_commas(rates.unknown.files),
+                 util::pct(rates.unknown.signed_pct),
+                 util::with_commas(rates.unknown.browser_files),
+                 util::pct(rates.unknown.browser_signed_pct),
+                 paper_cell(38.4, 42.1)});
+  table.add_row({"malicious (all)", util::with_commas(rates.malicious.files),
+                 util::pct(rates.malicious.signed_pct),
+                 util::with_commas(rates.malicious.browser_files),
+                 util::pct(rates.malicious.browser_signed_pct),
+                 paper_cell(66.0, 81.0)});
+  return table.render();
+}
+
+}  // namespace longtail::bench

@@ -1,8 +1,7 @@
 #include "baselines/reputation.hpp"
 
-#include <unordered_set>
-
 #include "telemetry/scan.hpp"
+#include "util/flat_table.hpp"
 
 namespace longtail::baselines {
 
@@ -13,12 +12,11 @@ using model::Verdict;
 // Shard merge for file -> per-event lists. Combines run in ascending shard
 // order, so appending keeps each file's list in corpus (time) order.
 void merge_vec_map(
-    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>& total,
-    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>&& shard) {
+    util::FlatMap<std::uint32_t, std::vector<std::uint32_t>>& total,
+    util::FlatMap<std::uint32_t, std::vector<std::uint32_t>>&& shard) {
   for (auto& [key, vec] : shard) {
-    auto [it, inserted] = total.try_emplace(key, std::move(vec));
-    if (!inserted)
-      it->second.insert(it->second.end(), vec.begin(), vec.end());
+    auto [merged, inserted] = total.try_emplace(key, std::move(vec));
+    if (!inserted) merged->insert(merged->end(), vec.begin(), vec.end());
   }
 }
 
@@ -33,7 +31,7 @@ PrevalenceReputation::PrevalenceReputation(
   struct MachineCounts {
     std::uint32_t benign = 0, malicious = 0;
   };
-  using CountMap = std::unordered_map<std::uint32_t, MachineCounts>;
+  using CountMap = util::FlatMap<std::uint32_t, MachineCounts>;
   const auto train_n = telemetry::lower_bound_time(*a.corpus, train_end);
   const CountMap counts = telemetry::scan_reduce(
       *a.corpus, 0, train_n, [] { return CountMap{}; },
@@ -68,11 +66,12 @@ PrevalenceReputation::PrevalenceReputation(
 
 BaselineVerdict PrevalenceReputation::classify(
     const analysis::AnnotatedCorpus& /*a*/, model::FileId file) const {
-  // Gather the distinct machines holding the file.
-  std::unordered_set<std::uint32_t> machines;
-  const auto it = file_machines_.find(file.raw());
-  if (it == file_machines_.end()) return BaselineVerdict::kAbstain;
-  for (const auto m : it->second) machines.insert(m);
+  // Gather the distinct machines holding the file. First-occurrence
+  // (corpus) order, so the risk sum below is order-deterministic.
+  util::FlatSet<std::uint32_t> machines;
+  const auto* events = file_machines_.find(file.raw());
+  if (events == nullptr) return BaselineVerdict::kAbstain;
+  for (const auto m : *events) machines.insert(m);
 
   if (machines.size() < config_.min_prevalence)
     return BaselineVerdict::kAbstain;  // Polonium's blind spot
@@ -80,8 +79,8 @@ BaselineVerdict PrevalenceReputation::classify(
   double risk_sum = 0;
   std::uint32_t known = 0;
   for (const auto m : machines) {
-    if (const auto rit = machine_risk_.find(m); rit != machine_risk_.end()) {
-      risk_sum += rit->second;
+    if (const float* risk = machine_risk_.find(m); risk != nullptr) {
+      risk_sum += *risk;
       ++known;
     }
   }
@@ -96,7 +95,7 @@ BaselineVerdict PrevalenceReputation::classify(
 UrlReputation::UrlReputation(const analysis::AnnotatedCorpus& a,
                              model::Timestamp train_end, Config config)
     : config_(config) {
-  using DomainMap = std::unordered_map<std::uint32_t, DomainStats>;
+  using DomainMap = util::FlatMap<std::uint32_t, DomainStats>;
   const auto train_n = telemetry::lower_bound_time(*a.corpus, train_end);
   domains_ = telemetry::scan_reduce(
       *a.corpus, 0, train_n, [] { return DomainMap{}; },
@@ -125,14 +124,14 @@ UrlReputation::UrlReputation(const analysis::AnnotatedCorpus& a,
 
 BaselineVerdict UrlReputation::classify(
     const analysis::AnnotatedCorpus& /*a*/, model::FileId file) const {
-  const auto it = file_domains_.find(file.raw());
-  if (it == file_domains_.end()) return BaselineVerdict::kAbstain;
+  const auto* file_doms = file_domains_.find(file.raw());
+  if (file_doms == nullptr) return BaselineVerdict::kAbstain;
 
   std::uint32_t benign = 0, malicious = 0;
-  for (const auto domain : it->second) {
-    if (const auto dit = domains_.find(domain); dit != domains_.end()) {
-      benign += dit->second.benign;
-      malicious += dit->second.malicious;
+  for (const auto domain : *file_doms) {
+    if (const DomainStats* s = domains_.find(domain); s != nullptr) {
+      benign += s->benign;
+      malicious += s->malicious;
     }
   }
   if (benign + malicious < config_.min_observations)

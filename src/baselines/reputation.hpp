@@ -19,11 +19,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/annotated.hpp"
 #include "model/time.hpp"
+#include "util/flat_table.hpp"
 
 namespace longtail::baselines {
 
@@ -84,10 +84,11 @@ class PrevalenceReputation {
 
  private:
   Config config_;
-  std::unordered_map<std::uint32_t, float> machine_risk_;
+  // classify() probes one risk entry per distinct machine of the file —
+  // the baseline's hot lookup.
+  util::FlatMap<std::uint32_t, float> machine_risk_;
   // file -> distinct machines (whole corpus; prevalence is sigma-capped).
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
-      file_machines_;
+  util::FlatMap<std::uint32_t, std::vector<std::uint32_t>> file_machines_;
 };
 
 // CAMP/Amico-style: per-domain malicious ratio learned from the training
@@ -113,9 +114,8 @@ class UrlReputation {
     std::uint32_t benign = 0, malicious = 0;
   };
   Config config_;
-  std::unordered_map<std::uint32_t, DomainStats> domains_;
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
-      file_domains_;
+  util::FlatMap<std::uint32_t, DomainStats> domains_;
+  util::FlatMap<std::uint32_t, std::vector<std::uint32_t>> file_domains_;
 };
 
 // Evaluates a baseline on the labeled files first observed in

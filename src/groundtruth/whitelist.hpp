@@ -7,9 +7,8 @@
 // non-benign files to reproduce that effect.
 #pragma once
 
-#include <unordered_set>
-
 #include "model/ids.hpp"
+#include "util/flat_table.hpp"
 
 namespace longtail::groundtruth {
 
@@ -32,20 +31,21 @@ class Whitelist {
     return processes_.size();
   }
 
-  // Enumeration for serialization (synth/dataset_io). Unordered — sort
-  // before writing anything order-sensitive.
-  [[nodiscard]] const std::unordered_set<model::FileId>& files()
-      const noexcept {
+  // Enumeration for serialization (synth/dataset_io). Iterates in
+  // insertion order — sort before writing anything order-sensitive.
+  [[nodiscard]] const util::FlatSet<model::FileId>& files() const noexcept {
     return files_;
   }
-  [[nodiscard]] const std::unordered_set<model::ProcessId>& processes()
+  [[nodiscard]] const util::FlatSet<model::ProcessId>& processes()
       const noexcept {
     return processes_;
   }
 
  private:
-  std::unordered_set<model::FileId> files_;
-  std::unordered_set<model::ProcessId> processes_;
+  // Probed once per file during verdict annotation and once per admitted
+  // event in the labeling passes — hot enough for the flat layout.
+  util::FlatSet<model::FileId> files_;
+  util::FlatSet<model::ProcessId> processes_;
 };
 
 }  // namespace longtail::groundtruth

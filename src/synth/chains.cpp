@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "util/flat_table.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -148,14 +147,13 @@ MatchResult match_demands(std::uint64_t seed,
 
     // Machines already assigned to the spilling files (their partition
     // round may have matched earlier slots before running dry).
-    std::unordered_set<std::uint32_t> spilled_files;
+    util::FlatSet<std::uint32_t> spilled_files;
     for (const std::uint32_t ci : spilled)
       spilled_files.insert(consumers[ci].file);
-    std::unordered_map<std::uint32_t, std::vector<model::MachineId>>
-        used_by_file;
+    util::FlatMap<std::uint32_t, std::vector<model::MachineId>> used_by_file;
     for (std::uint32_t ci = 0; ci < consumers.size(); ++ci) {
       const std::uint32_t di = result.demand_for_consumer[ci];
-      if (di != kUnmatched && spilled_files.count(consumers[ci].file) != 0)
+      if (di != kUnmatched && spilled_files.contains(consumers[ci].file))
         used_by_file[consumers[ci].file].push_back(demands[di].machine);
     }
 

@@ -9,6 +9,7 @@
 
 #include "telemetry/binary.hpp"
 #include "util/binary.hpp"
+#include "util/flat_table.hpp"
 #include "util/metrics.hpp"
 #include "util/mmap.hpp"
 #include "util/trace.hpp"
@@ -50,8 +51,7 @@ std::vector<bool> read_bool_vec(Reader& in) {
 }
 
 template <typename Id>
-void write_id_set(util::BinaryWriter& out,
-                  const std::unordered_set<Id>& set) {
+void write_id_set(util::BinaryWriter& out, const util::FlatSet<Id>& set) {
   std::vector<std::uint32_t> ids;
   ids.reserve(set.size());
   for (const Id id : set) ids.push_back(id.raw());

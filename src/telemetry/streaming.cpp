@@ -118,9 +118,21 @@ void StreamingCollectionServer::ingest(std::span<const DeliveredReport> chunk,
     return;
   }
 
-  for (const auto& r : chunk) {
+  // Dedup the whole chunk through the batched prefetch queue first: the
+  // §II-A rules consult the dedup verdict before anything else, so
+  // resolving every membership probe up front (in delivery order —
+  // intra-chunk duplicates behave exactly like sequential inserts) hides
+  // the per-report hash-probe latency.
+  dedup_ids_.resize(chunk.size());
+  dedup_fresh_.resize(chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i)
+    dedup_ids_[i] = chunk[i].report_id;
+  seen_reports_.insert_batch(dedup_ids_, dedup_fresh_);
+
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    const DeliveredReport& r = chunk[i];
     ++consumed_;
-    if (!seen_reports_.insert(r.report_id).second) {
+    if (!dedup_fresh_[i]) {
       ++stats_->dropped_duplicate;
       continue;
     }

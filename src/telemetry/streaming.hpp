@@ -29,7 +29,6 @@
 #include <limits>
 #include <map>
 #include <span>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -38,6 +37,7 @@
 #include "telemetry/collection.hpp"
 #include "telemetry/event_store.hpp"
 #include "telemetry/transport.hpp"
+#include "util/flat_table.hpp"
 
 namespace longtail::telemetry {
 
@@ -149,7 +149,13 @@ class StreamingCollectionServer {
   PrevalenceTracker* prevalence_;
   std::uint64_t base_seen_ = 0;  // borrowed stats may start non-zero
 
-  std::unordered_set<std::uint64_t> seen_reports_;
+  // Retransmit dedup: one membership probe per delivered copy. Ingest
+  // batch-inserts a whole chunk's report ids through the prefetch queue
+  // (see FlatSet::insert_batch); the scratch vectors below avoid a
+  // per-chunk allocation.
+  util::FlatSet<std::uint64_t> seen_reports_;
+  std::vector<std::uint64_t> dedup_ids_;
+  std::vector<std::uint8_t> dedup_fresh_;
   // Reorder buffer keyed by (reported time, report_id) — a unique total
   // order, so the release sequence is deterministic.
   std::map<std::pair<model::Timestamp, std::uint64_t>, model::DownloadEvent>

@@ -19,8 +19,9 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "util/flat_table.hpp"
 
 namespace longtail::util {
 
@@ -45,17 +46,17 @@ class StringInterner {
 
   // Returns the id for `s`, inserting it if unseen.
   std::uint32_t intern(std::string_view s) {
-    if (auto it = ids_.find(s); it != ids_.end()) return it->second;
+    if (const std::uint32_t* id = ids_.find(s); id != nullptr) return *id;
     const auto id = static_cast<std::uint32_t>(strings_.size());
     const std::string_view stored = store(s);
     strings_.push_back(stored);
-    ids_.emplace(stored, id);
+    ids_.try_emplace(stored, id);
     return id;
   }
 
   // Returns the id for `s` if present, std::nullopt otherwise.
   [[nodiscard]] std::optional<std::uint32_t> find(std::string_view s) const {
-    if (auto it = ids_.find(s); it != ids_.end()) return it->second;
+    if (const std::uint32_t* id = ids_.find(s); id != nullptr) return *id;
     return std::nullopt;
   }
 
@@ -91,26 +92,13 @@ class StringInterner {
         throw std::runtime_error("interner pool: bad offset table");
       const std::string_view s(base + offsets[i], offsets[i + 1] - offsets[i]);
       const auto id = static_cast<std::uint32_t>(strings_.size());
-      if (!ids_.emplace(s, id).second)
+      if (!ids_.try_emplace(s, id).second)
         throw std::runtime_error("interner pool: duplicate interned string");
       strings_.push_back(s);
     }
   }
 
  private:
-  struct TransparentHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-  struct TransparentEq {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const noexcept {
-      return a == b;
-    }
-  };
-
   static constexpr std::size_t kChunkBytes = 64 * 1024;
 
   // Copies `s` into the arena and returns the stable stored view. Strings
@@ -138,10 +126,11 @@ class StringInterner {
 
   void append_all(const StringInterner& other) {
     strings_.reserve(other.strings_.size());
+    ids_.reserve(other.strings_.size());
     for (std::uint32_t id = 0; id < other.strings_.size(); ++id) {
       const std::string_view stored = store(other.strings_[id]);
       strings_.push_back(stored);
-      ids_.emplace(stored, id);
+      ids_.try_emplace(stored, id);
     }
   }
 
@@ -149,9 +138,9 @@ class StringInterner {
   std::size_t chunk_used_ = kChunkBytes;  // full ⇒ first store opens a chunk
   std::size_t arena_bytes_ = 0;
   std::vector<std::string_view> strings_;  // id → stored view, in id order
-  std::unordered_map<std::string_view, std::uint32_t, TransparentHash,
-                     TransparentEq>
-      ids_;
+  // Views point into the arena, so the index is string_view-keyed with no
+  // per-entry allocation; FlatHash mixes fnv1a64 of the bytes.
+  FlatMap<std::string_view, std::uint32_t> ids_;
 };
 
 }  // namespace longtail::util

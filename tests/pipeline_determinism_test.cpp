@@ -5,11 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "analysis/monthly.hpp"
+#include "analysis/signers.hpp"
+#include "bench/table_render.hpp"
 #include "core/pipeline.hpp"
+#include "synth/dataset_io.hpp"
 #include "telemetry/faults.hpp"
+#include "util/hash.hpp"
 #include "util/profile.hpp"
 #include "util/thread_pool.hpp"
 
@@ -181,6 +187,87 @@ TEST_F(PipelineDeterminismTest, TauSweepMatchesPointEvaluations) {
     EXPECT_EQ(sweep[i].eval.false_positives, point.eval.false_positives);
     EXPECT_EQ(sweep[i].expansion.labeled_malicious,
               point.expansion.labeled_malicious);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Migration-equivalence gate. The four constants below were captured
+// from the build immediately BEFORE the std::unordered_map ->
+// util::FlatMap/FlatSet migration of the hot lookup paths (prevalence
+// tracking, retransmit dedup, whitelist/reputation, interner, chain
+// fixup): the scale-0.02 dataset fingerprint (clean and under
+// LONGTAIL_FAULTS=moderate) and the FNV-1a hashes of the Table I /
+// Table VI bodies (bench/table_render.hpp — the exact bytes
+// table01_monthly / table06_signed print). Any container change that
+// perturbs output — iteration order leaking into a result, a dropped or
+// duplicated key — trips one of these pins. Update them only with a
+// paired capture from the commit being replaced, never to "make the
+// test pass".
+constexpr std::uint64_t kPinnedCleanFingerprint = 0x6E0683FF56A1395CULL;
+constexpr std::uint64_t kPinnedModerateFingerprint = 0x3C41B26DEE91C5E0ULL;
+constexpr std::uint64_t kPinnedTable01BodyHash = 0x0841637FB99B63F5ULL;
+constexpr std::uint64_t kPinnedTable06BodyHash = 0xD8804855D807AD04ULL;
+
+void expect_pinned_tables(const core::LongtailPipeline& pipeline,
+                          const char* which) {
+  const std::string t01 =
+      bench::render_table01(analysis::monthly_summary(pipeline.annotated()));
+  const std::string t06 =
+      bench::render_table06(analysis::signing_rates(pipeline.annotated()));
+  EXPECT_EQ(util::fnv1a64(t01), kPinnedTable01BodyHash) << which;
+  EXPECT_EQ(util::fnv1a64(t06), kPinnedTable06BodyHash) << which;
+}
+
+TEST_F(PipelineDeterminismTest, MigrationGateFreshRunMatchesPreMigration) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    util::set_global_threads(threads);
+    const auto pipeline = core::LongtailPipeline::generate(kScale);
+    EXPECT_EQ(core::dataset_fingerprint(pipeline.dataset()),
+              kPinnedCleanFingerprint);
+    expect_pinned_tables(pipeline, "fresh");
+  }
+}
+
+TEST_F(PipelineDeterminismTest, MigrationGateCachedLoadsMatchPreMigration) {
+  // The corpus-cache load paths re-annotate a deserialized dataset, so a
+  // container regression on either the owned or the zero-copy mapped
+  // path would surface here as a pin mismatch.
+  util::set_global_threads(2);
+  const std::string path =
+      ::testing::TempDir() + "flat_table_migration_gate.ltds";
+  {
+    const auto pipeline = core::LongtailPipeline::generate(kScale);
+    synth::save_dataset_binary(pipeline.dataset(), path);
+  }
+  {
+    const core::LongtailPipeline owned(synth::load_dataset_binary(path));
+    EXPECT_EQ(core::dataset_fingerprint(owned.dataset()),
+              kPinnedCleanFingerprint);
+    expect_pinned_tables(owned, "owned load");
+  }
+  {
+    const core::LongtailPipeline mapped(synth::load_dataset_mapped(path));
+    EXPECT_EQ(core::dataset_fingerprint(mapped.dataset()),
+              kPinnedCleanFingerprint);
+    expect_pinned_tables(mapped, "mapped load");
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(PipelineDeterminismTest, MigrationGateFaultedRunMatchesPreMigration) {
+  // LONGTAIL_FAULTS=moderate exercises the hardened ingest (dedup set,
+  // reorder buffer, prevalence tracker) far harder than the clean feed.
+  auto profile = synth::paper_calibration(kScale);
+  const auto moderate = telemetry::named_fault_profile("moderate");
+  ASSERT_TRUE(moderate.has_value());
+  profile.faults = *moderate;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    util::set_global_threads(threads);
+    const core::LongtailPipeline pipeline(profile);
+    EXPECT_EQ(core::dataset_fingerprint(pipeline.dataset()),
+              kPinnedModerateFingerprint);
   }
 }
 

@@ -1,0 +1,109 @@
+// Direct edge-case coverage for util/spec.hpp — the "k=v,k=v" fragment
+// walk and bounded-number parse shared by the fault and scenario profile
+// parsers, previously exercised only through those two consumers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/spec.hpp"
+
+namespace longtail::util {
+namespace {
+
+using KvList = std::vector<std::pair<std::string, std::string>>;
+
+KvList collect(std::string_view text) {
+  KvList out;
+  for_each_spec_kv("test spec", text, [&](std::string_view k,
+                                          std::string_view v) {
+    out.emplace_back(std::string(k), std::string(v));
+  });
+  return out;
+}
+
+TEST(SpecKvTest, EmptySpecYieldsNothing) {
+  EXPECT_TRUE(collect("").empty());
+  EXPECT_TRUE(collect(",").empty());
+  EXPECT_TRUE(collect(",,,").empty());
+}
+
+TEST(SpecKvTest, SingleAndMultipleFragments) {
+  EXPECT_EQ(collect("a=1"), (KvList{{"a", "1"}}));
+  EXPECT_EQ(collect("a=1,b=2,c=3"),
+            (KvList{{"a", "1"}, {"b", "2"}, {"c", "3"}}));
+}
+
+TEST(SpecKvTest, TrailingAndLeadingSeparatorsAreSkipped) {
+  EXPECT_EQ(collect("a=1,"), (KvList{{"a", "1"}}));
+  EXPECT_EQ(collect(",a=1"), (KvList{{"a", "1"}}));
+  EXPECT_EQ(collect("a=1,,b=2,"), (KvList{{"a", "1"}, {"b", "2"}}));
+}
+
+TEST(SpecKvTest, DuplicateKeysAreDeliveredInOrder) {
+  // The walker itself does not deduplicate — last-one-wins (or reject) is
+  // the consumer's decision, so both occurrences must come through.
+  EXPECT_EQ(collect("a=1,a=2"), (KvList{{"a", "1"}, {"a", "2"}}));
+}
+
+TEST(SpecKvTest, EmptyKeyOrValueFragmentsStillParse) {
+  // "=v" and "k=" contain '=', so the walker hands them through; range
+  // validation downstream decides their fate.
+  EXPECT_EQ(collect("=1,b="), (KvList{{"", "1"}, {"b", ""}}));
+}
+
+TEST(SpecKvTest, MissingEqualsThrowsWithFragmentAndSpecName) {
+  try {
+    collect("a=1,oops,b=2");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("test spec"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'oops'"), std::string::npos) << msg;
+  }
+}
+
+TEST(SpecNumberTest, ParsesInRangeValues) {
+  EXPECT_DOUBLE_EQ(parse_spec_number("s", "k", "0.25", 0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(parse_spec_number("s", "k", "0", 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(parse_spec_number("s", "k", "1", 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_spec_number("s", "k", "-3e2", -1000, 0), -300.0);
+}
+
+TEST(SpecNumberTest, RejectsOutOfRangeGarbageAndNonFinite) {
+  for (const char* bad : {"1.01", "-0.1", "abc", "", "0.5x", "nan", "inf"}) {
+    EXPECT_THROW(parse_spec_number("s", "k", bad, 0.0, 1.0),
+                 std::runtime_error)
+        << bad;
+  }
+}
+
+TEST(SpecNumberTest, ErrorNamesSpecKeyValueAndRange) {
+  try {
+    parse_spec_number("fault spec", "drop", "7", 0.0, 1.0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fault spec"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'drop'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'7'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 1]"), std::string::npos) << msg;
+  }
+}
+
+TEST(SpecNumberTest, UnknownKeyListsValidKeys) {
+  try {
+    unknown_spec_key("scenario spec", "bursty", "burst, churn, storm");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("scenario spec"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bursty'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("burst, churn, storm"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace longtail::util
